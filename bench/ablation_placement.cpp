@@ -1,0 +1,47 @@
+// Ablation A2: how much Algorithm 4's even-spread placement matters.
+// Same frequency vectors, two placers: the paper's window spreader vs a
+// naive first-fit fill. Simulated AvgD quantifies the spreading benefit.
+#include <iostream>
+
+#include "core/channel_bound.hpp"
+#include "core/pamad.hpp"
+#include "core/placement.hpp"
+#include "sim/broadcast_sim.hpp"
+#include "util/table.hpp"
+#include "workload/distributions.hpp"
+
+using namespace tcsa;
+
+int main() {
+  std::cout << "# Ablation A2 — Algorithm 4 even-spread vs naive first-fit\n"
+            << "# identical PAMAD frequencies; only the slot placement "
+               "differs; 3000 requests\n\n";
+
+  for (const GroupSizeShape shape : paper_shapes()) {
+    const Workload w = make_paper_workload(shape);
+    const SlotCount bound = min_channels(w);
+    std::cout << "## " << shape_name(shape) << '\n';
+    Table table({"channels", "AvgD even-spread", "AvgD first-fit",
+                 "first-fit penalty x"});
+    for (const SlotCount divisor : {10, 5, 3, 2}) {
+      const SlotCount channels = std::max<SlotCount>(1, bound / divisor);
+      const PamadFrequencies f = pamad_frequencies(w, channels);
+      const PlacementResult even = place_even_spread(w, f.S, channels);
+      const PlacementResult fit = place_first_fit(w, f.S, channels);
+      SimConfig sim;
+      sim.requests.count = 3000;
+      const double even_delay =
+          simulate_requests(even.program, w, sim).avg_delay;
+      const double fit_delay = simulate_requests(fit.program, w, sim).avg_delay;
+      table.begin_row()
+          .add(channels)
+          .add(even_delay)
+          .add(fit_delay)
+          .add(even_delay > 0 ? fit_delay / even_delay : 0.0, 2);
+    }
+    std::cout << table.to_string() << '\n';
+  }
+  std::cout << "# expected shape: first-fit is severalfold worse everywhere "
+               "—\n# the even spread is doing real work, not bookkeeping.\n";
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Extension A6: the closed expected-time loop under drift. Clients tighten
+// their tolerances mid-run (rush hour); the adaptive server re-estimates
+// from piggybacked feedback and reschedules, the static server keeps its
+// morning program. Per-epoch miss rates show recovery in action.
+#include <iostream>
+
+#include "online/adaptive.hpp"
+#include "util/table.hpp"
+#include "workload/distributions.hpp"
+
+using namespace tcsa;
+
+int main() {
+  // Traffic-style workload: 3 content classes.
+  const Workload initial = make_workload({16, 64, 256}, {30, 80, 190});
+  const std::vector<DriftPhase> drift = {
+      DriftPhase{3000.0, {16, 64, 256}},   // calm morning
+      DriftPhase{9000.0, {4, 16, 64}},     // rush hour: 4x tighter
+      DriftPhase{15000.0, {16, 64, 256}},  // evening: calm again
+  };
+
+  std::cout << "# Extension A6 — adaptive expected-time service under drift\n"
+            << "# classes x pages: " << initial.describe()
+            << ", 12 channels, reschedule every 500 slots,\n"
+            << "# tolerances tighten 4x during slots [3000, 9000)\n\n";
+
+  AdaptiveConfig config;
+  config.channels = 12;
+  config.reschedule_period = 500.0;
+
+  AdaptiveConfig frozen = config;
+  frozen.adapt = false;
+
+  const AdaptiveResult adaptive = simulate_adaptive(initial, drift, config);
+  const AdaptiveResult static_run = simulate_adaptive(initial, drift, frozen);
+
+  Table table({"epoch [slots)", "requests", "miss% adaptive",
+               "miss% static", "overrun adaptive", "overrun static"});
+  for (std::size_t i = 0;
+       i < std::min(adaptive.epochs.size(), static_run.epochs.size()); ++i) {
+    const EpochStats& a = adaptive.epochs[i];
+    const EpochStats& s = static_run.epochs[i];
+    table.begin_row()
+        .add(std::to_string(static_cast<long long>(a.begin)) + "-" +
+             std::to_string(static_cast<long long>(a.end)))
+        .add(static_cast<std::int64_t>(a.requests))
+        .add(100.0 * a.miss_rate, 2)
+        .add(100.0 * s.miss_rate, 2)
+        .add(a.avg_overrun)
+        .add(s.avg_overrun);
+  }
+  std::cout << table.to_string() << "\n# overall miss rate: adaptive="
+            << 100.0 * adaptive.overall_miss_rate << "%  static="
+            << 100.0 * static_run.overall_miss_rate << "%  ("
+            << adaptive.reschedules << " reschedules)\n"
+            << "# expected shape: both spike when rush hour begins; the "
+               "adaptive server\n# recovers within one or two epochs, the "
+               "static one stays degraded until\n# the drift reverts.\n";
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Extension A9: client caching over time-constrained broadcast — the
+// Broadcast Disks result (cost-aware PIX beats LRU) reproduced on PAMAD
+// schedules, across cache sizes.
+#include <iostream>
+
+#include "client/cached_client.hpp"
+#include "core/bdisk.hpp"
+#include "core/channel_bound.hpp"
+#include "core/pamad.hpp"
+#include "util/table.hpp"
+#include "workload/distributions.hpp"
+
+using namespace tcsa;
+
+int main() {
+  const Workload w = make_paper_workload(GroupSizeShape::kUniform);
+  const SlotCount channels = min_channels(w) / 5;
+  const PamadSchedule schedule = schedule_pamad(w, channels);
+
+  std::cout << "# Extension A9 — client cache policies over a PAMAD "
+               "schedule\n"
+            << "# Zipf(0.9) access, 20000 requests per cell, " << channels
+            << " channels\n\n";
+
+  Table table({"capacity", "policy", "hit %", "avg wait", "uncached wait",
+               "wait saved %"});
+  for (const std::size_t capacity : {10u, 25u, 50u, 100u, 200u}) {
+    for (const CachePolicy policy : {CachePolicy::kLru, CachePolicy::kPix}) {
+      CachedClientConfig config;
+      config.cache_capacity = capacity;
+      config.policy = policy;
+      config.requests = 20000;
+      const CachedClientResult r =
+          simulate_cached_client(schedule.program, w, config);
+      table.begin_row()
+          .add(static_cast<std::int64_t>(capacity))
+          .add(cache_policy_name(policy))
+          .add(100.0 * r.hit_rate, 2)
+          .add(r.avg_wait)
+          .add(r.avg_uncached_wait)
+          .add(100.0 * (1.0 - r.avg_wait / r.avg_uncached_wait), 2);
+    }
+  }
+  std::cout << table.to_string()
+            << "\n# expected shape: PIX saves more wait than LRU at equal "
+               "capacity (it keeps\n# the pages that are expensive to "
+               "refetch from the air), and the advantage\n# narrows as the "
+               "cache grows large enough to hold everything hot.\n";
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Extension A5: offline optimisation vs the obvious online greedy.
+// EDF (earliest virtual deadline first) fills slots with whatever is most
+// urgent; PAMAD plans a whole cycle. The table shows what the paper's
+// offline analysis buys across the channel range.
+#include <iostream>
+
+#include "core/channel_bound.hpp"
+#include "core/edf.hpp"
+#include "core/mpb.hpp"
+#include "core/pamad.hpp"
+#include "sim/broadcast_sim.hpp"
+#include "util/table.hpp"
+#include "workload/distributions.hpp"
+
+using namespace tcsa;
+
+int main() {
+  std::cout << "# Extension A5 — PAMAD vs online EDF greedy vs m-PB\n"
+            << "# simulated AvgD, 3000 requests per point\n\n";
+
+  for (const GroupSizeShape shape : paper_shapes()) {
+    const Workload w = make_paper_workload(shape);
+    const SlotCount bound = min_channels(w);
+    std::cout << "## " << shape_name(shape) << "  (minimum channels " << bound
+              << ")\n";
+    Table table({"channels", "AvgD(PAMAD)", "AvgD(EDF)", "AvgD(m-PB)",
+                 "EDF/PAMAD"});
+    for (const SlotCount divisor : {16, 8, 4, 2, 1}) {
+      const SlotCount channels = std::max<SlotCount>(1, bound / divisor);
+      SimConfig sim;
+      const double pamad =
+          simulate_requests(schedule_pamad(w, channels).program, w, sim)
+              .avg_delay;
+      const double edf =
+          simulate_requests(schedule_edf(w, channels).program, w, sim)
+              .avg_delay;
+      const double mpb =
+          simulate_requests(schedule_mpb(w, channels).program, w, sim)
+              .avg_delay;
+      table.begin_row()
+          .add(channels)
+          .add(pamad)
+          .add(edf)
+          .add(mpb)
+          .add(pamad > 0 ? edf / pamad : 0.0, 2);
+    }
+    std::cout << table.to_string() << '\n';
+  }
+  std::cout
+      << "# expected shape: EDF beats m-PB by a wide margin and trails "
+         "PAMAD by\n# ~5-10% at scarce channel counts; being "
+         "work-conserving it can edge past\n# PAMAD near the bound (PAMAD "
+         "idles residual slots). What EDF cannot do is\n# *guarantee* "
+         "validity or predict its delay — the paper's offline analysis\n"
+         "# buys the Theorem 3.1 feasibility line and the closed-form "
+         "model, not just\n# raw averages.\n";
+  return 0;
+}

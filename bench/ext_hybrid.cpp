@@ -1,0 +1,55 @@
+// Extension A4: the Section-1 motivation made measurable. Impatient clients
+// whose deadline the broadcast misses pull the page through a limited
+// on-demand uplink; the bench compares how hard PAMAD vs m-PB schedules
+// load that uplink at equal broadcast-channel budgets.
+#include <iostream>
+
+#include "core/channel_bound.hpp"
+#include "core/mpb.hpp"
+#include "core/pamad.hpp"
+#include "sim/hybrid.hpp"
+#include "util/table.hpp"
+#include "workload/distributions.hpp"
+
+using namespace tcsa;
+
+int main() {
+  std::cout << "# Extension A4 — hybrid broadcast/on-demand congestion\n"
+            << "# Poisson arrivals (2 req/slot, 5000-slot horizon), 2 uplink "
+               "channels,\n"
+            << "# clients pull after waiting out their expected time\n\n";
+
+  for (const GroupSizeShape shape : paper_shapes()) {
+    const Workload w = make_paper_workload(shape);
+    const SlotCount bound = min_channels(w);
+    std::cout << "## " << shape_name(shape) << "  (minimum channels " << bound
+              << ")\n";
+    Table table({"channels", "method", "pull %", "avg pull response",
+                 "avg queue at arrival", "avg bcast wait"});
+    for (const SlotCount divisor : {10, 5, 3, 2, 1}) {
+      const SlotCount channels = std::max<SlotCount>(1, bound / divisor);
+      HybridConfig config;
+      const PamadSchedule pamad = schedule_pamad(w, channels);
+      const MpbSchedule mpb = schedule_mpb(w, channels);
+      for (const auto& [name, program] :
+           {std::pair<const char*, const BroadcastProgram*>{"pamad",
+                                                            &pamad.program},
+            std::pair<const char*, const BroadcastProgram*>{"m-pb",
+                                                            &mpb.program}}) {
+        const HybridResult r = simulate_hybrid(*program, w, config);
+        table.begin_row()
+            .add(channels)
+            .add(std::string(name))
+            .add(100.0 * r.pull_fraction, 2)
+            .add(r.avg_pull_response)
+            .add(r.avg_pull_queue_at_arrival)
+            .add(r.avg_broadcast_wait);
+      }
+    }
+    std::cout << table.to_string() << '\n';
+  }
+  std::cout << "# expected shape: PAMAD pulls a smaller fraction than m-PB "
+               "at every budget;\n# at the Theorem 3.1 bound both pull "
+               "(almost) nothing.\n";
+  return 0;
+}

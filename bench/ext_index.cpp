@@ -1,0 +1,53 @@
+// Extension A7: air indexing on top of PAMAD schedules — the classic
+// latency / tuning-time (energy) tradeoff, across strategies and the
+// (1, m) replication knob.
+#include <iostream>
+
+#include "core/channel_bound.hpp"
+#include "core/pamad.hpp"
+#include "index/air_index.hpp"
+#include "util/table.hpp"
+#include "workload/distributions.hpp"
+
+using namespace tcsa;
+
+int main() {
+  const Workload w = make_paper_workload(GroupSizeShape::kUniform);
+  const SlotCount bound = min_channels(w);
+  const SlotCount channels = bound / 5;  // the paper's sweet spot
+  const PamadSchedule schedule = schedule_pamad(w, channels);
+
+  std::cout << "# Extension A7 — air indexing over a PAMAD schedule\n"
+            << "# workload: " << w.describe() << ", " << channels
+            << " data channels, fanout 64, 6000 accesses\n\n";
+
+  Table table({"strategy", "m", "channels used", "cycle", "avg latency",
+               "avg tuning (energy)", "deadline miss %"});
+  auto row = [&](IndexStrategy strategy, SlotCount m) {
+    IndexConfig config;
+    config.strategy = strategy;
+    config.fanout = 64;
+    config.replication = m;
+    const IndexedBroadcast indexed(w, schedule.program, config);
+    const IndexSimResult r = indexed.simulate(6000, 17);
+    table.begin_row()
+        .add(index_strategy_name(strategy))
+        .add(strategy == IndexStrategy::kOneM ? std::to_string(m) : "-")
+        .add(indexed.total_channels())
+        .add(indexed.cycle_length())
+        .add(r.avg_latency)
+        .add(r.avg_tuning)
+        .add(100.0 * r.miss_rate, 2);
+  };
+  row(IndexStrategy::kNone, 1);
+  for (const SlotCount m : {1, 2, 4, 8, 16}) row(IndexStrategy::kOneM, m);
+  row(IndexStrategy::kDedicated, 1);
+
+  std::cout << table.to_string()
+            << "\n# expected shape: tuning collapses from hundreds of slots "
+               "(always-on)\n# to ~3 buckets with any index; (1,m) pays "
+               "cycle stretch that grows\n# with m while the index wait "
+               "shrinks; the dedicated channel avoids the\n# stretch at the "
+               "cost of one extra channel.\n";
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Extension A8: loss sensitivity. How the reproduced Figure-5 ranking
+// (PAMAD vs m-PB) behaves when the wireless channel drops slots — both
+// independent loss and Gilbert–Elliott bursts at matched average rates.
+#include <iostream>
+
+#include "core/channel_bound.hpp"
+#include "core/mpb.hpp"
+#include "core/pamad.hpp"
+#include "sim/lossy.hpp"
+#include "util/table.hpp"
+#include "workload/distributions.hpp"
+
+using namespace tcsa;
+
+int main() {
+  const Workload w = make_paper_workload(GroupSizeShape::kUniform);
+  const SlotCount channels = min_channels(w) / 5;
+  const PamadSchedule pamad = schedule_pamad(w, channels);
+  const MpbSchedule mpb = schedule_mpb(w, channels);
+
+  std::cout << "# Extension A8 — loss sensitivity (uniform distribution, "
+            << channels << " channels)\n"
+            << "# 20000 accesses per cell; bursty = Gilbert-Elliott with "
+               "matched average rate\n\n";
+
+  Table table({"loss model", "avg rate", "AvgD(PAMAD)", "AvgD(m-PB)",
+               "miss%(PAMAD)", "attempts(PAMAD)"});
+  auto row = [&](const std::string& name, const LossModel& model) {
+    const LossySimResult rp = simulate_lossy(pamad.program, w, model, 20000, 3);
+    const LossySimResult rm = simulate_lossy(mpb.program, w, model, 20000, 3);
+    table.begin_row()
+        .add(name)
+        .add(model.stationary_loss(), 3)
+        .add(rp.avg_delay)
+        .add(rm.avg_delay)
+        .add(100.0 * rp.miss_rate, 2)
+        .add(rp.avg_attempts, 2);
+  };
+
+  row("clean", LossModel::independent(0.0));
+  for (const double p : {0.05, 0.1, 0.2, 0.4})
+    row("independent", LossModel::independent(p));
+  for (const double p : {0.05, 0.1, 0.2}) {
+    LossModel bursty;
+    bursty.loss_good = 0.0;
+    bursty.loss_bad = 1.0;
+    bursty.p_bad_to_good = 0.25;
+    // Choose the entry rate for the requested stationary loss.
+    bursty.p_good_to_bad = p * bursty.p_bad_to_good / (1.0 - p);
+    row("bursty", bursty);
+  }
+
+  std::cout << table.to_string()
+            << "\n# expected shape: delays grow smoothly with loss; the "
+               "PAMAD-vs-m-PB gap\n# persists at every rate (loss multiplies "
+               "waits, so a better schedule keeps\n# its advantage); bursts "
+               "hurt more than independent loss at equal rate.\n";
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Extension A11: multi-page bundles. Section 2 assumes one page per
+// access; this sweep shows how bundle size erodes timeliness and that the
+// scheduler ranking is unchanged.
+#include <iostream>
+
+#include "core/channel_bound.hpp"
+#include "core/mpb.hpp"
+#include "core/pamad.hpp"
+#include "sim/multi_item.hpp"
+#include "util/table.hpp"
+#include "workload/distributions.hpp"
+
+using namespace tcsa;
+
+int main() {
+  const Workload w = make_paper_workload(GroupSizeShape::kUniform);
+  const SlotCount channels = min_channels(w) / 5;
+  const PamadSchedule pamad = schedule_pamad(w, channels);
+  const MpbSchedule mpb = schedule_mpb(w, channels);
+
+  std::cout << "# Extension A11 — multi-page bundle requests (uniform, "
+            << channels << " channels)\n"
+            << "# a bundle is on time only if every member met its own "
+               "deadline; 3000 bundles per cell\n\n";
+
+  Table table({"bundle size k", "completion(PAMAD)", "in-time%(PAMAD)",
+               "completion(m-PB)", "in-time%(m-PB)"});
+  for (const SlotCount k : {1, 2, 3, 5, 8, 13}) {
+    MultiItemConfig config;
+    config.items_per_request = k;
+    const MultiItemResult rp = simulate_multi_item(pamad.program, w, config);
+    const MultiItemResult rm = simulate_multi_item(mpb.program, w, config);
+    table.begin_row()
+        .add(k)
+        .add(rp.avg_completion)
+        .add(100.0 * rp.all_in_time_rate, 2)
+        .add(rm.avg_completion)
+        .add(100.0 * rm.all_in_time_rate, 2);
+  }
+  std::cout << table.to_string()
+            << "\n# expected shape: completion grows and in-time rate falls "
+               "with k for both\n# schedulers; PAMAD dominates m-PB at every "
+               "bundle size.\n";
+  return 0;
+}

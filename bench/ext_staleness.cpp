@@ -1,0 +1,47 @@
+// Extension A12: update staleness — broadcast frequency doubles as the
+// cache-coherence knob. Analytic stale fractions (with a Monte-Carlo
+// cross-check column) across update rates, PAMAD vs m-PB at equal
+// channels.
+#include <iostream>
+
+#include "core/channel_bound.hpp"
+#include "core/mpb.hpp"
+#include "core/pamad.hpp"
+#include "model/appearance_index.hpp"
+#include "sim/staleness.hpp"
+#include "util/table.hpp"
+#include "workload/distributions.hpp"
+
+using namespace tcsa;
+
+int main() {
+  const Workload w = make_paper_workload(GroupSizeShape::kUniform);
+  const SlotCount channels = min_channels(w) / 5;
+  const PamadSchedule pamad = schedule_pamad(w, channels);
+  const MpbSchedule mpb = schedule_mpb(w, channels);
+
+  std::cout << "# Extension A12 — copy staleness under Poisson updates "
+               "(uniform, " << channels << " channels)\n"
+            << "# stale fraction: share of time a continuously-listening "
+               "client's copy is outdated\n\n";
+
+  Table table({"update rate /slot", "avg stale(PAMAD)", "worst stale(PAMAD)",
+               "avg stale(m-PB)", "sim check(PAMAD pg0)"});
+  const AppearanceIndex pamad_index(pamad.program, w.total_pages());
+  for (const double u : {0.001, 0.005, 0.02, 0.1, 0.5}) {
+    const StalenessResult rp = evaluate_staleness(pamad.program, w, u);
+    const StalenessResult rm = evaluate_staleness(mpb.program, w, u);
+    table.begin_row()
+        .add(u, 3)
+        .add(rp.avg_stale_fraction, 4)
+        .add(rp.worst_stale_fraction, 4)
+        .add(rm.avg_stale_fraction, 4)
+        .add(simulate_stale_fraction(pamad_index, 0, u, 2000, 5), 4);
+  }
+  std::cout << table.to_string()
+            << "\n# expected shape: staleness rises with the update rate; "
+               "m-PB's stretched\n# cycle leaves copies staler than PAMAD's "
+               "at every rate; the Monte-Carlo\n# column tracks the "
+               "analytic page-0 value.\n";
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Extension A3: non-uniform (Zipf) page popularity. The paper assumes every
+// page equally likely; real access streams are skewed. This bench measures
+// how the Figure-5 ranking (PAMAD vs m-PB vs OPT) holds up when requests
+// follow a Zipf law over page ids, and how a popularity-aware analytic
+// model would score the same schedules.
+#include <iostream>
+
+#include "core/channel_bound.hpp"
+#include "core/delay_model.hpp"
+#include "sim/sweep.hpp"
+#include "util/table.hpp"
+#include "workload/distributions.hpp"
+#include "workload/requests.hpp"
+
+using namespace tcsa;
+
+int main() {
+  constexpr double kTheta = 0.8;
+  std::cout << "# Extension A3 — Zipf(theta=0.8) page popularity\n"
+            << "# same schedules as Figure 5, request stream skewed; "
+               "3000 requests per point\n\n";
+
+  for (const GroupSizeShape shape : paper_shapes()) {
+    const Workload w = make_paper_workload(shape);
+    const SlotCount bound = min_channels(w);
+    std::cout << "## " << shape_name(shape) << '\n';
+    Table table({"channels", "AvgD(PAMAD)", "AvgD(m-PB)", "AvgD(OPT)",
+                 "uniform AvgD(PAMAD)"});
+    for (const SlotCount divisor : {20, 10, 5, 3, 2}) {
+      const SlotCount channels = std::max<SlotCount>(1, bound / divisor);
+      SweepConfig zipf;
+      zipf.methods = {Method::kPamad, Method::kMpb, Method::kOpt};
+      zipf.min_channels = zipf.max_channels = channels;
+      zipf.sim.requests.popularity = Popularity::kZipf;
+      zipf.sim.requests.zipf_theta = kTheta;
+      const auto zipf_points = run_sweep(w, zipf);
+
+      SweepConfig uniform = zipf;
+      uniform.methods = {Method::kPamad};
+      uniform.sim.requests.popularity = Popularity::kUniform;
+      const auto uniform_points = run_sweep(w, uniform);
+
+      table.begin_row()
+          .add(channels)
+          .add(zipf_points[0].avg_delay)
+          .add(zipf_points[1].avg_delay)
+          .add(zipf_points[2].avg_delay)
+          .add(uniform_points[0].avg_delay);
+    }
+    std::cout << table.to_string() << '\n';
+  }
+  std::cout
+      << "# expected shape: the ranking PAMAD ~= OPT << m-PB survives the\n"
+         "# skewed stream; absolute AvgD shifts with which groups hold the\n"
+         "# popular (low-id, tight-deadline) pages.\n";
+  return 0;
+}

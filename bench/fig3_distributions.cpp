@@ -1,0 +1,45 @@
+// Reproduces Figure 3 (experiment E3): the four group-size distributions
+// over the default 8 groups / 1000 pages, rendered numerically and as
+// ASCII bars, plus the Figure-4 parameter table (experiment E4).
+#include <iostream>
+#include <string>
+
+#include "core/channel_bound.hpp"
+#include "util/table.hpp"
+#include "workload/distributions.hpp"
+
+using namespace tcsa;
+
+int main() {
+  std::cout << "# Figure 4 — parameter settings\n";
+  Table params({"parameter", "default value"});
+  params.begin_row().add("n - total number").add(1000);
+  params.begin_row().add("h - number of groups").add(8);
+  params.begin_row()
+      .add("t_i - expected time")
+      .add("4, 8, 16, 32, 64, 128, 256, 512");
+  params.begin_row()
+      .add("group size distributions")
+      .add("{normal, L-skewed, S-skewed, uniform}");
+  params.begin_row().add("number of requests").add(3000);
+  std::cout << params.to_string() << '\n';
+
+  std::cout << "# Figure 3 — group size distributions (pages per group)\n\n";
+  for (const GroupSizeShape shape : paper_shapes()) {
+    const Workload w = make_paper_workload(shape);
+    std::cout << "## " << shape_name(shape)
+              << "  (minimum sufficient channels: " << min_channels(w)
+              << ")\n";
+    Table table({"group", "expected time", "pages", "profile"});
+    for (GroupId g = 0; g < w.group_count(); ++g) {
+      const SlotCount pages = w.pages_in_group(g);
+      table.begin_row()
+          .add(static_cast<std::int64_t>(g) + 1)
+          .add(w.expected_time(g))
+          .add(pages)
+          .add(std::string(static_cast<std::size_t>(pages / 10), '#'));
+    }
+    std::cout << table.to_string() << '\n';
+  }
+  return 0;
+}

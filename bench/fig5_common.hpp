@@ -1,0 +1,19 @@
+// fig5_common.hpp — shared driver for the four Figure-5 reproduction
+// binaries (one per group-size distribution, as in the paper).
+//
+// Each binary prints the Figure-4 parameter header, then the AvgD-vs-channels
+// series for PAMAD, m-PB and OPT (simulated with 3000 requests, plus the
+// analytic prediction), and closes with the summary statistics quoted in
+// EXPERIMENTS.md. CLI flags allow denser sweeps and CSV output.
+#pragma once
+
+#include "workload/distributions.hpp"
+
+namespace tcsa::bench {
+
+/// Runs the Figure-5 experiment for one distribution. Returns the process
+/// exit code (0 on success). argc/argv come straight from main.
+int run_figure5(GroupSizeShape shape, const char* figure_tag, int argc,
+                const char* const* argv);
+
+}  // namespace tcsa::bench

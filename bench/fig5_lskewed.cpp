@@ -1,0 +1,7 @@
+// Reproduces Figure 5(b): average delay vs channels, L-skewed distribution.
+#include "fig5_common.hpp"
+
+int main(int argc, char** argv) {
+  return tcsa::bench::run_figure5(tcsa::GroupSizeShape::kLSkewed,
+                                  "Figure 5(b)", argc, argv);
+}

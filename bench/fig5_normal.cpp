@@ -1,0 +1,7 @@
+// Reproduces Figure 5(a): average delay vs channels, normal distribution.
+#include "fig5_common.hpp"
+
+int main(int argc, char** argv) {
+  return tcsa::bench::run_figure5(tcsa::GroupSizeShape::kNormal,
+                                  "Figure 5(a)", argc, argv);
+}

@@ -1,0 +1,7 @@
+// Reproduces Figure 5(c): average delay vs channels, S-skewed distribution.
+#include "fig5_common.hpp"
+
+int main(int argc, char** argv) {
+  return tcsa::bench::run_figure5(tcsa::GroupSizeShape::kSSkewed,
+                                  "Figure 5(c)", argc, argv);
+}

@@ -1,0 +1,7 @@
+// Reproduces Figure 5(d): average delay vs channels, uniform distribution.
+#include "fig5_common.hpp"
+
+int main(int argc, char** argv) {
+  return tcsa::bench::run_figure5(tcsa::GroupSizeShape::kUniform,
+                                  "Figure 5(d)", argc, argv);
+}

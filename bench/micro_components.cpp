@@ -1,0 +1,100 @@
+// M3 — component microbenchmarks (google-benchmark): validation,
+// serialisation, baseline schedulers, the cache, and lossy reception.
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "client/cache.hpp"
+#include "core/bdisk.hpp"
+#include "core/edf.hpp"
+#include "core/pamad.hpp"
+#include "core/theory.hpp"
+#include "model/serialize.hpp"
+#include "model/validate.hpp"
+#include "sim/lossy.hpp"
+#include "util/rng.hpp"
+#include "workload/distributions.hpp"
+
+namespace {
+
+using namespace tcsa;
+
+void BM_ValidateProgram(benchmark::State& state) {
+  const Workload w = make_paper_workload(GroupSizeShape::kUniform);
+  const PamadSchedule s = schedule_pamad(w, state.range(0));
+  for (auto _ : state) {
+    const ValidityReport r = validate_program(s.program, w);
+    benchmark::DoNotOptimize(r.worst_wait);
+  }
+  state.SetItemsProcessed(state.iterations() * s.program.capacity());
+}
+BENCHMARK(BM_ValidateProgram)->Arg(8)->Arg(32);
+
+void BM_SerializeProgramRoundTrip(benchmark::State& state) {
+  const Workload w = make_paper_workload(GroupSizeShape::kUniform);
+  const PamadSchedule s = schedule_pamad(w, 16);
+  for (auto _ : state) {
+    const std::string text = program_to_string(s.program);
+    const BroadcastProgram back = program_from_string(text);
+    benchmark::DoNotOptimize(back.occupied());
+  }
+  state.SetItemsProcessed(state.iterations() * s.program.capacity());
+}
+BENCHMARK(BM_SerializeProgramRoundTrip);
+
+void BM_EdfSchedule(benchmark::State& state) {
+  const Workload w = make_paper_workload(GroupSizeShape::kUniform);
+  for (auto _ : state) {
+    const EdfSchedule s = schedule_edf(w, state.range(0));
+    benchmark::DoNotOptimize(s.program.occupied());
+  }
+}
+BENCHMARK(BM_EdfSchedule)->Arg(4)->Arg(16)->Unit(benchmark::kMillisecond);
+
+void BM_BdiskSchedule(benchmark::State& state) {
+  const Workload w = make_paper_workload(GroupSizeShape::kUniform);
+  for (auto _ : state) {
+    const BdiskSchedule s = schedule_bdisk(w, state.range(0));
+    benchmark::DoNotOptimize(s.program.occupied());
+  }
+}
+BENCHMARK(BM_BdiskSchedule)->Arg(4)->Arg(16);
+
+void BM_WaterfillingBound(benchmark::State& state) {
+  const Workload w = make_paper_workload(GroupSizeShape::kUniform);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        continuous_delay_lower_bound(w, state.range(0)));
+  }
+}
+BENCHMARK(BM_WaterfillingBound)->Arg(1)->Arg(13);
+
+void BM_CacheLookupInsert(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(1000);
+  const std::vector<double> prob = zipf_weights(n, 0.9);
+  std::vector<double> freq(n, 4.0);
+  ClientCache cache(static_cast<std::size_t>(state.range(0)),
+                    CachePolicy::kPix, prob, freq);
+  Rng rng(5);
+  const DiscreteSampler sampler(prob);
+  for (auto _ : state) {
+    const auto page = static_cast<PageId>(sampler.sample(rng));
+    if (!cache.lookup(page)) cache.insert(page);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheLookupInsert)->Arg(32)->Arg(256);
+
+void BM_LossySimulation(benchmark::State& state) {
+  const Workload w = make_paper_workload(GroupSizeShape::kUniform);
+  const PamadSchedule s = schedule_pamad(w, 13);
+  const LossModel model = LossModel::independent(0.1);
+  for (auto _ : state) {
+    const LossySimResult r = simulate_lossy(s.program, w, model, 3000, 9);
+    benchmark::DoNotOptimize(r.avg_delay);
+  }
+  state.SetItemsProcessed(state.iterations() * 3000);
+}
+BENCHMARK(BM_LossySimulation)->Unit(benchmark::kMillisecond);
+
+}  // namespace

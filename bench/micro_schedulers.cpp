@@ -1,0 +1,95 @@
+// M1 — scheduler-construction microbenchmarks (google-benchmark).
+//
+// Measures how long each algorithm takes to build a schedule as the
+// workload scales: the paper notes OPT's "unacceptably high" search cost;
+// these numbers quantify the gap between OPT, the PAMAD heuristic (a few
+// microseconds of frequency search) and plain SUSC packing.
+#include <benchmark/benchmark.h>
+
+#include "core/channel_bound.hpp"
+#include "core/mpb.hpp"
+#include "core/opt.hpp"
+#include "core/pamad.hpp"
+#include "core/susc.hpp"
+#include "workload/distributions.hpp"
+
+namespace {
+
+using namespace tcsa;
+
+Workload bench_workload(std::int64_t n) {
+  return make_paper_workload(GroupSizeShape::kUniform, 8,
+                             static_cast<SlotCount>(n), 4, 2);
+}
+
+void BM_MinChannels(benchmark::State& state) {
+  const Workload w = bench_workload(state.range(0));
+  for (auto _ : state) benchmark::DoNotOptimize(min_channels(w));
+}
+BENCHMARK(BM_MinChannels)->Arg(1000);
+
+void BM_SuscSchedule(benchmark::State& state) {
+  const Workload w = bench_workload(state.range(0));
+  const SlotCount channels = min_channels(w);
+  for (auto _ : state) {
+    const BroadcastProgram p = schedule_susc(w, channels);
+    benchmark::DoNotOptimize(p.occupied());
+  }
+  state.SetItemsProcessed(state.iterations() * w.total_pages());
+}
+BENCHMARK(BM_SuscSchedule)->Arg(100)->Arg(1000)->Arg(4000);
+
+void BM_PamadFrequencySearch(benchmark::State& state) {
+  const Workload w = bench_workload(1000);
+  const SlotCount channels = state.range(0);
+  for (auto _ : state) {
+    const PamadFrequencies f = pamad_frequencies(w, channels);
+    benchmark::DoNotOptimize(f.predicted_delay);
+  }
+}
+BENCHMARK(BM_PamadFrequencySearch)->Arg(1)->Arg(13)->Arg(32)->Arg(62);
+
+void BM_PamadFullSchedule(benchmark::State& state) {
+  const Workload w = bench_workload(1000);
+  const SlotCount channels = state.range(0);
+  for (auto _ : state) {
+    const PamadSchedule s = schedule_pamad(w, channels);
+    benchmark::DoNotOptimize(s.program.occupied());
+  }
+}
+BENCHMARK(BM_PamadFullSchedule)->Arg(1)->Arg(13)->Arg(32);
+
+void BM_MpbSchedule(benchmark::State& state) {
+  const Workload w = bench_workload(1000);
+  const SlotCount channels = state.range(0);
+  for (auto _ : state) {
+    const MpbSchedule s = schedule_mpb(w, channels);
+    benchmark::DoNotOptimize(s.program.occupied());
+  }
+}
+BENCHMARK(BM_MpbSchedule)->Arg(13)->Arg(32);
+
+void BM_OptFrequencySearch(benchmark::State& state) {
+  const Workload w = bench_workload(1000);
+  const SlotCount channels = state.range(0);
+  for (auto _ : state) {
+    const OptResult r = opt_frequencies(w, channels);
+    benchmark::DoNotOptimize(r.predicted_delay);
+  }
+}
+BENCHMARK(BM_OptFrequencySearch)->Arg(1)->Arg(13)->Arg(32)->Arg(62)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BruteForceSearch(benchmark::State& state) {
+  // The exponential oracle on a small instance — the "unacceptably high"
+  // cost the paper mentions, in miniature (grows as cap^h).
+  const Workload w = make_workload({2, 4, 8}, {3, 5, 3});
+  const SlotCount cap = state.range(0);
+  for (auto _ : state) {
+    const OptResult r = brute_force_frequencies(w, 2, cap);
+    benchmark::DoNotOptimize(r.predicted_delay);
+  }
+}
+BENCHMARK(BM_BruteForceSearch)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+}  // namespace

@@ -1,0 +1,59 @@
+// Reproduces the Theorem 3.1 artefacts (experiment E1): the Section 3.1
+// worked example, the Section 4.4 example, and a bound sweep over the
+// Figure-4 workload family — each bound shown alongside proof that SUSC
+// achieves it (a valid program at exactly that channel count).
+#include <iostream>
+
+#include "core/channel_bound.hpp"
+#include "core/susc.hpp"
+#include "model/validate.hpp"
+#include "util/table.hpp"
+#include "workload/distributions.hpp"
+
+using namespace tcsa;
+
+namespace {
+
+void bound_row(Table& table, const std::string& label, const Workload& w) {
+  const BandwidthDemand demand = bandwidth_demand(w);
+  const SlotCount bound = min_channels(w);
+  const BroadcastProgram program = schedule_susc(w, bound);
+  const ValidityReport report = validate_program(program, w);
+  table.begin_row()
+      .add(label)
+      .add(w.describe())
+      .add(demand.as_double(), 3)
+      .add(bound)
+      .add(report.valid ? "yes" : "NO")
+      .add(report.worst_wait);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "# Theorem 3.1 — minimum number of channels, with SUSC "
+               "achieving each bound\n\n";
+
+  Table table({"case", "workload", "demand sum P_i/t_i", "N (Thm 3.1)",
+               "SUSC valid at N", "worst wait"});
+
+  // Section 3.1's example: ceil(2/2 + 3/4) = 2.
+  bound_row(table, "Sec 3.1 example", make_workload({2, 4}, {2, 3}));
+  // Section 4.4's example workload needs 4 channels.
+  bound_row(table, "Fig 2 example", make_workload({2, 4, 8}, {3, 5, 3}));
+  // Figure-4 defaults across the four distributions.
+  for (const GroupSizeShape shape : paper_shapes())
+    bound_row(table, "Fig 4 / " + shape_name(shape),
+              make_paper_workload(shape));
+  // Scaling behaviour: doubling pages doubles the bound.
+  bound_row(table, "uniform n=500",
+            make_paper_workload(GroupSizeShape::kUniform, 8, 500));
+  bound_row(table, "uniform n=2000",
+            make_paper_workload(GroupSizeShape::kUniform, 8, 2000));
+
+  std::cout << table.to_string()
+            << "\n# 'SUSC valid at N' demonstrates the bound is achievable "
+               "(Theorems 3.2/3.3);\n# one channel fewer is infeasible by "
+               "Theorem 3.1's bandwidth argument.\n";
+  return 0;
+}

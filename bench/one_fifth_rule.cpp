@@ -1,0 +1,59 @@
+// Experiment E10: quantifies Section 5's "1/5 of the minimally sufficient
+// channels is an ideal secondary choice" claim. For each distribution the
+// table shows AvgD at 1, N/10, N/5, N/2 and N channels, absolute and as a
+// percentage of the single-channel delay.
+#include <algorithm>
+#include <iostream>
+
+#include "core/channel_bound.hpp"
+#include "sim/sweep.hpp"
+#include "util/table.hpp"
+#include "workload/distributions.hpp"
+
+using namespace tcsa;
+
+namespace {
+
+double avg_delay_at(const Workload& w, SlotCount channels) {
+  SweepConfig config;
+  config.methods = {Method::kPamad};
+  config.min_channels = config.max_channels = channels;
+  return run_sweep(w, config).front().avg_delay;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "# One-fifth rule (Section 5, third observation)\n"
+            << "# PAMAD AvgD at fractions of the Theorem 3.1 minimum N,\n"
+            << "# 3000 simulated requests per point\n\n";
+
+  Table table({"distribution", "N", "AvgD@1", "AvgD@N/10", "AvgD@N/5",
+               "AvgD@N/2", "AvgD@N", "N/5 as % of @1"});
+  for (const GroupSizeShape shape : paper_shapes()) {
+    const Workload w = make_paper_workload(shape);
+    const SlotCount bound = min_channels(w);
+    const double at_one = avg_delay_at(w, 1);
+    const double at_tenth =
+        avg_delay_at(w, std::max<SlotCount>(1, (bound + 9) / 10));
+    const double at_fifth =
+        avg_delay_at(w, std::max<SlotCount>(1, (bound + 4) / 5));
+    const double at_half =
+        avg_delay_at(w, std::max<SlotCount>(1, (bound + 1) / 2));
+    const double at_bound = avg_delay_at(w, bound);
+    table.begin_row()
+        .add(shape_name(shape))
+        .add(bound)
+        .add(at_one)
+        .add(at_tenth)
+        .add(at_fifth)
+        .add(at_half)
+        .add(at_bound)
+        .add(at_one > 0 ? 100.0 * at_fifth / at_one : 0.0, 2);
+  }
+  std::cout << table.to_string()
+            << "\n# expected shape: the N/5 column is a tiny fraction of the "
+               "1-channel delay\n# (near-zero percent), and AvgD@N is 0 — "
+               "deadlines all met at the bound.\n";
+  return 0;
+}

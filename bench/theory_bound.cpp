@@ -1,0 +1,50 @@
+// Experiment T1: how tight is the continuous waterfilling lower bound?
+// For each distribution, compares the closed-form bound with what the
+// unconstrained OPT search, the placeable (ladder) OPT and PAMAD actually
+// achieve, across the channel range.
+#include <iostream>
+
+#include "core/channel_bound.hpp"
+#include "core/opt.hpp"
+#include "core/pamad.hpp"
+#include "core/theory.hpp"
+#include "util/table.hpp"
+#include "workload/distributions.hpp"
+
+using namespace tcsa;
+
+int main() {
+  std::cout << "# T1 — continuous lower bound (g_i = sqrt(t_i^2 + theta)) "
+               "vs search results\n"
+            << "# analytic expected delay, no simulation noise\n\n";
+
+  for (const GroupSizeShape shape : paper_shapes()) {
+    const Workload w = make_paper_workload(shape);
+    const SlotCount bound = min_channels(w);
+    std::cout << "## " << shape_name(shape) << "  (minimum channels " << bound
+              << ")\n";
+    Table table({"channels", "continuous bound", "OPT (free)",
+                 "OPT (ladder)", "PAMAD", "ladder/bound"});
+    for (const SlotCount divisor : {20, 10, 5, 3, 2}) {
+      const SlotCount channels = std::max<SlotCount>(1, bound / divisor);
+      const double continuous = continuous_delay_lower_bound(w, channels);
+      const double free_opt =
+          opt_frequencies_unconstrained(w, channels).predicted_delay;
+      const double ladder = opt_frequencies(w, channels).predicted_delay;
+      const double pamad = pamad_frequencies(w, channels).predicted_delay;
+      table.begin_row()
+          .add(channels)
+          .add(continuous)
+          .add(free_opt)
+          .add(ladder)
+          .add(pamad)
+          .add(continuous > 0 ? ladder / continuous : 1.0, 3);
+    }
+    std::cout << table.to_string() << '\n';
+  }
+  std::cout << "# expected shape: bound <= OPT(free) <= OPT(ladder) <= "
+               "PAMAD, all within\n# a few percent of each other — the "
+               "closed form explains nearly all of the\n# achievable "
+               "delay, and PAMAD leaves almost nothing on the table.\n";
+  return 0;
+}

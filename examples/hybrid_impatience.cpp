@@ -1,0 +1,59 @@
+// hybrid_impatience — the impatient-client story from Section 1, end to end.
+//
+// Clients listen to the broadcast; when the schedule cannot deliver within
+// their expected time they give up and pull through a small on-demand
+// uplink. The example walks one workload across channel budgets and shows
+// how scheduler quality translates directly into uplink congestion — the
+// paper's original motivation for controlling waiting time on air.
+#include <iostream>
+
+#include "core/channel_bound.hpp"
+#include "core/mpb.hpp"
+#include "core/pamad.hpp"
+#include "core/round_robin.hpp"
+#include "sim/hybrid.hpp"
+#include "util/table.hpp"
+#include "workload/distributions.hpp"
+
+using namespace tcsa;
+
+int main() {
+  const Workload w = make_paper_workload(GroupSizeShape::kNormal, 8, 500);
+  const SlotCount bound = min_channels(w);
+  std::cout << "# hybrid broadcast / on-demand\nworkload: " << w.describe()
+            << "\nzero-delay channel count: " << bound << '\n'
+            << "clients: Poisson 2 req/slot over 5000 slots, "
+            << "2 uplink channels, pull after deadline expires\n\n";
+
+  Table table({"broadcast channels", "scheduler", "pull %",
+               "avg pull response", "worst queue", "bcast wait (served)"});
+  for (const SlotCount channels :
+       {std::max<SlotCount>(1, bound / 8), std::max<SlotCount>(1, bound / 4),
+        std::max<SlotCount>(1, bound / 2), bound}) {
+    const PamadSchedule pamad = schedule_pamad(w, channels);
+    const MpbSchedule mpb = schedule_mpb(w, channels);
+    const RoundRobinSchedule flat = schedule_round_robin(w, channels);
+    const HybridConfig config;
+    const struct {
+      const char* name;
+      const BroadcastProgram* program;
+    } rows[] = {{"pamad", &pamad.program},
+                {"m-pb", &mpb.program},
+                {"flat rr", &flat.program}};
+    for (const auto& row : rows) {
+      const HybridResult r = simulate_hybrid(*row.program, w, config);
+      table.begin_row()
+          .add(channels)
+          .add(std::string(row.name))
+          .add(100.0 * r.pull_fraction, 2)
+          .add(r.avg_pull_response)
+          .add(r.max_pull_queue, 0)
+          .add(r.avg_broadcast_wait);
+    }
+  }
+  std::cout << table.to_string()
+            << "\nPAMAD keeps the most clients on the broadcast channel at "
+               "every budget,\nwhich is exactly why the paper optimises "
+               "time-constrained delivery on air.\n";
+  return 0;
+}

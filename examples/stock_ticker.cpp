@@ -1,0 +1,56 @@
+// stock_ticker — the paper's stock-quote scenario (Section 1).
+//
+// A brokerage broadcasts quote pages with tiered freshness contracts:
+// hot large-caps every 4 slots, sector indices within 16, fundamentals
+// within 256. The station owns fewer channels than the contracts demand, so
+// PAMAD spreads the shortfall; the example compares the delay each tier
+// absorbs under PAMAD vs the m-PB policy, and shows per-tier fairness.
+#include <iostream>
+
+#include "core/channel_bound.hpp"
+#include "core/mpb.hpp"
+#include "core/pamad.hpp"
+#include "sim/broadcast_sim.hpp"
+#include "util/table.hpp"
+
+using namespace tcsa;
+
+int main() {
+  // Freshness tiers: 40 hot tickers (4 slots), 120 sector pages (16),
+  // 240 index/derivative pages (64), 600 fundamentals pages (256).
+  const Workload market = make_workload({4, 16, 64, 256}, {40, 120, 240, 600});
+  const SlotCount bound = min_channels(market);
+  std::cout << "# stock ticker broadcast\n"
+            << "workload: " << market.describe() << '\n'
+            << "channels for zero delay (Thm 3.1): " << bound << "\n\n";
+
+  for (const SlotCount channels : {bound / 4, bound / 2, bound}) {
+    const PamadSchedule pamad = schedule_pamad(market, channels);
+    const MpbSchedule mpb = schedule_mpb(market, channels);
+    SimConfig sim;
+    sim.requests.count = 10000;
+    const SimResult rp = simulate_requests(pamad.program, market, sim);
+    const SimResult rm = simulate_requests(mpb.program, market, sim);
+
+    std::cout << "## " << channels << " channels\n";
+    Table table({"tier", "deadline", "pages", "PAMAD avg delay",
+                 "m-PB avg delay"});
+    const char* names[] = {"hot tickers", "sector pages", "indices",
+                           "fundamentals"};
+    for (GroupId g = 0; g < market.group_count(); ++g) {
+      table.begin_row()
+          .add(std::string(names[g]))
+          .add(market.expected_time(g))
+          .add(market.pages_in_group(g))
+          .add(rp.group_avg_delay[static_cast<std::size_t>(g)])
+          .add(rm.group_avg_delay[static_cast<std::size_t>(g)]);
+    }
+    std::cout << table.to_string() << "overall AvgD: PAMAD=" << rp.avg_delay
+              << "  m-PB=" << rm.avg_delay << "  (miss rates " << rp.miss_rate
+              << " / " << rm.miss_rate << ")\n\n";
+  }
+  std::cout << "PAMAD spreads the shortfall so every tier degrades "
+               "proportionally;\nm-PB's fixed frequencies stretch the whole "
+               "cycle and hit every tier harder.\n";
+  return 0;
+}

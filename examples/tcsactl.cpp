@@ -1,0 +1,153 @@
+// tcsactl — command-line front end over the whole library.
+//
+// The operational tool an open-source release ships: plan capacity, build
+// schedules, validate and simulate them, all over the tcsa v1 text formats
+// on stdin/stdout so it pipelines:
+//
+//   tcsactl --cmd bound    < workload.tcsa
+//   tcsactl --cmd schedule --method pamad --channels 3 < workload.tcsa > prog.tcsa
+//   tcsactl --cmd validate --workload workload.tcsa < prog.tcsa
+//   tcsactl --cmd simulate --workload workload.tcsa --requests 3000 < prog.tcsa
+//   tcsactl --cmd demo     (prints a sample workload document)
+#include <fstream>
+#include <iostream>
+
+#include "core/api.hpp"
+#include "core/channel_bound.hpp"
+#include "core/theory.hpp"
+#include "model/inspect.hpp"
+#include "model/serialize.hpp"
+#include "model/validate.hpp"
+#include "sim/broadcast_sim.hpp"
+#include "util/cli.hpp"
+#include "workload/trace.hpp"
+
+using namespace tcsa;
+
+namespace {
+
+Workload workload_from(const std::string& path) {
+  if (path.empty()) return load_workload(std::cin);
+  std::ifstream file(path);
+  if (!file) throw std::invalid_argument("cannot open workload file: " + path);
+  return load_workload(file);
+}
+
+int run(int argc, const char* const* argv) {
+  Cli cli("tcsactl", "plan, schedule, validate and simulate "
+                     "time-constrained broadcast programs");
+  cli.add_string("cmd", "bound",
+                 "bound | schedule | validate | simulate | inspect | plan | "
+                 "demo");
+  cli.add_string("method", "pamad", "scheduler for --cmd schedule "
+                                    "(susc|pamad|mpb|opt|rr)");
+  cli.add_int("channels", 0, "channel count (0 = Theorem 3.1 minimum)");
+  cli.add_string("workload", "",
+                 "workload file for validate/simulate (default: none; "
+                 "bound/schedule read the workload from stdin)");
+  cli.add_int("requests", 3000, "simulated requests for --cmd simulate");
+  cli.add_int("seed", 42, "simulation seed");
+  cli.add_double("budget", 0.0, "with --cmd bound: also report the channel "
+                                "count for this AvgD budget");
+  if (!cli.parse(argc, argv)) return 0;
+  const std::string cmd = cli.get_string("cmd");
+
+  if (cmd == "demo") {
+    std::cout << workload_to_string(make_workload({2, 4, 8}, {3, 5, 3}));
+    return 0;
+  }
+
+  if (cmd == "bound") {
+    const Workload w = workload_from(cli.get_string("workload"));
+    const BandwidthDemand demand = bandwidth_demand(w);
+    std::cout << "workload: " << w.describe() << '\n'
+              << "bandwidth demand: " << demand.numerator << '/'
+              << demand.denominator << " = " << demand.as_double()
+              << " channels\n"
+              << "minimum channels (Theorem 3.1): " << min_channels(w)
+              << '\n';
+    if (const double budget = cli.get_double("budget"); budget > 0.0) {
+      std::cout << "channels for AvgD <= " << budget << " (continuous bound): "
+                << channels_for_delay_budget(w, budget) << '\n';
+    }
+    return 0;
+  }
+
+  if (cmd == "schedule") {
+    const Workload w = workload_from(cli.get_string("workload"));
+    SlotCount channels = cli.get_int("channels");
+    if (channels == 0) channels = min_channels(w);
+    const ScheduleOutcome outcome =
+        make_schedule(parse_method(cli.get_string("method")), w, channels);
+    save_program(std::cout, outcome.program);
+    std::cerr << "scheduled " << method_name(outcome.method) << " on "
+              << channels << " channels, cycle " << outcome.t_major
+              << ", predicted AvgD " << outcome.predicted_delay << '\n';
+    return 0;
+  }
+
+  if (cmd == "validate") {
+    const Workload w = workload_from(cli.get_string("workload"));
+    const BroadcastProgram program = load_program(std::cin);
+    const ValidityReport report = validate_program(program, w);
+    std::cout << (report.valid ? "VALID" : "INVALID")
+              << "  worst wait: " << report.worst_wait
+              << "  worst lateness: " << report.worst_lateness << '\n';
+    for (const std::string& violation : report.violations)
+      std::cout << "violation: " << violation << '\n';
+    for (const std::string& warning : report.warnings)
+      std::cout << "warning: " << warning << '\n';
+    return report.valid ? 0 : 1;
+  }
+
+  if (cmd == "inspect") {
+    const Workload w = workload_from(cli.get_string("workload"));
+    const BroadcastProgram program = load_program(std::cin);
+    std::cout << report_to_string(inspect_program(program, w))
+              << "occupancy: " << occupancy_strip(program) << '\n';
+    return 0;
+  }
+
+  if (cmd == "plan") {
+    // stdin: raw trace lines "<name> <expected-time>"; stdout: the ladder
+    // workload ready for --cmd schedule.
+    const std::vector<TraceEntry> entries = parse_trace(std::cin);
+    const TracePlan plan = plan_from_trace(entries);
+    save_workload(std::cout, plan.rearranged.workload);
+    std::cerr << "planned " << entries.size() << " pages onto ladder c="
+              << plan.ladder_ratio << " ("
+              << plan.rearranged.workload.describe()
+              << "), mean tightening "
+              << 100.0 * (1.0 - plan.rearranged.mean_tightening_ratio)
+              << "%; minimum channels "
+              << min_channels(plan.rearranged.workload) << '\n';
+    return 0;
+  }
+
+  if (cmd == "simulate") {
+    const Workload w = workload_from(cli.get_string("workload"));
+    const BroadcastProgram program = load_program(std::cin);
+    SimConfig config;
+    config.requests.count = cli.get_int("requests");
+    config.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+    const SimResult r = simulate_requests(program, w, config);
+    std::cout << "requests: " << r.requests << "\navg wait: " << r.avg_wait
+              << "\nAvgD: " << r.avg_delay << "\nmiss rate: " << r.miss_rate
+              << "\np95 delay: " << r.p95_delay
+              << "\nmax delay: " << r.max_delay << '\n';
+    return 0;
+  }
+
+  throw std::invalid_argument("unknown --cmd: " + cmd);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "tcsactl: " << e.what() << '\n';
+    return 2;
+  }
+}

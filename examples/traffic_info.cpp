@@ -1,0 +1,70 @@
+// traffic_info — the paper's traffic-jam scenario (Section 1) plus the
+// Section 2 rearrangement pipeline.
+//
+// A city broadcasts road-condition pages. Each road segment announces its
+// own freshness need (how soon an approaching driver must hear about it) —
+// arbitrary numbers, not a neat ladder. The example rounds them onto the
+// best geometric ladder (rearrange_expected_times / best_ladder_ratio),
+// schedules with SUSC at the resulting bound, and verifies every *original*
+// deadline is still honoured.
+#include <iostream>
+
+#include "core/channel_bound.hpp"
+#include "core/susc.hpp"
+#include "model/appearance_index.hpp"
+#include "model/validate.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "workload/rearrange.hpp"
+
+using namespace tcsa;
+
+int main() {
+  // Announced freshness needs per road segment (slots): accident hot spots
+  // want very fresh data; arterial roads are looser; rural segments looser
+  // still. Values are deliberately ragged.
+  Rng rng(2026);
+  std::vector<SlotCount> announced;
+  for (int i = 0; i < 12; ++i) announced.push_back(rng.uniform_int(3, 7));
+  for (int i = 0; i < 30; ++i) announced.push_back(rng.uniform_int(9, 30));
+  for (int i = 0; i < 58; ++i) announced.push_back(rng.uniform_int(40, 200));
+
+  const SlotCount c = best_ladder_ratio(announced);
+  const RearrangedWorkload plan = rearrange_expected_times(announced, c);
+  std::cout << "# traffic information broadcast\n"
+            << "segments: " << announced.size() << ", best ladder ratio c="
+            << c << "\n"
+            << "ladder workload: " << plan.workload.describe() << '\n'
+            << "mean deadline tightening: "
+            << 100.0 * (1.0 - plan.mean_tightening_ratio)
+            << "% (bandwidth given up by rounding down)\n\n";
+
+  Table ladder({"group", "ladder deadline", "pages"});
+  for (GroupId g = 0; g < plan.workload.group_count(); ++g) {
+    ladder.begin_row()
+        .add(static_cast<std::int64_t>(g) + 1)
+        .add(plan.workload.expected_time(g))
+        .add(plan.workload.pages_in_group(g));
+  }
+  std::cout << ladder.to_string() << '\n';
+
+  const SlotCount bound = min_channels(plan.workload);
+  const BroadcastProgram program = schedule_susc(plan.workload, bound);
+  const ValidityReport report = validate_program(program, plan.workload);
+  std::cout << "channels used (Thm 3.1 minimum): " << bound
+            << ", program valid: " << (report.valid ? "yes" : "no") << '\n';
+
+  // The real requirement is the *announced* deadline, not the ladder one;
+  // verify the stronger ladder guarantee covers every original request.
+  const AppearanceIndex index(program, plan.workload.total_pages());
+  SlotCount honoured = 0;
+  for (std::size_t i = 0; i < announced.size(); ++i) {
+    const PageId page = plan.page_of_input[i];
+    if (index.max_gap(page) <= announced[i]) ++honoured;
+  }
+  std::cout << "original announced deadlines honoured: " << honoured << "/"
+            << announced.size() << '\n';
+  return report.valid && honoured == static_cast<SlotCount>(announced.size())
+             ? 0
+             : 1;
+}

@@ -1,0 +1,101 @@
+#include "client/cache.hpp"
+
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "util/contracts.hpp"
+
+namespace tcsa {
+
+CachePolicy parse_cache_policy(const std::string& name) {
+  if (name == "lru") return CachePolicy::kLru;
+  if (name == "pix") return CachePolicy::kPix;
+  throw std::invalid_argument("unknown cache policy: " + name);
+}
+
+std::string cache_policy_name(CachePolicy policy) {
+  switch (policy) {
+    case CachePolicy::kLru: return "lru";
+    case CachePolicy::kPix: return "pix";
+  }
+  throw std::invalid_argument("unknown CachePolicy value");
+}
+
+ClientCache::ClientCache(std::size_t capacity, CachePolicy policy,
+                         std::vector<double> access_prob,
+                         std::vector<double> broadcast_freq)
+    : capacity_(capacity),
+      policy_(policy),
+      access_prob_(std::move(access_prob)),
+      broadcast_freq_(std::move(broadcast_freq)) {
+  TCSA_REQUIRE(capacity >= 1, "ClientCache: capacity must be >= 1");
+  if (policy == CachePolicy::kPix) {
+    TCSA_REQUIRE(access_prob_.size() == broadcast_freq_.size(),
+                 "ClientCache: PIX vectors must be the same length");
+    TCSA_REQUIRE(!access_prob_.empty(),
+                 "ClientCache: PIX needs access/frequency vectors");
+  }
+}
+
+double ClientCache::pix_score(PageId page) const {
+  TCSA_ASSERT(page < access_prob_.size(),
+              "ClientCache: PIX vectors do not cover this page");
+  const double freq = broadcast_freq_[page];
+  TCSA_ASSERT(freq > 0.0, "ClientCache: PIX frequency must be positive");
+  return access_prob_[page] / freq;
+}
+
+bool ClientCache::lookup(PageId page) {
+  ++clock_;
+  const auto it = entries_.find(page);
+  if (it == entries_.end()) {
+    ++misses_;
+    return false;
+  }
+  ++hits_;
+  it->second = clock_;  // recency for LRU
+  return true;
+}
+
+void ClientCache::evict_one() {
+  TCSA_ASSERT(!entries_.empty(), "ClientCache: evicting from empty cache");
+  auto victim = entries_.begin();
+  if (policy_ == CachePolicy::kLru) {
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->second < victim->second) victim = it;
+    }
+  } else {  // kPix: lowest value-per-refetch-cost; recency breaks ties.
+    double victim_score = pix_score(victim->first);
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      const double score = pix_score(it->first);
+      if (score < victim_score ||
+          (score == victim_score && it->second < victim->second)) {
+        victim = it;
+        victim_score = score;
+      }
+    }
+  }
+  entries_.erase(victim);
+  ++evictions_;
+}
+
+void ClientCache::insert(PageId page) {
+  if (policy_ == CachePolicy::kPix) {
+    TCSA_REQUIRE(page < access_prob_.size(),
+                 "ClientCache: PIX vectors do not cover this page");
+  }
+  ++clock_;
+  auto [it, inserted] = entries_.try_emplace(page, clock_);
+  if (!inserted) {
+    it->second = clock_;
+    return;
+  }
+  if (entries_.size() > capacity_) {
+    // The just-inserted page competes like any other; PIX may bounce it
+    // straight back out if it is cheap to refetch.
+    evict_one();
+  }
+}
+
+}  // namespace tcsa

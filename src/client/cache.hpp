@@ -1,0 +1,80 @@
+// cache.hpp — client-side page cache for broadcast environments.
+//
+// The Broadcast Disks work the paper builds on ([1], [3]) showed that
+// client caching in a push system must weigh not just how often a page is
+// used but how *expensive* it is to re-acquire from the air. Two policies:
+//
+//  * kLru — classic recency eviction; ignores broadcast cost.
+//  * kPix — Acharya et al.'s P-inverse-X: evict the cached page with the
+//    smallest (access probability) / (broadcast frequency). A page aired
+//    every few slots is cheap to refetch and gets evicted even if popular;
+//    a popular page aired once a cycle is retained at all costs.
+//
+// The cache is a small exact structure (capacities are tens to hundreds of
+// pages), so O(capacity) eviction scans are deliberate simplicity.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "model/types.hpp"
+
+namespace tcsa {
+
+enum class CachePolicy { kLru, kPix };
+
+/// Parses "lru" / "pix".
+CachePolicy parse_cache_policy(const std::string& name);
+
+/// Canonical lower-case name.
+std::string cache_policy_name(CachePolicy policy);
+
+/// Fixed-capacity page cache with pluggable eviction.
+class ClientCache {
+ public:
+  /// For kPix, `access_prob[p] / broadcast_freq[p]` ranks page p; both
+  /// vectors must then cover every page id ever inserted and be positive
+  /// where used. For kLru they may be empty.
+  ClientCache(std::size_t capacity, CachePolicy policy,
+              std::vector<double> access_prob = {},
+              std::vector<double> broadcast_freq = {});
+
+  /// True when `page` is cached; records the access for LRU recency and
+  /// for hit statistics.
+  bool lookup(PageId page);
+
+  /// Inserts `page` (no-op if present), evicting per policy when full.
+  void insert(PageId page);
+
+  bool contains(PageId page) const { return entries_.count(page) > 0; }
+  std::size_t size() const noexcept { return entries_.size(); }
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  std::uint64_t hits() const noexcept { return hits_; }
+  std::uint64_t misses() const noexcept { return misses_; }
+  std::uint64_t evictions() const noexcept { return evictions_; }
+  double hit_rate() const noexcept {
+    const std::uint64_t total = hits_ + misses_;
+    return total ? static_cast<double>(hits_) / static_cast<double>(total)
+                 : 0.0;
+  }
+
+ private:
+  double pix_score(PageId page) const;
+  void evict_one();
+
+  std::size_t capacity_;
+  CachePolicy policy_;
+  std::vector<double> access_prob_;
+  std::vector<double> broadcast_freq_;
+  std::unordered_map<PageId, std::uint64_t> entries_;  // page -> last use
+  std::uint64_t clock_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace tcsa

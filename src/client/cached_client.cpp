@@ -1,0 +1,65 @@
+#include "client/cached_client.hpp"
+
+#include "model/appearance_index.hpp"
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace tcsa {
+
+CachedClientResult simulate_cached_client(const BroadcastProgram& program,
+                                          const Workload& workload,
+                                          const CachedClientConfig& config) {
+  TCSA_REQUIRE(config.requests >= 1,
+               "cached client: need at least one request");
+  TCSA_REQUIRE(config.think_time >= 0.0,
+               "cached client: think time must be >= 0");
+
+  const AppearanceIndex index(program, workload.total_pages());
+  Rng rng(config.seed);
+
+  const std::vector<double> popularity =
+      access_weights(workload, config.popularity, config.zipf_theta);
+  const DiscreteSampler sampler(popularity);
+
+  // PIX inputs: true access weights and the program's actual frequencies.
+  std::vector<double> frequency(
+      static_cast<std::size_t>(workload.total_pages()), 1.0);
+  for (PageId page = 0; page < workload.total_pages(); ++page)
+    frequency[page] = static_cast<double>(index.count(page));
+
+  ClientCache cache(config.cache_capacity, config.policy, popularity,
+                    frequency);
+
+  CachedClientResult result;
+  result.requests = static_cast<std::uint64_t>(config.requests);
+  double now = 0.0;
+  double wait_sum = 0.0;
+  double miss_wait_sum = 0.0;
+  double uncached_sum = 0.0;
+  std::uint64_t miss_count = 0;
+  for (SlotCount i = 0; i < config.requests; ++i) {
+    const auto page = static_cast<PageId>(sampler.sample(rng));
+    const double on_air = index.wait_after(page, now);
+    uncached_sum += on_air;
+    if (cache.lookup(page)) {
+      // Hit: served locally, no air time.
+    } else {
+      ++miss_count;
+      wait_sum += on_air;
+      miss_wait_sum += on_air;
+      now += on_air;
+      cache.insert(page);
+    }
+    if (config.think_time > 0.0)
+      now += rng.exponential(1.0 / config.think_time);
+  }
+  result.hit_rate = cache.hit_rate();
+  result.avg_wait = wait_sum / static_cast<double>(config.requests);
+  result.avg_miss_wait =
+      miss_count ? miss_wait_sum / static_cast<double>(miss_count) : 0.0;
+  result.avg_uncached_wait =
+      uncached_sum / static_cast<double>(config.requests);
+  return result;
+}
+
+}  // namespace tcsa

@@ -1,0 +1,80 @@
+#include "core/api.hpp"
+
+#include <stdexcept>
+
+#include "core/delay_model.hpp"
+#include "core/mpb.hpp"
+#include "core/opt.hpp"
+#include "core/pamad.hpp"
+#include "core/round_robin.hpp"
+#include "core/susc.hpp"
+
+namespace tcsa {
+
+Method parse_method(const std::string& name) {
+  if (name == "susc") return Method::kSusc;
+  if (name == "pamad") return Method::kPamad;
+  if (name == "mpb") return Method::kMpb;
+  if (name == "opt") return Method::kOpt;
+  if (name == "rr") return Method::kRoundRobin;
+  throw std::invalid_argument("unknown scheduling method: " + name);
+}
+
+std::string method_name(Method method) {
+  switch (method) {
+    case Method::kSusc: return "susc";
+    case Method::kPamad: return "pamad";
+    case Method::kMpb: return "mpb";
+    case Method::kOpt: return "opt";
+    case Method::kRoundRobin: return "rr";
+  }
+  throw std::invalid_argument("unknown Method value");
+}
+
+ScheduleOutcome make_schedule(Method method, const Workload& workload,
+                              SlotCount channels) {
+  switch (method) {
+    case Method::kSusc: {
+      BroadcastProgram program = schedule_susc(workload, channels);
+      std::vector<SlotCount> S = mpb_frequencies(workload);  // S_i = t_h/t_i
+      const SlotCount cycle = program.cycle_length();
+      const double predicted = analytic_average_delay(workload, S, channels);
+      return ScheduleOutcome{method, std::move(program), std::move(S), cycle,
+                             0, predicted};
+    }
+    case Method::kPamad: {
+      PamadSchedule s = schedule_pamad(workload, channels);
+      return ScheduleOutcome{method,
+                             std::move(s.program),
+                             std::move(s.frequencies.S),
+                             s.frequencies.t_major,
+                             s.window_overflows,
+                             s.frequencies.predicted_delay};
+    }
+    case Method::kMpb: {
+      MpbSchedule s = schedule_mpb(workload, channels);
+      return ScheduleOutcome{method,          std::move(s.program),
+                             std::move(s.S),  s.t_major,
+                             s.window_overflows, s.predicted_delay};
+    }
+    case Method::kOpt: {
+      OptSchedule s = schedule_opt(workload, channels);
+      const SlotCount cycle = s.program.cycle_length();
+      return ScheduleOutcome{method,
+                             std::move(s.program),
+                             std::move(s.search.S),
+                             cycle,
+                             s.window_overflows,
+                             s.search.predicted_delay};
+    }
+    case Method::kRoundRobin: {
+      RoundRobinSchedule s = schedule_round_robin(workload, channels);
+      return ScheduleOutcome{method,         std::move(s.program),
+                             std::move(s.S), s.t_major,
+                             0,              s.predicted_delay};
+    }
+  }
+  throw std::invalid_argument("unknown Method value");
+}
+
+}  // namespace tcsa

@@ -1,0 +1,46 @@
+// api.hpp — uniform front door over every scheduler in the library.
+//
+// Benches, examples and the sweep driver all build schedules the same way:
+// pick a Method, hand over a workload and a channel count, get back the
+// program plus the frequency vector and diagnostics. SUSC is only legal at
+// or above the Theorem 3.1 bound; the dispatch function enforces that.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/program.hpp"
+#include "model/workload.hpp"
+
+namespace tcsa {
+
+enum class Method {
+  kSusc,        ///< Section 3 optimal scheduler (sufficient channels only)
+  kPamad,       ///< Section 4 heuristic (any channel count)
+  kMpb,         ///< modified periodic broadcast baseline
+  kOpt,         ///< exhaustive/refined frequency search
+  kRoundRobin,  ///< flat broadcast-disk floor
+};
+
+/// Parses "susc" / "pamad" / "mpb" / "opt" / "rr".
+Method parse_method(const std::string& name);
+
+/// Canonical lower-case name.
+std::string method_name(Method method);
+
+/// Everything a caller needs to evaluate one schedule.
+struct ScheduleOutcome {
+  Method method = Method::kPamad;
+  BroadcastProgram program;
+  std::vector<SlotCount> frequencies;  ///< per-group S_i
+  SlotCount t_major = 0;               ///< program cycle length
+  SlotCount window_overflows = 0;      ///< Algorithm 4 diagnostics
+  double predicted_delay = 0.0;        ///< analytic model at S
+};
+
+/// Builds a schedule with the chosen method.
+/// Preconditions: channels >= 1; for kSusc, channels >= min_channels.
+ScheduleOutcome make_schedule(Method method, const Workload& workload,
+                              SlotCount channels);
+
+}  // namespace tcsa

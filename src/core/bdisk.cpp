@@ -1,0 +1,61 @@
+#include "core/bdisk.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "core/delay_model.hpp"
+#include "core/mpb.hpp"
+#include "util/contracts.hpp"
+
+namespace tcsa {
+
+BdiskSchedule schedule_bdisk(const Workload& workload, SlotCount channels) {
+  TCSA_REQUIRE(channels >= 1, "schedule_bdisk: need at least one channel");
+
+  // Relative frequencies; by the ladder property every rel_i divides
+  // rel_0 = t_h / t_1, so max_rel doubles as the LCM.
+  const std::vector<SlotCount> rel = mpb_frequencies(workload);
+  const SlotCount max_rel = rel.front();
+
+  // Partition each disk (group) into chunks_i = max_rel / rel_i chunks.
+  const GroupId h = workload.group_count();
+  std::vector<SlotCount> chunk_count(static_cast<std::size_t>(h));
+  for (GroupId g = 0; g < h; ++g) {
+    TCSA_ASSERT(max_rel % rel[static_cast<std::size_t>(g)] == 0,
+                "schedule_bdisk: ladder violated");
+    chunk_count[static_cast<std::size_t>(g)] =
+        max_rel / rel[static_cast<std::size_t>(g)];
+  }
+
+  // Flat slot sequence: minor cycle m emits chunk (m mod chunks_i) of every
+  // disk. Chunk c of disk g holds its pages [c * size, (c+1) * size) with
+  // size = ceil(P_g / chunks_g); trailing chunks may run short.
+  std::vector<PageId> sequence;
+  for (SlotCount minor = 0; minor < max_rel; ++minor) {
+    for (GroupId g = 0; g < h; ++g) {
+      const SlotCount chunks = chunk_count[static_cast<std::size_t>(g)];
+      const SlotCount pages = workload.pages_in_group(g);
+      const SlotCount chunk_size = (pages + chunks - 1) / chunks;
+      const SlotCount chunk = minor % chunks;
+      const SlotCount begin = chunk * chunk_size;
+      const SlotCount end = std::min(begin + chunk_size, pages);
+      for (SlotCount j = begin; j < end; ++j)
+        sequence.push_back(workload.first_page(g) + static_cast<PageId>(j));
+    }
+  }
+
+  // Stripe the flat sequence over the channels, column-major: slot k airs
+  // on channel k % N in column k / N, preserving the interleave order.
+  const auto length = static_cast<SlotCount>(sequence.size());
+  const SlotCount t_major = (length + channels - 1) / channels;
+  BdiskSchedule schedule{BroadcastProgram(channels, t_major), t_major,
+                         max_rel, std::move(chunk_count), 0.0};
+  for (SlotCount k = 0; k < length; ++k) {
+    schedule.program.place(k % channels, k / channels,
+                           sequence[static_cast<std::size_t>(k)]);
+  }
+  schedule.predicted_delay = analytic_average_delay(workload, rel, channels);
+  return schedule;
+}
+
+}  // namespace tcsa

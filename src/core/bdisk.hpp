@@ -1,0 +1,38 @@
+// bdisk.hpp — Broadcast Disks baseline (Acharya, Alonso, Franklin, Zdonik).
+//
+// The paper's reference [1]: pages are mounted on "disks spinning at
+// different speeds". Mapped onto this paper's model, disk i is deadline
+// group G_i and its relative speed is the sufficient-channel frequency
+// t_h / t_i. The classic generation algorithm:
+//
+//   1. rel_i  = t_h / t_i (relative frequency of disk i),
+//   2. chunks_i = max_rel / rel_i (disk i split into that many chunks),
+//   3. minor cycle m in [0, max_rel): broadcast chunk (m mod chunks_i) of
+//      every disk i in turn.
+//
+// Every page of disk i then airs exactly rel_i times per major cycle —
+// identical copy counts to m-PB, but interleaved by chunking rather than by
+// Algorithm 4's even-spread windows, which is exactly what the comparison
+// isolates. The flat slot sequence is striped column-major over N channels.
+#pragma once
+
+#include <vector>
+
+#include "model/program.hpp"
+#include "model/workload.hpp"
+
+namespace tcsa {
+
+/// Broadcast-disk schedule plus structure diagnostics.
+struct BdiskSchedule {
+  BroadcastProgram program;
+  SlotCount t_major = 0;              ///< cycle length in columns
+  SlotCount minor_cycles = 0;         ///< max_rel (minor cycles per major)
+  std::vector<SlotCount> chunk_count; ///< chunks per disk/group
+  double predicted_delay = 0.0;       ///< analytic model at rel frequencies
+};
+
+/// Builds the broadcast-disk program on `channels` channels.
+BdiskSchedule schedule_bdisk(const Workload& workload, SlotCount channels);
+
+}  // namespace tcsa

@@ -1,0 +1,28 @@
+#include "core/channel_bound.hpp"
+
+#include "util/contracts.hpp"
+
+namespace tcsa {
+
+BandwidthDemand bandwidth_demand(const Workload& workload) {
+  const SlotCount t_h = workload.max_expected_time();
+  BandwidthDemand demand;
+  demand.denominator = t_h;
+  for (GroupId g = 0; g < workload.group_count(); ++g) {
+    const SlotCount t = workload.expected_time(g);
+    TCSA_ASSERT(t_h % t == 0, "bandwidth_demand: ladder violated");
+    demand.numerator += workload.pages_in_group(g) * (t_h / t);
+  }
+  return demand;
+}
+
+SlotCount min_channels(const Workload& workload) {
+  const BandwidthDemand demand = bandwidth_demand(workload);
+  return (demand.numerator + demand.denominator - 1) / demand.denominator;
+}
+
+bool channels_sufficient(const Workload& workload, SlotCount channels) {
+  return channels >= min_channels(workload);
+}
+
+}  // namespace tcsa

@@ -1,0 +1,42 @@
+// channel_bound.hpp — Theorem 3.1: the minimum number of broadcast channels.
+//
+// A valid broadcast program must replay every page of group G_i at least once
+// per t_i slots, i.e. group G_i consumes a P_i / t_i fraction of one
+// channel's bandwidth in steady state. Summing over groups and rounding up
+// gives the minimum channel count:
+//
+//     N = ceil( sum_i  P_i / t_i )
+//
+// (The paper states the bound as N >= sum ceil-of-the-sum; its worked example
+// ceil(2/2 + 3/4) = 2 shows the ceiling applies to the whole sum.) The
+// computation below is exact integer arithmetic over the common denominator
+// t_h, which every t_i divides by the Section-2 ladder assumption.
+#pragma once
+
+#include "model/workload.hpp"
+
+namespace tcsa {
+
+/// Minimum channels for a valid program (Theorem 3.1). Always >= 1.
+SlotCount min_channels(const Workload& workload);
+
+/// Steady-state bandwidth demand sum_i P_i / t_i in channel units, as an
+/// exact fraction numerator/denominator with denominator = t_h. Useful for
+/// reporting how tight the bound is.
+struct BandwidthDemand {
+  SlotCount numerator = 0;    ///< sum_i P_i * (t_h / t_i)
+  SlotCount denominator = 1;  ///< t_h
+
+  double as_double() const {
+    return static_cast<double>(numerator) / static_cast<double>(denominator);
+  }
+};
+
+/// Exact fractional demand underlying min_channels().
+BandwidthDemand bandwidth_demand(const Workload& workload);
+
+/// True when `channels` suffice for a valid program (channels >= Theorem 3.1
+/// bound) — the regime where SUSC applies; otherwise PAMAD territory.
+bool channels_sufficient(const Workload& workload, SlotCount channels);
+
+}  // namespace tcsa

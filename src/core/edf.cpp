@@ -1,0 +1,60 @@
+#include "core/edf.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/contracts.hpp"
+
+namespace tcsa {
+namespace {
+
+/// Min-heap entry: (virtual deadline, page). Earlier deadline = more urgent;
+/// page id breaks ties deterministically.
+struct Urgency {
+  SlotCount deadline;
+  PageId page;
+
+  bool operator>(const Urgency& other) const noexcept {
+    if (deadline != other.deadline) return deadline > other.deadline;
+    return page > other.page;
+  }
+};
+
+}  // namespace
+
+EdfSchedule schedule_edf(const Workload& workload, SlotCount channels,
+                         SlotCount window_cycles) {
+  TCSA_REQUIRE(channels >= 1, "schedule_edf: need at least one channel");
+  TCSA_REQUIRE(window_cycles >= 1, "schedule_edf: window must be >= 1 cycle");
+
+  // Base period: t_h, or — when the workload is badly over-subscribed — the
+  // round-robin period ceil(n / channels), so every page fits the window.
+  const SlotCount base =
+      std::max(workload.max_expected_time(),
+               (workload.total_pages() + channels - 1) / channels);
+  const SlotCount window = window_cycles * base;
+  const SlotCount warmup = window;  // run one window, keep the second
+
+  std::priority_queue<Urgency, std::vector<Urgency>, std::greater<>> heap;
+  for (PageId page = 0; page < workload.total_pages(); ++page) {
+    // Initial virtual deadline: one full period from "never broadcast".
+    heap.push(Urgency{workload.expected_time_of(page), page});
+  }
+
+  BroadcastProgram program(channels, window);
+  for (SlotCount now = 0; now < warmup + window; ++now) {
+    for (SlotCount ch = 0; ch < channels; ++ch) {
+      if (heap.empty()) break;  // more channels than pages
+      const Urgency top = heap.top();
+      heap.pop();
+      if (now >= warmup) program.place(ch, now - warmup, top.page);
+      // Rebroadcast due one expected time after this transmission completes.
+      heap.push(
+          Urgency{now + 1 + workload.expected_time_of(top.page), top.page});
+    }
+  }
+
+  return EdfSchedule{std::move(program), window, 0.0};
+}
+
+}  // namespace tcsa

@@ -1,0 +1,102 @@
+#include "core/incremental.hpp"
+
+#include <algorithm>
+
+#include "core/susc.hpp"
+#include "util/contracts.hpp"
+
+namespace tcsa {
+
+MaintainedSchedule::MaintainedSchedule(const Workload& workload,
+                                       BroadcastProgram program)
+    : workload_(workload), program_(std::move(program)) {
+  TCSA_REQUIRE(program_.cycle_length() == workload.max_expected_time(),
+               "MaintainedSchedule: program cycle must be t_h (SUSC shape)");
+  live_.assign(static_cast<std::size_t>(workload.group_count()), 0);
+  // Count live pages per group from the program itself.
+  std::vector<bool> seen(static_cast<std::size_t>(workload.total_pages()),
+                         false);
+  for (SlotCount ch = 0; ch < program_.channels(); ++ch) {
+    for (SlotCount s = 0; s < program_.cycle_length(); ++s) {
+      const PageId page = program_.at(ch, s);
+      if (page == kNoPage || seen[page]) continue;
+      seen[page] = true;
+      ++live_[static_cast<std::size_t>(workload.group_of(page))];
+    }
+  }
+}
+
+MaintainedSchedule::MaintainedSchedule(const Workload& workload,
+                                       SlotCount channels)
+    : MaintainedSchedule(workload, schedule_susc(workload, channels)) {}
+
+SlotCount MaintainedSchedule::live_pages(GroupId g) const {
+  TCSA_REQUIRE(g >= 0 && g < workload_.group_count(),
+               "MaintainedSchedule: group out of range");
+  return live_[static_cast<std::size_t>(g)];
+}
+
+bool MaintainedSchedule::remove_page(PageId page) {
+  TCSA_REQUIRE(page < workload_.total_pages(),
+               "MaintainedSchedule: unknown page id");
+  bool found = false;
+  for (SlotCount ch = 0; ch < program_.channels() && !found; ++ch) {
+    for (SlotCount s = 0; s < program_.cycle_length(); ++s) {
+      if (program_.at(ch, s) != page) continue;
+      // Theorem 3.3: the page lives on this channel only, every t_i slots
+      // from its first appearance — clear the whole progression.
+      const SlotCount t = workload_.expected_time_of(page);
+      for (SlotCount k = s; k < program_.cycle_length(); k += t) {
+        TCSA_ASSERT(program_.at(ch, k) == page,
+                    "MaintainedSchedule: broken SUSC progression");
+        program_.clear(ch, k);
+      }
+      found = true;
+      break;
+    }
+  }
+  if (found) --live_[static_cast<std::size_t>(workload_.group_of(page))];
+  return found;
+}
+
+std::optional<std::pair<SlotCount, SlotCount>>
+MaintainedSchedule::find_free_progression(GroupId g) const {
+  const SlotCount t = workload_.expected_time(g);
+  for (SlotCount ch = 0; ch < program_.channels(); ++ch) {
+    for (SlotCount s = 0; s < t; ++s) {
+      // Unlike fresh SUSC construction, removals can leave the head slot
+      // free while a later progression slot is taken by another group's
+      // page; verify the whole progression.
+      bool free = true;
+      for (SlotCount k = s; k < program_.cycle_length() && free; k += t)
+        free = program_.empty_at(ch, k);
+      if (free) return {{ch, s}};
+    }
+  }
+  return std::nullopt;
+}
+
+bool MaintainedSchedule::can_add(GroupId g) const {
+  TCSA_REQUIRE(g >= 0 && g < workload_.group_count(),
+               "MaintainedSchedule: group out of range");
+  return find_free_progression(g).has_value();
+}
+
+std::optional<SlotCount> MaintainedSchedule::add_page(GroupId g, PageId page) {
+  TCSA_REQUIRE(g >= 0 && g < workload_.group_count(),
+               "MaintainedSchedule: group out of range");
+  TCSA_REQUIRE(page < workload_.total_pages(),
+               "MaintainedSchedule: page id outside the catalogue range");
+  TCSA_REQUIRE(workload_.group_of(page) == g,
+               "MaintainedSchedule: page id belongs to a different group");
+  const auto slot = find_free_progression(g);
+  if (!slot) return std::nullopt;
+  const auto [ch, s] = *slot;
+  const SlotCount t = workload_.expected_time(g);
+  for (SlotCount k = s; k < program_.cycle_length(); k += t)
+    program_.place(ch, k, page);
+  ++live_[static_cast<std::size_t>(g)];
+  return ch;
+}
+
+}  // namespace tcsa

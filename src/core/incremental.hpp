@@ -1,0 +1,65 @@
+// incremental.hpp — online maintenance of a SUSC program under page churn.
+//
+// Catalogues change: a traffic incident page appears, a stale stock page
+// retires. Rebuilding the whole broadcast program churns every client's
+// cached schedule; SUSC's structure (each page owns an arithmetic
+// progression of slots on one channel — Theorem 3.3) makes point updates
+// cheap and safe instead:
+//
+//  * remove_page — clear the page's progression. The program stays valid
+//    for everyone else (slack only grows).
+//  * add_page — claim a free progression for the new page via the same
+//    GetAvailableSlot scan SUSC uses. Succeeds iff a slot is free in the
+//    first t_i columns of some channel whose progression is entirely free;
+//    otherwise the caller must re-run SUSC with more channels (the
+//    Theorem 3.1 bound may have moved).
+//
+// The maintained program always stays valid for the current catalogue —
+// enforced by assertions and checked property-style in tests.
+#pragma once
+
+#include <optional>
+
+#include "model/program.hpp"
+#include "model/workload.hpp"
+
+namespace tcsa {
+
+/// A SUSC program plus the catalogue bookkeeping needed for churn.
+class MaintainedSchedule {
+ public:
+  /// Takes over a freshly built SUSC program for `workload`. The workload
+  /// fixes the deadline ladder; pages may later be added/removed per group.
+  MaintainedSchedule(const Workload& workload, BroadcastProgram program);
+
+  /// Convenience: builds the initial program with SUSC at `channels`.
+  MaintainedSchedule(const Workload& workload, SlotCount channels);
+
+  const BroadcastProgram& program() const noexcept { return program_; }
+
+  /// Live pages currently broadcast in group `g`.
+  SlotCount live_pages(GroupId g) const;
+
+  /// Stops broadcasting `page`. Returns false when the page is absent
+  /// (already removed). O(t_h / t_i) slot clears.
+  bool remove_page(PageId page);
+
+  /// Starts broadcasting a page of group `g` under id `page` (an id unused
+  /// in the program; typically a fresh one or a previously removed one).
+  /// Returns the channel used, or nullopt when no free progression exists —
+  /// the signal to re-provision channels. O(N * t_i) scan.
+  std::optional<SlotCount> add_page(GroupId g, PageId page);
+
+  /// True when a further group-`g` page could be added right now.
+  bool can_add(GroupId g) const;
+
+ private:
+  std::optional<std::pair<SlotCount, SlotCount>> find_free_progression(
+      GroupId g) const;
+
+  Workload workload_;  // the deadline ladder (page counts are advisory)
+  BroadcastProgram program_;
+  std::vector<SlotCount> live_;  // per-group live-page counts
+};
+
+}  // namespace tcsa

@@ -1,0 +1,31 @@
+#include "core/mpb.hpp"
+
+#include "core/delay_model.hpp"
+#include "util/contracts.hpp"
+
+namespace tcsa {
+
+std::vector<SlotCount> mpb_frequencies(const Workload& workload) {
+  const SlotCount t_h = workload.max_expected_time();
+  std::vector<SlotCount> S(static_cast<std::size_t>(workload.group_count()));
+  for (GroupId g = 0; g < workload.group_count(); ++g) {
+    const SlotCount t = workload.expected_time(g);
+    TCSA_ASSERT(t_h % t == 0, "mpb_frequencies: ladder violated");
+    S[static_cast<std::size_t>(g)] = t_h / t;
+  }
+  return S;
+}
+
+MpbSchedule schedule_mpb(const Workload& workload, SlotCount channels) {
+  TCSA_REQUIRE(channels >= 1, "schedule_mpb: need at least one channel");
+  std::vector<SlotCount> S = mpb_frequencies(workload);
+  PlacementResult placed = place_even_spread(workload, S, channels);
+  MpbSchedule schedule{std::move(S), std::move(placed.program),
+                       placed.window_overflows, 0, 0.0};
+  schedule.t_major = major_cycle(workload, schedule.S, channels);
+  schedule.predicted_delay =
+      analytic_average_delay(workload, schedule.S, channels);
+  return schedule;
+}
+
+}  // namespace tcsa

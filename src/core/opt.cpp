@@ -1,0 +1,256 @@
+#include "core/opt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/delay_model.hpp"
+#include "core/theory.hpp"
+#include "util/contracts.hpp"
+#include "util/log.hpp"
+
+namespace tcsa {
+namespace {
+
+/// Candidate tracker: minimise delay, tie-break on fewer total slots (a
+/// shorter cycle wastes less bandwidth for the same delay).
+struct Best {
+  std::vector<SlotCount> S;
+  double delay = std::numeric_limits<double>::infinity();
+  SlotCount slots = std::numeric_limits<SlotCount>::max();
+
+  void offer(const Workload& workload, std::span<const SlotCount> candidate,
+             double candidate_delay) {
+    const SlotCount candidate_slots = total_slots(workload, candidate);
+    if (candidate_delay < delay ||
+        (candidate_delay == delay && candidate_slots < slots)) {
+      delay = candidate_delay;
+      slots = candidate_slots;
+      S.assign(candidate.begin(), candidate.end());
+    }
+  }
+};
+
+/// Prefix version of the exact objective for pruning the ladder search.
+double prefix_delay(const Workload& workload, std::span<const SlotCount> S,
+                    SlotCount channels, GroupId upto) {
+  SlotCount slots = 0;
+  SlotCount pages = 0;
+  for (GroupId g = 0; g <= upto; ++g) {
+    slots += S[static_cast<std::size_t>(g)] * workload.pages_in_group(g);
+    pages += workload.pages_in_group(g);
+  }
+  const auto t_major = static_cast<double>((slots + channels - 1) / channels);
+  double sum = 0.0;
+  for (GroupId g = 0; g <= upto; ++g) {
+    const double spacing =
+        t_major / static_cast<double>(S[static_cast<std::size_t>(g)]);
+    sum += static_cast<double>(workload.pages_in_group(g)) *
+           even_spacing_delay(spacing, workload.expected_time(g));
+  }
+  return sum / static_cast<double>(pages);
+}
+
+constexpr std::uint64_t kEvaluationBudget = 5'000'000;
+
+/// Depth-first enumeration of every multiplicative ladder, stage caps as in
+/// Algorithm 3, branches cut once the prefix already meets all deadlines
+/// (larger ratios only burn bandwidth) or the evaluation budget is spent.
+class LadderSearch {
+ public:
+  LadderSearch(const Workload& workload, SlotCount channels)
+      : workload_(workload), channels_(channels),
+        h_(workload.group_count()),
+        r_(static_cast<std::size_t>(std::max<GroupId>(h_ - 1, 0)), 1),
+        S_(static_cast<std::size_t>(h_), 1) {}
+
+  void run(Best& best) {
+    if (h_ == 1) {
+      best.offer(workload_, S_,
+                 analytic_average_delay(workload_, S_, channels_));
+      ++evaluations_;
+      return;
+    }
+    descend(1, best);
+    if (budget_exhausted_) {
+      TCSA_LOG(kWarn) << "opt ladder search: evaluation budget reached; "
+                         "result refined by hill climb only";
+    }
+  }
+
+  std::uint64_t evaluations() const noexcept { return evaluations_; }
+
+ private:
+  void fill_prefix(GroupId upto) {
+    S_[static_cast<std::size_t>(upto)] = 1;
+    for (GroupId j = upto - 1; j >= 0; --j)
+      S_[static_cast<std::size_t>(j)] =
+          S_[static_cast<std::size_t>(j) + 1] * r_[static_cast<std::size_t>(j)];
+  }
+
+  void descend(GroupId stage, Best& best) {
+    if (budget_exhausted_) return;
+    // Sub-program size with the ratios fixed so far.
+    fill_prefix(stage - 1);
+    SlotCount f_prev = 0;
+    for (GroupId j = 0; j < stage; ++j)
+      f_prev += S_[static_cast<std::size_t>(j)] * workload_.pages_in_group(j);
+    const SlotCount budget =
+        channels_ * workload_.expected_time(stage) -
+        workload_.pages_in_group(stage);
+    const SlotCount cap = budget <= 0 ? 1 : (budget + f_prev - 1) / f_prev;
+
+    const SlotCount ladder_step = workload_.expected_time(stage) /
+                                  workload_.expected_time(stage - 1);
+    for (SlotCount rho = 1; rho <= cap; ++rho) {
+      r_[static_cast<std::size_t>(stage) - 1] = rho;
+      fill_prefix(stage);
+      if (stage == h_ - 1) {
+        ++evaluations_;
+        if (evaluations_ > kEvaluationBudget) {
+          budget_exhausted_ = true;
+          return;
+        }
+        best.offer(workload_, S_,
+                   analytic_average_delay(workload_, S_, channels_));
+      } else {
+        descend(stage + 1, best);
+        if (budget_exhausted_) return;
+      }
+      // Once the prefix meets every deadline AND rho has reached the
+      // deadline-ladder step, a larger rho can only consume bandwidth the
+      // remaining groups need. (Stopping at the first zero alone is
+      // unsound: ceil() effects can make rho = 1 a zero while the balanced
+      // step still improves later stages.)
+      if (rho >= ladder_step &&
+          prefix_delay(workload_, S_, channels_, stage) == 0.0) {
+        break;
+      }
+    }
+  }
+
+  const Workload& workload_;
+  SlotCount channels_;
+  GroupId h_;
+  std::vector<SlotCount> r_;
+  std::vector<SlotCount> S_;
+  std::uint64_t evaluations_ = 0;
+  bool budget_exhausted_ = false;
+};
+
+/// Integerises the continuous waterfilling spacings (see core/theory.hpp)
+/// at successively finer scales K:
+/// S_i = round(K * g_max / g_i) >= 1, so frequency ratios approach the
+/// continuous optimum as K grows. Every candidate is offered to `best`.
+void offer_waterfilling_candidates(const Workload& workload,
+                                   SlotCount channels, Best& best,
+                                   std::uint64_t& evaluations) {
+  const std::vector<double> spacings = waterfilling_spacings(workload, channels);
+  if (spacings.empty()) return;
+  const double g_max = *std::max_element(spacings.begin(), spacings.end());
+  std::vector<SlotCount> S(spacings.size());
+  constexpr SlotCount kMaxScale = 64;
+  for (SlotCount scale = 1; scale <= kMaxScale; ++scale) {
+    for (std::size_t g = 0; g < spacings.size(); ++g) {
+      S[g] = std::max<SlotCount>(
+          1, static_cast<SlotCount>(
+                 std::llround(static_cast<double>(scale) * g_max / spacings[g])));
+    }
+    ++evaluations;
+    best.offer(workload, S, analytic_average_delay(workload, S, channels));
+  }
+}
+
+/// Coordinate hill climb: try S_g +- 1, S_g * 2, S_g / 2 for every group,
+/// take the best improving move, repeat to a local optimum.
+void hill_climb(const Workload& workload, SlotCount channels, Best& best,
+                std::uint64_t& evaluations) {
+  TCSA_ASSERT(!best.S.empty(), "hill_climb: seed solution required");
+  bool improved = true;
+  std::vector<SlotCount> trial = best.S;
+  while (improved) {
+    improved = false;
+    Best round = best;
+    for (std::size_t g = 0; g < trial.size(); ++g) {
+      const SlotCount original = best.S[g];
+      const SlotCount moves[] = {original + 1, original - 1, original * 2,
+                                 original / 2};
+      for (const SlotCount candidate : moves) {
+        if (candidate < 1 || candidate == original) continue;
+        trial = best.S;
+        trial[g] = candidate;
+        ++evaluations;
+        round.offer(workload, trial,
+                    analytic_average_delay(workload, trial, channels));
+      }
+    }
+    if (round.delay < best.delay ||
+        (round.delay == best.delay && round.slots < best.slots)) {
+      best = round;
+      improved = true;
+    }
+  }
+}
+
+}  // namespace
+
+OptResult brute_force_frequencies(const Workload& workload, SlotCount channels,
+                                  SlotCount max_freq) {
+  TCSA_REQUIRE(channels >= 1, "brute_force: need at least one channel");
+  TCSA_REQUIRE(max_freq >= 1, "brute_force: max_freq must be >= 1");
+  const GroupId h = workload.group_count();
+  double candidates = 1.0;
+  for (GroupId g = 0; g < h; ++g) candidates *= static_cast<double>(max_freq);
+  TCSA_REQUIRE(candidates <= 50e6,
+               "brute_force: search space too large — this is a test oracle");
+
+  Best best;
+  std::vector<SlotCount> S(static_cast<std::size_t>(h), 1);
+  std::uint64_t evaluations = 0;
+  while (true) {
+    ++evaluations;
+    best.offer(workload, S, analytic_average_delay(workload, S, channels));
+    // Odometer increment.
+    GroupId g = 0;
+    for (; g < h; ++g) {
+      auto& digit = S[static_cast<std::size_t>(g)];
+      if (digit < max_freq) {
+        ++digit;
+        break;
+      }
+      digit = 1;
+    }
+    if (g == h) break;
+  }
+  return OptResult{std::move(best.S), best.delay, evaluations};
+}
+
+OptResult opt_frequencies(const Workload& workload, SlotCount channels) {
+  TCSA_REQUIRE(channels >= 1, "opt_frequencies: need at least one channel");
+  Best best;
+  LadderSearch ladder(workload, channels);
+  ladder.run(best);
+  return OptResult{std::move(best.S), best.delay, ladder.evaluations()};
+}
+
+OptResult opt_frequencies_unconstrained(const Workload& workload,
+                                        SlotCount channels) {
+  TCSA_REQUIRE(channels >= 1,
+               "opt_frequencies_unconstrained: need at least one channel");
+  Best best;
+  LadderSearch ladder(workload, channels);
+  ladder.run(best);
+  std::uint64_t evaluations = ladder.evaluations();
+  offer_waterfilling_candidates(workload, channels, best, evaluations);
+  hill_climb(workload, channels, best, evaluations);
+  return OptResult{std::move(best.S), best.delay, evaluations};
+}
+
+OptSchedule schedule_opt(const Workload& workload, SlotCount channels) {
+  OptResult search = opt_frequencies(workload, channels);
+  PlacementResult placed = place_even_spread(workload, search.S, channels);
+  return OptSchedule{std::move(search), std::move(placed.program),
+                     placed.window_overflows};
+}
+
+}  // namespace tcsa

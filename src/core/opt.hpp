@@ -1,0 +1,66 @@
+// opt.hpp — the OPT comparator: exhaustive frequency-set search (Section 5).
+//
+// The paper's OPT "exhaustively searches for a set of optimal broadcast
+// frequencies that incurs the minimum delay" at "unacceptably high" cost.
+// This module offers two levels of exactness:
+//
+//  * brute_force_frequencies — literally exhaustive over every vector in
+//    [1, max_freq]^h. Exponential; callable only on small instances (tests
+//    use it as ground truth).
+//  * opt_frequencies — paper-scale search: exhaustively enumerates every
+//    multiplicative frequency ladder S_i = prod_{j>=i} r_j (a strict
+//    superset of PAMAD's progressive choices, with per-stage caps identical
+//    to Algorithm 3's). Ladder vectors have the divisibility structure that
+//    lets Algorithm 4's windows tile the near-100%-full grid exactly, so
+//    the schedule OPT is simulated on actually achieves its predicted
+//    delay. This is the comparator used in the Figure-5 reproduction.
+//  * opt_frequencies_unconstrained — the ladder search plus a continuous
+//    waterfilling relaxation (spacings g_i = sqrt(t_i^2 + theta)) rounded
+//    at many scales, refined by coordinate hill-climbing over arbitrary
+//    integer vectors. It reaches ragged vectors (e.g. S = (12, 11, 9)) that
+//    analytically beat every ladder but *cannot be laid out evenly* on a
+//    full grid, so it serves as an analytic lower bound only.
+//
+// All variants minimise the true expected delay (analytic_average_delay),
+// since OPT exists to lower-bound the achievable AvgD.
+#pragma once
+
+#include <vector>
+
+#include "core/placement.hpp"
+#include "model/program.hpp"
+#include "model/workload.hpp"
+
+namespace tcsa {
+
+/// Search outcome.
+struct OptResult {
+  std::vector<SlotCount> S;
+  double predicted_delay = 0.0;     ///< analytic delay at S
+  std::uint64_t evaluations = 0;    ///< objective evaluations performed
+};
+
+/// Ground-truth exhaustive search over [1, max_freq]^h.
+/// Precondition: max_freq^h <= 50e6 candidate vectors (throws otherwise) —
+/// this is a test oracle, not a production path.
+OptResult brute_force_frequencies(const Workload& workload, SlotCount channels,
+                                  SlotCount max_freq);
+
+/// Paper-scale OPT: exhaustive ladder enumeration (placeable vectors only).
+OptResult opt_frequencies(const Workload& workload, SlotCount channels);
+
+/// Analytic lower bound: ladder + waterfilling + hill climb over arbitrary
+/// integer vectors. Do not place/simulate the result — see header comment.
+OptResult opt_frequencies_unconstrained(const Workload& workload,
+                                        SlotCount channels);
+
+/// Complete OPT schedule (frequencies + Algorithm 4 placement).
+struct OptSchedule {
+  OptResult search;
+  BroadcastProgram program;
+  SlotCount window_overflows = 0;
+};
+
+OptSchedule schedule_opt(const Workload& workload, SlotCount channels);
+
+}  // namespace tcsa

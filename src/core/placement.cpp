@@ -1,0 +1,113 @@
+#include "core/placement.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "core/delay_model.hpp"
+#include "util/contracts.hpp"
+#include "util/log.hpp"
+
+namespace tcsa {
+namespace {
+
+/// Groups ordered by descending frequency (Algorithm 4's sort). Stable on
+/// ties so equal-frequency groups keep ascending-deadline order.
+std::vector<GroupId> descending_frequency_order(const Workload& workload,
+                                                std::span<const SlotCount> S) {
+  std::vector<GroupId> order(static_cast<std::size_t>(workload.group_count()));
+  std::iota(order.begin(), order.end(), GroupId{0});
+  std::stable_sort(order.begin(), order.end(), [&](GroupId a, GroupId b) {
+    return S[static_cast<std::size_t>(a)] > S[static_cast<std::size_t>(b)];
+  });
+  return order;
+}
+
+/// Places `page` in the first empty slot at column >= `from`, scanning
+/// cyclically. Returns the column used.
+SlotCount place_from(BroadcastProgram& program, PageId page, SlotCount from) {
+  const SlotCount cycle = program.cycle_length();
+  for (SlotCount step = 0; step < cycle; ++step) {
+    const SlotCount column = (from + step) % cycle;
+    for (SlotCount channel = 0; channel < program.channels(); ++channel) {
+      if (program.empty_at(channel, column)) {
+        program.place(channel, column, page);
+        return column;
+      }
+    }
+  }
+  TCSA_ASSERT(false, "place_from: program is full (capacity bug)");
+  return -1;
+}
+
+}  // namespace
+
+PlacementResult place_even_spread(const Workload& workload,
+                                  std::span<const SlotCount> S,
+                                  SlotCount channels) {
+  TCSA_REQUIRE(channels >= 1, "place_even_spread: need at least one channel");
+  const SlotCount t_major = major_cycle(workload, S, channels);
+  PlacementResult result{BroadcastProgram(channels, t_major), 0};
+  BroadcastProgram& program = result.program;
+
+  for (GroupId g : descending_frequency_order(workload, S)) {
+    const SlotCount s = S[static_cast<std::size_t>(g)];
+    for (SlotCount j = 0; j < workload.pages_in_group(g); ++j) {
+      const PageId page = workload.first_page(g) + static_cast<PageId>(j);
+      for (SlotCount k = 1; k <= s; ++k) {
+        // 0-based window [lo, hi): the paper's 1-based
+        // [ceil(t_major (k-1) / S) + 1, ceil(t_major k / S)]. When S exceeds
+        // t_major (more copies than columns; only reachable with fixed
+        // frequencies like m-PB's beyond the channel bound) some windows
+        // would be empty — widen them to one column so placement stays
+        // defined; the extra copies simply duplicate within columns.
+        const SlotCount lo =
+            std::min((t_major * (k - 1) + s - 1) / s, t_major - 1);  // ceil
+        const SlotCount hi =
+            std::max(std::min((t_major * k + s - 1) / s, t_major), lo + 1);
+        bool placed = false;
+        for (SlotCount column = lo; column < hi && !placed; ++column) {
+          for (SlotCount channel = 0; channel < channels; ++channel) {
+            if (program.empty_at(channel, column)) {
+              program.place(channel, column, page);
+              placed = true;
+              break;
+            }
+          }
+        }
+        if (!placed) {
+          // Deviation from the paper (documented in DESIGN.md): fall forward
+          // cyclically instead of failing.
+          ++result.window_overflows;
+          place_from(program, page, hi % t_major);
+        }
+      }
+    }
+  }
+  if (result.window_overflows > 0) {
+    TCSA_LOG(kWarn) << "place_even_spread: " << result.window_overflows
+                    << " copies fell outside their even-spread window";
+  }
+  return result;
+}
+
+PlacementResult place_first_fit(const Workload& workload,
+                                std::span<const SlotCount> S,
+                                SlotCount channels) {
+  TCSA_REQUIRE(channels >= 1, "place_first_fit: need at least one channel");
+  const SlotCount t_major = major_cycle(workload, S, channels);
+  PlacementResult result{BroadcastProgram(channels, t_major), 0};
+
+  SlotCount cursor = 0;
+  for (GroupId g : descending_frequency_order(workload, S)) {
+    for (SlotCount j = 0; j < workload.pages_in_group(g); ++j) {
+      const PageId page = workload.first_page(g) + static_cast<PageId>(j);
+      for (SlotCount k = 0; k < S[static_cast<std::size_t>(g)]; ++k) {
+        cursor = place_from(result.program, page, cursor);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace tcsa

@@ -1,0 +1,25 @@
+#include "core/round_robin.hpp"
+
+#include "core/delay_model.hpp"
+#include "util/contracts.hpp"
+
+namespace tcsa {
+
+std::vector<SlotCount> round_robin_frequencies(const Workload& workload) {
+  return std::vector<SlotCount>(
+      static_cast<std::size_t>(workload.group_count()), 1);
+}
+
+RoundRobinSchedule schedule_round_robin(const Workload& workload,
+                                        SlotCount channels) {
+  TCSA_REQUIRE(channels >= 1, "schedule_round_robin: need a channel");
+  std::vector<SlotCount> S = round_robin_frequencies(workload);
+  PlacementResult placed = place_even_spread(workload, S, channels);
+  RoundRobinSchedule schedule{std::move(S), std::move(placed.program), 0, 0.0};
+  schedule.t_major = major_cycle(workload, schedule.S, channels);
+  schedule.predicted_delay =
+      analytic_average_delay(workload, schedule.S, channels);
+  return schedule;
+}
+
+}  // namespace tcsa

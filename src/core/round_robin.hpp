@@ -1,0 +1,32 @@
+// round_robin.hpp — flat round-robin baseline.
+//
+// Not part of the paper's comparison; included as a sanity floor. Every page
+// is broadcast exactly once per cycle of ceil(n / channels) slots — i.e. a
+// classic flat broadcast disk with no deadline awareness. Any deadline-aware
+// scheduler must beat it whenever deadlines differ.
+#pragma once
+
+#include <vector>
+
+#include "core/placement.hpp"
+#include "model/program.hpp"
+#include "model/workload.hpp"
+
+namespace tcsa {
+
+/// Flat frequencies: S_i = 1 for every group.
+std::vector<SlotCount> round_robin_frequencies(const Workload& workload);
+
+/// Flat schedule on `channels` channels (even-spread placement, which for
+/// S = 1 degenerates to a simple fill).
+struct RoundRobinSchedule {
+  std::vector<SlotCount> S;
+  BroadcastProgram program;
+  SlotCount t_major = 0;
+  double predicted_delay = 0.0;
+};
+
+RoundRobinSchedule schedule_round_robin(const Workload& workload,
+                                        SlotCount channels);
+
+}  // namespace tcsa

@@ -1,0 +1,59 @@
+#include "core/susc.hpp"
+
+#include <optional>
+
+#include "core/channel_bound.hpp"
+#include "util/contracts.hpp"
+
+namespace tcsa {
+namespace {
+
+/// Algorithm 2 (GetAvailableSlot): first empty slot scanning channels in
+/// order, columns [0, t) within each channel. Returns nullopt when every
+/// candidate slot is taken — which Theorem 3.2 rules out under sufficient
+/// channels, so callers treat nullopt as an internal error.
+std::optional<std::pair<SlotCount, SlotCount>> get_available_slot(
+    const BroadcastProgram& program, SlotCount t) {
+  for (SlotCount channel = 0; channel < program.channels(); ++channel) {
+    for (SlotCount slot = 0; slot < t; ++slot) {
+      if (program.empty_at(channel, slot)) return {{channel, slot}};
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+BroadcastProgram schedule_susc(const Workload& workload, SlotCount channels) {
+  TCSA_REQUIRE(channels >= min_channels(workload),
+               "schedule_susc: channels below the Theorem 3.1 minimum — "
+               "use PAMAD for the insufficient-channel case");
+  const SlotCount cycle = workload.max_expected_time();
+  BroadcastProgram program(channels, cycle);
+
+  // Groups are stored in ascending expected-time order already (Workload
+  // invariant), which is exactly Algorithm 1's sort.
+  for (GroupId g = 0; g < workload.group_count(); ++g) {
+    const SlotCount t = workload.expected_time(g);
+    const SlotCount replications = cycle / t;  // ceil(t_h / t_i) == exact
+    for (SlotCount j = 0; j < workload.pages_in_group(g); ++j) {
+      const PageId page = workload.first_page(g) + static_cast<PageId>(j);
+      const auto found = get_available_slot(program, t);
+      TCSA_ASSERT(found.has_value(),
+                  "schedule_susc: no slot in the first t_i columns — "
+                  "Theorem 3.2 violated (bug)");
+      const auto [x, y] = *found;
+      // Theorem 3.3: the arithmetic progression (x, y + k*t) is free; place()
+      // asserts emptiness, so a violation surfaces immediately.
+      for (SlotCount k = 0; k < replications; ++k)
+        program.place(x, y + k * t, page);
+    }
+  }
+  return program;
+}
+
+BroadcastProgram schedule_susc(const Workload& workload) {
+  return schedule_susc(workload, min_channels(workload));
+}
+
+}  // namespace tcsa

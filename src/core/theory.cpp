@@ -1,0 +1,84 @@
+#include "core/theory.hpp"
+
+#include <cmath>
+
+#include "core/channel_bound.hpp"
+#include "core/delay_model.hpp"
+#include "util/contracts.hpp"
+
+namespace tcsa {
+namespace {
+
+double demand_at(const Workload& workload, double theta) {
+  double demand = 0.0;
+  for (GroupId g = 0; g < workload.group_count(); ++g) {
+    const auto t = static_cast<double>(workload.expected_time(g));
+    demand += static_cast<double>(workload.pages_in_group(g)) /
+              std::sqrt(t * t + theta);
+  }
+  return demand;
+}
+
+}  // namespace
+
+double waterfilling_level(const Workload& workload, SlotCount channels) {
+  TCSA_REQUIRE(channels >= 1, "waterfilling_level: need at least one channel");
+  if (demand_at(workload, 0.0) <= static_cast<double>(channels)) return 0.0;
+
+  double lo = 0.0;
+  double hi = 1.0;
+  while (demand_at(workload, hi) > static_cast<double>(channels)) hi *= 2.0;
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    (demand_at(workload, mid) > static_cast<double>(channels) ? lo : hi) = mid;
+  }
+  return 0.5 * (lo + hi);
+}
+
+std::vector<double> waterfilling_spacings(const Workload& workload,
+                                          SlotCount channels) {
+  const double theta = waterfilling_level(workload, channels);
+  if (theta == 0.0) return {};
+  std::vector<double> spacings(
+      static_cast<std::size_t>(workload.group_count()));
+  for (GroupId g = 0; g < workload.group_count(); ++g) {
+    const auto t = static_cast<double>(workload.expected_time(g));
+    spacings[static_cast<std::size_t>(g)] = std::sqrt(t * t + theta);
+  }
+  return spacings;
+}
+
+double continuous_delay_lower_bound(const Workload& workload,
+                                    SlotCount channels) {
+  const std::vector<double> spacings = waterfilling_spacings(workload, channels);
+  if (spacings.empty()) return 0.0;
+  double sum = 0.0;
+  for (GroupId g = 0; g < workload.group_count(); ++g) {
+    sum += static_cast<double>(workload.pages_in_group(g)) *
+           even_spacing_delay(spacings[static_cast<std::size_t>(g)],
+                              workload.expected_time(g));
+  }
+  return sum / static_cast<double>(workload.total_pages());
+}
+
+SlotCount channels_for_delay_budget(const Workload& workload,
+                                    double delay_budget) {
+  TCSA_REQUIRE(delay_budget >= 0.0,
+               "channels_for_delay_budget: budget must be >= 0");
+  SlotCount lo = 1;
+  SlotCount hi = min_channels(workload);
+  if (continuous_delay_lower_bound(workload, lo) <= delay_budget) return lo;
+  // Invariant: bound(lo) > budget >= bound(hi); the bound is monotone
+  // non-increasing in the channel count.
+  while (hi - lo > 1) {
+    const SlotCount mid = lo + (hi - lo) / 2;
+    if (continuous_delay_lower_bound(workload, mid) <= delay_budget) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+}  // namespace tcsa

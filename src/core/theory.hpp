@@ -1,0 +1,47 @@
+// theory.hpp — closed-form analysis of the insufficient-channel regime.
+//
+// Treating broadcast spacings as continuous, the minimum-average-delay
+// problem has a clean structure: minimise
+//
+//     D(g) = sum_i (P_i / n) * (g_i - t_i)^2 / (2 g_i)
+//
+// subject to the bandwidth identity sum_i P_i / g_i = N_real. The Lagrange
+// condition collapses to a single "water level" theta >= 0 with
+//
+//     g_i* = sqrt(t_i^2 + theta),
+//
+// fixed by the constraint (monotone in theta, solved by bisection). The
+// resulting D(g*) is a true lower bound on any integer frequency
+// assignment's expected delay, used to sanity-check OPT and to answer
+// capacity-planning questions ("how many channels for a given budget?")
+// without any search.
+#pragma once
+
+#include <vector>
+
+#include "model/workload.hpp"
+
+namespace tcsa {
+
+/// Continuous-optimal spacings g_i* for the given channel count. Empty when
+/// the channels already meet the Theorem 3.1 demand (theta = 0: every
+/// deadline achievable, any deadline-meeting spacing is optimal).
+std::vector<double> waterfilling_spacings(const Workload& workload,
+                                          SlotCount channels);
+
+/// The water level theta solving the bandwidth constraint; 0.0 when the
+/// channels are sufficient.
+double waterfilling_level(const Workload& workload, SlotCount channels);
+
+/// Continuous lower bound on the average delay achievable with `channels`
+/// channels (0 when sufficient).
+double continuous_delay_lower_bound(const Workload& workload,
+                                    SlotCount channels);
+
+/// Smallest channel count whose continuous lower bound does not exceed
+/// `delay_budget` (>= 0). Always in [1, min_channels]. Monotone bisection;
+/// no scheduling involved.
+SlotCount channels_for_delay_budget(const Workload& workload,
+                                    double delay_budget);
+
+}  // namespace tcsa

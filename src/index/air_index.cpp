@@ -1,0 +1,176 @@
+#include "index/air_index.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace tcsa {
+namespace {
+
+SlotCount directory_size(const Workload& workload, const IndexConfig& config) {
+  // Validated here because this runs first in the member-initialiser list.
+  TCSA_REQUIRE(config.fanout >= 1, "air index: fanout must be >= 1");
+  TCSA_REQUIRE(config.replication >= 1,
+               "air index: replication must be >= 1");
+  if (config.strategy == IndexStrategy::kNone) return 0;
+  return (workload.total_pages() + config.fanout - 1) / config.fanout;
+}
+
+/// Builds the client-visible data layout. For kOneM, data columns shift
+/// right to make room for m directory segments; otherwise a plain copy.
+BroadcastProgram build_layout(const Workload& workload,
+                              const BroadcastProgram& data,
+                              const IndexConfig& config) {
+  TCSA_REQUIRE(config.fanout >= 1, "air index: fanout must be >= 1");
+  TCSA_REQUIRE(config.replication >= 1,
+               "air index: replication must be >= 1");
+  const SlotCount t = data.cycle_length();
+  if (config.strategy != IndexStrategy::kOneM) {
+    return data;
+  }
+  const SlotCount d = directory_size(workload, config);
+  const SlotCount m = std::min(config.replication, t);  // <= one per column
+  BroadcastProgram layout(data.channels(), t + m * d);
+  for (SlotCount ch = 0; ch < data.channels(); ++ch) {
+    for (SlotCount s = 0; s < t; ++s) {
+      const PageId page = data.at(ch, s);
+      if (page == kNoPage) continue;
+      const SlotCount segment = s * m / t;
+      layout.place(ch, s + (segment + 1) * d, page);
+    }
+  }
+  return layout;
+}
+
+std::vector<SlotCount> segment_starts(const BroadcastProgram& data,
+                                      SlotCount d, SlotCount m) {
+  std::vector<SlotCount> starts;
+  starts.reserve(static_cast<std::size_t>(m));
+  const SlotCount t = data.cycle_length();
+  for (SlotCount k = 0; k < m; ++k) {
+    // First data column of segment k is ceil(k * t / m); the directory sits
+    // immediately before it in the stretched layout.
+    starts.push_back((k * t + m - 1) / m + k * d);
+  }
+  return starts;
+}
+
+}  // namespace
+
+IndexStrategy parse_index_strategy(const std::string& name) {
+  if (name == "none") return IndexStrategy::kNone;
+  if (name == "onem") return IndexStrategy::kOneM;
+  if (name == "dedicated") return IndexStrategy::kDedicated;
+  throw std::invalid_argument("unknown index strategy: " + name);
+}
+
+std::string index_strategy_name(IndexStrategy strategy) {
+  switch (strategy) {
+    case IndexStrategy::kNone: return "none";
+    case IndexStrategy::kOneM: return "onem";
+    case IndexStrategy::kDedicated: return "dedicated";
+  }
+  throw std::invalid_argument("unknown IndexStrategy value");
+}
+
+IndexedBroadcast::IndexedBroadcast(const Workload& workload,
+                                   const BroadcastProgram& data_program,
+                                   IndexConfig config)
+    : workload_(workload),
+      config_(config),
+      directory_slots_(directory_size(workload, config)),
+      total_channels_(data_program.channels() +
+                      (config.strategy == IndexStrategy::kDedicated ? 1 : 0)),
+      layout_(build_layout(workload, data_program, config)),
+      data_index_(layout_, workload.total_pages()),
+      segment_starts_(
+          config.strategy == IndexStrategy::kOneM
+              ? segment_starts(data_program, directory_slots_,
+                               std::min(config.replication,
+                                        data_program.cycle_length()))
+              : std::vector<SlotCount>{}) {}
+
+double IndexedBroadcast::next_segment_start_after(double at) const {
+  TCSA_ASSERT(!segment_starts_.empty(), "air index: no segments for kOneM");
+  const auto cycle = static_cast<double>(cycle_length());
+  const double base = std::floor(at / cycle) * cycle;
+  const double phase = at - base;
+  const auto it = std::lower_bound(
+      segment_starts_.begin(), segment_starts_.end(), phase,
+      [](SlotCount start, double value) {
+        return static_cast<double>(start) < value;
+      });
+  if (it != segment_starts_.end()) return base + static_cast<double>(*it);
+  return base + cycle + static_cast<double>(segment_starts_.front());
+}
+
+AccessOutcome IndexedBroadcast::access(PageId page, double arrival) const {
+  TCSA_REQUIRE(page < workload_.total_pages(), "air index: unknown page");
+
+  if (config_.strategy == IndexStrategy::kNone) {
+    const double wait = data_index_.wait_after(page, arrival);
+    return AccessOutcome{wait, wait};
+  }
+
+  // 1. Initial probe: one bucket to learn the index placement. Every
+  //    bucket carries the offset of the next directory segment, so one
+  //    active slot suffices (standard (1, m) assumption).
+  const double probe_end = arrival + 1.0;
+  const SlotCount bucket = static_cast<SlotCount>(page) / config_.fanout;
+
+  // 2. Read the one directory bucket covering this page.
+  double bucket_done = 0.0;
+  if (config_.strategy == IndexStrategy::kOneM) {
+    // The bucket airs `bucket` slots into a segment; take the first segment
+    // whose bucket starts at or after the probe finishes.
+    double start = next_segment_start_after(probe_end -
+                                            static_cast<double>(bucket));
+    bucket_done = start + static_cast<double>(bucket) + 1.0;
+  } else {  // kDedicated: directory loops with period D on its own channel.
+    const auto d = static_cast<double>(directory_slots_);
+    const double earliest = probe_end;  // bucket start must be >= probe end
+    const double b = static_cast<double>(bucket);
+    const double k = std::ceil((earliest - b) / d);
+    bucket_done = std::max(k, 0.0) * d + b + 1.0;
+  }
+
+  // 3. Doze until the page itself airs.
+  const double page_wait = data_index_.wait_after(page, bucket_done);
+  const double received = bucket_done + page_wait;
+
+  // Active: probe bucket + directory bucket + the page's own slot.
+  return AccessOutcome{received - arrival, 3.0};
+}
+
+IndexSimResult IndexedBroadcast::simulate(SlotCount count,
+                                          std::uint64_t seed) const {
+  TCSA_REQUIRE(count >= 1, "air index: need at least one request");
+  Rng rng(seed);
+  IndexSimResult result;
+  result.requests = static_cast<std::size_t>(count);
+  const auto cycle = static_cast<double>(cycle_length());
+  std::size_t misses = 0;
+  for (SlotCount i = 0; i < count; ++i) {
+    const auto page =
+        static_cast<PageId>(rng.uniform_int(0, workload_.total_pages() - 1));
+    const AccessOutcome outcome =
+        access(page, rng.uniform_real(0.0, cycle));
+    const auto deadline =
+        static_cast<double>(workload_.expected_time_of(page));
+    result.avg_latency += outcome.latency;
+    result.avg_tuning += outcome.tuning_time;
+    result.avg_delay += std::max(0.0, outcome.latency - deadline);
+    if (outcome.latency > deadline) ++misses;
+  }
+  const auto n = static_cast<double>(count);
+  result.avg_latency /= n;
+  result.avg_tuning /= n;
+  result.avg_delay /= n;
+  result.miss_rate = static_cast<double>(misses) / n;
+  return result;
+}
+
+}  // namespace tcsa

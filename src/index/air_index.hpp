@@ -1,0 +1,110 @@
+// air_index.hpp — air indexing for multi-channel broadcast programs.
+//
+// A broadcast without an index forces clients to listen continuously until
+// their page arrives: access latency equals tuning time, and tuning time is
+// what drains a mobile battery. Air indexing (Imielinski & Viswanathan's
+// classic line of work, cited by the paper as [10]/[13]) interleaves a
+// directory — page id -> when it next airs — so clients listen to a couple
+// of buckets and doze in between.
+//
+// Three strategies over an existing data program:
+//
+//  * kNone       — no index; the client stays awake (latency == tuning).
+//  * kOneM       — (1, m) indexing: the full directory is inserted m times
+//                  per cycle on every channel, stretching the cycle by
+//                  m * directory_slots. Clients probe one bucket, doze to
+//                  the next directory segment, read just the bucket that
+//                  covers their page, then doze to the page itself.
+//  * kDedicated  — one extra channel carries the directory in a tight loop;
+//                  the data program is untouched. Same client protocol, but
+//                  the directory repeats every directory_slots buckets, so
+//                  index waits are short at the price of a whole channel.
+//
+// The access protocol is evaluated in closed form against the (stretched)
+// program via AppearanceIndex — no event queue needed — and aggregated by a
+// request-stream simulation mirroring the AvgD machinery.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/appearance_index.hpp"
+#include "model/program.hpp"
+#include "model/workload.hpp"
+
+namespace tcsa {
+
+enum class IndexStrategy {
+  kNone,
+  kOneM,
+  kDedicated,
+};
+
+/// Parses "none" / "onem" / "dedicated".
+IndexStrategy parse_index_strategy(const std::string& name);
+
+/// Canonical lower-case name.
+std::string index_strategy_name(IndexStrategy strategy);
+
+/// Indexing parameters.
+struct IndexConfig {
+  IndexStrategy strategy = IndexStrategy::kOneM;
+  SlotCount fanout = 64;       ///< directory entries per index bucket (>= 1)
+  SlotCount replication = 4;   ///< m for (1, m) indexing (>= 1)
+};
+
+/// One client access under the index protocol.
+struct AccessOutcome {
+  double latency = 0.0;      ///< arrival -> page fully received, in slots
+  double tuning_time = 0.0;  ///< slots spent actively listening
+};
+
+/// Aggregate over a simulated request stream.
+struct IndexSimResult {
+  std::size_t requests = 0;
+  double avg_latency = 0.0;
+  double avg_tuning = 0.0;
+  double avg_delay = 0.0;     ///< mean max(0, latency - t_i): deadline cost
+  double miss_rate = 0.0;     ///< fraction with latency > t_i
+};
+
+/// A data program wrapped with an air index.
+class IndexedBroadcast {
+ public:
+  /// Builds the indexed layout. `data_program` must cover `workload`'s
+  /// pages. For kOneM the program is re-laid-out with directory segments
+  /// interleaved; for kDedicated/kNone it is used as-is.
+  IndexedBroadcast(const Workload& workload,
+                   const BroadcastProgram& data_program, IndexConfig config);
+
+  /// Directory size in buckets: ceil(n / fanout); 0 for kNone.
+  SlotCount directory_slots() const noexcept { return directory_slots_; }
+
+  /// Broadcast cycle as the client experiences it (stretched for kOneM).
+  SlotCount cycle_length() const noexcept {
+    return data_index_.cycle_length();
+  }
+
+  /// Total channels consumed, including a dedicated index channel.
+  SlotCount total_channels() const noexcept { return total_channels_; }
+
+  /// Runs the client protocol for one access at real time `arrival`.
+  AccessOutcome access(PageId page, double arrival) const;
+
+  /// Aggregates `count` uniform accesses (deterministic in `seed`).
+  IndexSimResult simulate(SlotCount count, std::uint64_t seed) const;
+
+ private:
+  double next_segment_start_after(double at) const;
+
+  Workload workload_;  // by value: the index must not dangle
+  IndexConfig config_;
+  SlotCount directory_slots_ = 0;
+  SlotCount total_channels_ = 0;
+  BroadcastProgram layout_;        ///< data slots (index columns left empty)
+  AppearanceIndex data_index_;     ///< over layout_
+  std::vector<SlotCount> segment_starts_;  ///< kOneM: index segment columns
+};
+
+}  // namespace tcsa

@@ -1,0 +1,51 @@
+// appearance_index.hpp — per-page appearance times within a broadcast cycle.
+//
+// The simulator answers millions of "when does page p next complete after
+// time a?" queries; this index stores, per page, the sorted completion times
+// (slot + 1, in (0, T]) of every appearance in one cycle and answers queries
+// by binary search with wrap-around.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "model/program.hpp"
+#include "model/types.hpp"
+
+namespace tcsa {
+
+/// Immutable index of page appearance completion times.
+class AppearanceIndex {
+ public:
+  /// Scans the whole program once. `page_count` is the workload's n; pages
+  /// never appearing in the program simply have an empty appearance list.
+  AppearanceIndex(const BroadcastProgram& program, SlotCount page_count);
+
+  /// Sorted completion times of `page` within one cycle, each in (0, T].
+  std::span<const SlotCount> appearances(PageId page) const;
+
+  /// Number of appearances of `page` in one cycle.
+  SlotCount count(PageId page) const {
+    return static_cast<SlotCount>(appearances(page).size());
+  }
+
+  /// Cycle length T of the indexed program.
+  SlotCount cycle_length() const noexcept { return cycle_length_; }
+
+  /// Wait from real time `at` (any non-negative value; reduced mod T) until
+  /// `page` next completes, honouring cyclic repetition. Strictly positive.
+  /// Precondition: the page appears at least once in the cycle.
+  double wait_after(PageId page, double at) const;
+
+  /// Largest gap (slot units) between consecutive appearances of `page`,
+  /// including the wrap-around gap — i.e. the worst-case client wait.
+  /// Precondition: the page appears at least once.
+  SlotCount max_gap(PageId page) const;
+
+ private:
+  SlotCount cycle_length_;
+  std::vector<SlotCount> flat_;     // all appearance times, grouped by page
+  std::vector<std::size_t> offset_; // page -> range in flat_, size n+1
+};
+
+}  // namespace tcsa

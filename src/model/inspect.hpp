@@ -1,0 +1,53 @@
+// inspect.hpp — structural reports over broadcast programs.
+//
+// Operator-facing analysis used by tcsactl and the benches: per-group
+// bandwidth shares, spacing statistics (how evenly did the placer really
+// spread each page), idle capacity, and an ASCII occupancy heatmap. These
+// reports are how one debugs a schedule that simulates worse than its
+// model predicts.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/program.hpp"
+#include "model/workload.hpp"
+
+namespace tcsa {
+
+/// Spacing quality of one group's pages within a program.
+struct GroupSpacingStats {
+  GroupId group = 0;
+  SlotCount expected_time = 0;
+  SlotCount copies_per_page = 0;   ///< appearances of a representative page
+  double ideal_spacing = 0.0;      ///< t_major / copies
+  double mean_gap = 0.0;           ///< over all pages and gaps
+  SlotCount worst_gap = 0;         ///< max over the group
+  double share_of_slots = 0.0;     ///< fraction of occupied slots
+};
+
+/// Whole-program structural report.
+struct ProgramReport {
+  SlotCount channels = 0;
+  SlotCount cycle_length = 0;
+  SlotCount occupied = 0;
+  double fill_ratio = 0.0;                 ///< occupied / capacity
+  std::vector<GroupSpacingStats> groups;   ///< one entry per group
+  SlotCount pages_missing = 0;             ///< pages with zero appearances
+};
+
+/// Builds the report. Pages absent from the program are counted in
+/// `pages_missing` and excluded from spacing statistics.
+ProgramReport inspect_program(const BroadcastProgram& program,
+                              const Workload& workload);
+
+/// Multi-line human-readable rendering of the report.
+std::string report_to_string(const ProgramReport& report);
+
+/// ASCII column-occupancy strip: one character per column bucket, '0'-'9'
+/// scaled by fill (useful to spot clustering at a glance). `width` output
+/// characters cover the whole cycle.
+std::string occupancy_strip(const BroadcastProgram& program,
+                            std::size_t width = 64);
+
+}  // namespace tcsa

@@ -1,0 +1,65 @@
+// program.hpp — the multi-channel broadcast program B (Section 3.2).
+//
+// B is an N x T grid of page ids: row = channel, column = time slot. The
+// program repeats forever with period T (the major cycle): slot s of cycle k
+// carries the same page as slot s of cycle 0. Schedulers fill the grid; the
+// simulator and validators read it through AppearanceIndex.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/types.hpp"
+
+namespace tcsa {
+
+/// Dense slot grid with occupancy bookkeeping.
+class BroadcastProgram {
+ public:
+  /// Creates an empty program with `channels` rows and `cycle_length` slots.
+  BroadcastProgram(SlotCount channels, SlotCount cycle_length);
+
+  SlotCount channels() const noexcept { return channels_; }
+  SlotCount cycle_length() const noexcept { return cycle_length_; }
+
+  /// Page at (channel, slot); kNoPage when empty.
+  PageId at(SlotCount channel, SlotCount slot) const;
+
+  /// True when (channel, slot) holds no page.
+  bool empty_at(SlotCount channel, SlotCount slot) const {
+    return at(channel, slot) == kNoPage;
+  }
+
+  /// Places `page` at (channel, slot). Precondition: the slot is empty
+  /// (schedulers never overwrite; an overwrite is a scheduling bug).
+  void place(SlotCount channel, SlotCount slot, PageId page);
+
+  /// Removes the page at (channel, slot). Precondition: slot is occupied.
+  void clear(SlotCount channel, SlotCount slot);
+
+  /// Number of occupied slots.
+  SlotCount occupied() const noexcept { return occupied_; }
+
+  /// Total slot capacity N * T.
+  SlotCount capacity() const noexcept { return channels_ * cycle_length_; }
+
+  /// Count of occupied slots in one column (time slot across all channels).
+  SlotCount column_load(SlotCount slot) const;
+
+  /// ASCII rendering (channels as rows), e.g. for the Fig. 2 example:
+  /// "ch0 |  1  2  3  1 ...". Empty slots print as '.'.
+  std::string render() const;
+
+  friend bool operator==(const BroadcastProgram&, const BroadcastProgram&) =
+      default;
+
+ private:
+  std::size_t index(SlotCount channel, SlotCount slot) const;
+
+  SlotCount channels_;
+  SlotCount cycle_length_;
+  SlotCount occupied_ = 0;
+  std::vector<PageId> grid_;  // row-major: channel * T + slot
+};
+
+}  // namespace tcsa

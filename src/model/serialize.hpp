@@ -1,0 +1,48 @@
+// serialize.hpp — text round-tripping for workloads and broadcast programs.
+//
+// A small line-oriented format ("tcsa v1") so schedules can be saved,
+// diffed, shipped to other tools and reloaded — the operational glue an
+// open-source release needs. The format is self-describing and versioned;
+// loads validate every structural invariant (the loader never constructs an
+// object the in-memory constructors would reject).
+//
+// Workload:
+//   tcsa-workload v1
+//   groups <h>
+//   group <expected_time> <pages>      (h lines, ascending times)
+//
+// Program:
+//   tcsa-program v1
+//   shape <channels> <cycle_length>
+//   row <channel> <cell> <cell> ...    (one line per channel; '.' = empty)
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "model/program.hpp"
+#include "model/workload.hpp"
+
+namespace tcsa {
+
+/// Writes `workload` in the tcsa-workload v1 format.
+void save_workload(std::ostream& os, const Workload& workload);
+
+/// Parses a tcsa-workload v1 document. Throws std::invalid_argument on any
+/// syntax or invariant violation (with a line-oriented message).
+Workload load_workload(std::istream& is);
+
+/// Writes `program` in the tcsa-program v1 format.
+void save_program(std::ostream& os, const BroadcastProgram& program);
+
+/// Parses a tcsa-program v1 document. Throws std::invalid_argument on any
+/// syntax violation.
+BroadcastProgram load_program(std::istream& is);
+
+/// Convenience string round-trips.
+std::string workload_to_string(const Workload& workload);
+Workload workload_from_string(const std::string& text);
+std::string program_to_string(const BroadcastProgram& program);
+BroadcastProgram program_from_string(const std::string& text);
+
+}  // namespace tcsa

@@ -1,0 +1,31 @@
+// types.hpp — elementary identifiers shared across the library.
+//
+// Conventions (used consistently everywhere):
+//  * Pages carry global 0-based ids; a workload's groups own contiguous id
+//    ranges in ascending expected-time order.
+//  * A broadcast program is an N x T grid: `channel` in [0, N), `slot` in
+//    [0, T). Slot s occupies the real-time interval (s, s+1]; a page placed
+//    in slot s is fully received at integer time s+1. The paper's 1-indexed
+//    "broadcast at time y" therefore corresponds to our slot y-1.
+//  * Expected times, cycle lengths and waits are measured in slot units.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace tcsa {
+
+/// Global page identifier (0-based, dense).
+using PageId = std::uint32_t;
+
+/// Marks an empty broadcast slot.
+inline constexpr PageId kNoPage = std::numeric_limits<PageId>::max();
+
+/// Group index in [0, h).
+using GroupId = std::int32_t;
+
+/// Slot index / count / expected time, all in slot units. Signed to keep
+/// subtraction safe (Core Guidelines ES.100/ES.102).
+using SlotCount = std::int64_t;
+
+}  // namespace tcsa

@@ -1,0 +1,106 @@
+#include "model/workload.hpp"
+
+#include <sstream>
+
+#include "util/contracts.hpp"
+
+namespace tcsa {
+
+Workload::Workload(std::vector<GroupSpec> groups) : groups_(std::move(groups)) {
+  TCSA_REQUIRE(!groups_.empty(), "Workload: need at least one group");
+  for (std::size_t i = 0; i < groups_.size(); ++i) {
+    TCSA_REQUIRE(groups_[i].expected_time >= 1,
+                 "Workload: expected time must be >= 1 slot");
+    TCSA_REQUIRE(groups_[i].pages >= 1,
+                 "Workload: every group must contain at least one page");
+    if (i > 0) {
+      TCSA_REQUIRE(groups_[i].expected_time > groups_[i - 1].expected_time,
+                   "Workload: expected times must be strictly increasing");
+      TCSA_REQUIRE(groups_[i].expected_time % groups_[i - 1].expected_time == 0,
+                   "Workload: each expected time must divide the next "
+                   "(Section 2 ladder)");
+    }
+  }
+  first_page_.reserve(groups_.size() + 1);
+  first_page_.push_back(0);
+  for (const GroupSpec& g : groups_) {
+    total_pages_ += g.pages;
+    TCSA_REQUIRE(total_pages_ <= static_cast<SlotCount>(kNoPage),
+                 "Workload: too many pages for PageId");
+    first_page_.push_back(static_cast<PageId>(total_pages_));
+  }
+}
+
+SlotCount Workload::expected_time(GroupId g) const {
+  TCSA_REQUIRE(g >= 0 && g < group_count(), "Workload: group out of range");
+  return groups_[static_cast<std::size_t>(g)].expected_time;
+}
+
+SlotCount Workload::pages_in_group(GroupId g) const {
+  TCSA_REQUIRE(g >= 0 && g < group_count(), "Workload: group out of range");
+  return groups_[static_cast<std::size_t>(g)].pages;
+}
+
+PageId Workload::first_page(GroupId g) const {
+  TCSA_REQUIRE(g >= 0 && g < group_count(), "Workload: group out of range");
+  return first_page_[static_cast<std::size_t>(g)];
+}
+
+GroupId Workload::group_of(PageId page) const {
+  TCSA_REQUIRE(page < total_pages_, "Workload: page id out of range");
+  // Binary search over prefix sums (h is small; still O(log h)).
+  GroupId lo = 0;
+  GroupId hi = group_count() - 1;
+  while (lo < hi) {
+    const GroupId mid = lo + (hi - lo) / 2;
+    if (page < first_page_[static_cast<std::size_t>(mid) + 1]) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+bool Workload::uniform_ratio(SlotCount& ratio) const noexcept {
+  if (groups_.size() == 1) {
+    ratio = 1;
+    return true;
+  }
+  const SlotCount c = groups_[1].expected_time / groups_[0].expected_time;
+  for (std::size_t i = 1; i < groups_.size(); ++i) {
+    if (groups_[i].expected_time != groups_[i - 1].expected_time * c)
+      return false;
+  }
+  ratio = c;
+  return true;
+}
+
+std::string Workload::describe() const {
+  std::ostringstream os;
+  os << "h=" << groups_.size() << " n=" << total_pages_ << " t=[";
+  for (std::size_t i = 0; i < groups_.size(); ++i) {
+    if (i) os << ',';
+    os << groups_[i].expected_time;
+  }
+  os << "] P=[";
+  for (std::size_t i = 0; i < groups_.size(); ++i) {
+    if (i) os << ',';
+    os << groups_[i].pages;
+  }
+  os << ']';
+  return os.str();
+}
+
+Workload make_workload(const std::vector<SlotCount>& times,
+                       const std::vector<SlotCount>& pages) {
+  TCSA_REQUIRE(times.size() == pages.size(),
+               "make_workload: times/pages length mismatch");
+  std::vector<GroupSpec> groups;
+  groups.reserve(times.size());
+  for (std::size_t i = 0; i < times.size(); ++i)
+    groups.push_back(GroupSpec{times[i], pages[i]});
+  return Workload(std::move(groups));
+}
+
+}  // namespace tcsa

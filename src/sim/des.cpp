@@ -1,0 +1,35 @@
+#include "sim/des.hpp"
+
+#include <utility>
+
+#include "util/contracts.hpp"
+
+namespace tcsa {
+
+void EventQueue::schedule_at(double when, Action action) {
+  TCSA_REQUIRE(when >= now_, "EventQueue: cannot schedule into the past");
+  TCSA_REQUIRE(action != nullptr, "EventQueue: null action");
+  events_.push(Event{when, next_sequence_++, std::move(action)});
+}
+
+void EventQueue::schedule_in(double delay, Action action) {
+  TCSA_REQUIRE(delay >= 0.0, "EventQueue: negative delay");
+  schedule_at(now_ + delay, std::move(action));
+}
+
+std::size_t EventQueue::run_until(double horizon) {
+  std::size_t executed = 0;
+  while (!events_.empty() && events_.top().when <= horizon) {
+    // priority_queue::top is const; the event is copied out so the action
+    // can schedule further events (including at the same time) safely.
+    Event event = events_.top();
+    events_.pop();
+    now_ = event.when;
+    event.action();
+    ++executed;
+  }
+  if (now_ < horizon) now_ = horizon;
+  return executed;
+}
+
+}  // namespace tcsa

@@ -1,0 +1,59 @@
+// des.hpp — a small discrete-event simulation engine.
+//
+// The broadcast-access metric needs no event queue (waits are closed-form
+// lookups), but the hybrid broadcast/on-demand experiment does: pull requests
+// queue at a server with limited uplink channels and interact over time. The
+// engine is a classic priority queue of (time, sequence, action); sequence
+// numbers make same-time ordering deterministic (FIFO in schedule order).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace tcsa {
+
+/// Deterministic discrete-event executor.
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  /// Current simulation time. Starts at 0.
+  double now() const noexcept { return now_; }
+
+  /// Schedules `action` at absolute time `when` (>= now()).
+  void schedule_at(double when, Action action);
+
+  /// Schedules `action` `delay` time units from now (delay >= 0).
+  void schedule_in(double delay, Action action);
+
+  /// Runs until the queue drains or time would exceed `horizon`. Events at
+  /// exactly `horizon` still run. Returns the number of events executed.
+  std::size_t run_until(double horizon);
+
+  /// True when no events remain.
+  bool empty() const noexcept { return events_.empty(); }
+
+  /// Number of events currently pending.
+  std::size_t pending() const noexcept { return events_.size(); }
+
+ private:
+  struct Event {
+    double when;
+    std::uint64_t sequence;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.when != b.when) return a.when > b.when;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  double now_ = 0.0;
+  std::uint64_t next_sequence_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> events_;
+};
+
+}  // namespace tcsa

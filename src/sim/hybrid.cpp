@@ -1,0 +1,67 @@
+#include "sim/hybrid.hpp"
+
+#include <algorithm>
+
+#include "model/appearance_index.hpp"
+#include "sim/des.hpp"
+#include "sim/on_demand.hpp"
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace tcsa {
+
+HybridResult simulate_hybrid(const BroadcastProgram& program,
+                             const Workload& workload,
+                             const HybridConfig& config) {
+  TCSA_REQUIRE(config.arrival_rate > 0.0, "hybrid: arrival rate must be > 0");
+  TCSA_REQUIRE(config.horizon > 0.0, "hybrid: horizon must be > 0");
+
+  const AppearanceIndex index(program, workload.total_pages());
+  Rng rng(config.seed);
+  const DiscreteSampler sampler(
+      access_weights(workload, config.popularity, config.zipf_theta));
+
+  EventQueue events;
+  OnDemandServer server(events, config.uplink_channels, config.service_time);
+
+  HybridResult result;
+  OnlineStats broadcast_waits;
+  double max_queue = 0.0;
+
+  // Client arrival process: each arrival decides broadcast vs pull, then
+  // schedules the next arrival — a single self-perpetuating event chain.
+  std::function<void()> arrive = [&]() {
+    ++result.total_requests;
+    const auto page = static_cast<PageId>(sampler.sample(rng));
+    const double wait = index.wait_after(page, events.now());
+    const auto deadline =
+        static_cast<double>(workload.expected_time_of(page));
+    if (wait <= deadline) {
+      ++result.broadcast_served;
+      broadcast_waits.add(wait);
+    } else {
+      // The impatient client waits out its deadline, then pulls.
+      events.schedule_in(deadline, [&server, page]() { server.submit(page); });
+    }
+    max_queue = std::max(
+        max_queue, static_cast<double>(server.queue_length()));
+    events.schedule_in(rng.exponential(config.arrival_rate), arrive);
+  };
+  events.schedule_in(rng.exponential(config.arrival_rate), arrive);
+  events.run_until(config.horizon);
+
+  result.pulled = server.submitted();
+  result.pull_fraction =
+      result.total_requests == 0
+          ? 0.0
+          : static_cast<double>(result.pulled) /
+                static_cast<double>(result.total_requests);
+  result.avg_broadcast_wait = broadcast_waits.mean();
+  result.avg_pull_response = server.response_times().mean();
+  result.max_pull_queue = max_queue;
+  result.avg_pull_queue_at_arrival = server.queue_at_arrival().mean();
+  return result;
+}
+
+}  // namespace tcsa

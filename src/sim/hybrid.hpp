@@ -1,0 +1,51 @@
+// hybrid.hpp — impatient clients: broadcast first, pull on deadline miss.
+//
+// The Section-1 scenario, made quantitative (extension experiment A4): a
+// client requests a page, checks the broadcast schedule, and
+//   * is served by broadcast when the wait fits its expected time, or
+//   * gives up at the deadline and issues a pull request to the on-demand
+//     server (Jiang & Vaidya's "impatient user" behaviour cited in the
+//     paper).
+// Schedulers that keep broadcast waits inside expected times shield the
+// uplink; schedulers that do not push load onto it. This experiment shows
+// how much uplink congestion PAMAD avoids relative to m-PB at equal channel
+// budgets.
+#pragma once
+
+#include <cstdint>
+
+#include "model/program.hpp"
+#include "model/workload.hpp"
+#include "workload/requests.hpp"
+
+namespace tcsa {
+
+/// Hybrid-simulation recipe.
+struct HybridConfig {
+  double arrival_rate = 2.0;     ///< client requests per slot (Poisson)
+  double horizon = 5000.0;       ///< simulated slots
+  SlotCount uplink_channels = 2; ///< on-demand servers
+  double service_time = 1.0;     ///< slots per pull delivery
+  Popularity popularity = Popularity::kUniform;
+  double zipf_theta = 0.8;
+  std::uint64_t seed = 7;
+};
+
+/// Hybrid-simulation outcome.
+struct HybridResult {
+  std::uint64_t total_requests = 0;
+  std::uint64_t broadcast_served = 0;   ///< wait <= expected time
+  std::uint64_t pulled = 0;             ///< switched to on-demand
+  double pull_fraction = 0.0;           ///< pulled / total
+  double avg_broadcast_wait = 0.0;      ///< over broadcast-served requests
+  double avg_pull_response = 0.0;       ///< queueing + service (slots)
+  double max_pull_queue = 0.0;          ///< worst queue length seen
+  double avg_pull_queue_at_arrival = 0.0;
+};
+
+/// Simulates `config.horizon` slots of hybrid operation over `program`.
+HybridResult simulate_hybrid(const BroadcastProgram& program,
+                             const Workload& workload,
+                             const HybridConfig& config);
+
+}  // namespace tcsa

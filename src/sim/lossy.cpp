@@ -1,0 +1,105 @@
+#include "sim/lossy.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace tcsa {
+
+LossModel LossModel::independent(double p) {
+  LossModel model;
+  model.p_good_to_bad = 0.0;
+  model.p_bad_to_good = 1.0;
+  model.loss_good = p;
+  model.loss_bad = p;
+  return model;
+}
+
+double LossModel::stationary_loss() const {
+  const double to_bad = p_good_to_bad;
+  const double to_good = p_bad_to_good;
+  if (to_bad + to_good == 0.0) return loss_good;  // absorbing GOOD
+  const double frac_bad = to_bad / (to_bad + to_good);
+  return loss_good * (1.0 - frac_bad) + loss_bad * frac_bad;
+}
+
+namespace {
+
+void check_model(const LossModel& model) {
+  for (const double p : {model.p_good_to_bad, model.p_bad_to_good,
+                         model.loss_good, model.loss_bad}) {
+    TCSA_REQUIRE(p >= 0.0 && p <= 1.0,
+                 "LossModel: probabilities must be in [0,1]");
+  }
+}
+
+}  // namespace
+
+LossyAccess lossy_wait(const AppearanceIndex& index, PageId page,
+                       double arrival, const LossModel& model, Rng& rng,
+                       SlotCount max_attempts) {
+  check_model(model);
+  TCSA_REQUIRE(max_attempts >= 1, "lossy_wait: need at least one attempt");
+
+  LossyAccess outcome;
+  // Initial channel state from the chain's stationary distribution — a
+  // client tunes in at an arbitrary moment of the burst process.
+  const double denom = model.p_good_to_bad + model.p_bad_to_good;
+  const double stationary_bad =
+      denom > 0.0 ? model.p_good_to_bad / denom : 0.0;
+  bool bad_state = rng.bernoulli(stationary_bad);
+  double at = arrival;
+  for (SlotCount attempt = 1;; ++attempt) {
+    const double wait = index.wait_after(page, at);
+    at += wait;
+    outcome.wait = at - arrival;
+    outcome.attempts = attempt;
+    const double loss = bad_state ? model.loss_bad : model.loss_good;
+    const bool received = !rng.bernoulli(loss);
+    // Evolve the burst state once per attempted reception.
+    if (bad_state) {
+      if (rng.bernoulli(model.p_bad_to_good)) bad_state = false;
+    } else {
+      if (rng.bernoulli(model.p_good_to_bad)) bad_state = true;
+    }
+    if (received || attempt >= max_attempts) return outcome;
+  }
+}
+
+LossySimResult simulate_lossy(const BroadcastProgram& program,
+                              const Workload& workload, const LossModel& model,
+                              SlotCount count, std::uint64_t seed) {
+  TCSA_REQUIRE(count >= 1, "simulate_lossy: need at least one request");
+  check_model(model);
+  const AppearanceIndex index(program, workload.total_pages());
+  Rng rng(seed);
+
+  LossySimResult result;
+  result.requests = static_cast<std::size_t>(count);
+  const auto cycle = static_cast<double>(program.cycle_length());
+  std::size_t misses = 0;
+  std::uint64_t attempts_total = 0;
+  for (SlotCount i = 0; i < count; ++i) {
+    const auto page =
+        static_cast<PageId>(rng.uniform_int(0, workload.total_pages() - 1));
+    const double arrival = rng.uniform_real(0.0, cycle);
+    const LossyAccess access =
+        lossy_wait(index, page, arrival, model, rng);
+    const auto deadline =
+        static_cast<double>(workload.expected_time_of(page));
+    result.avg_wait += access.wait;
+    result.avg_delay += std::max(0.0, access.wait - deadline);
+    if (access.wait > deadline) ++misses;
+    attempts_total += static_cast<std::uint64_t>(access.attempts);
+  }
+  const auto n = static_cast<double>(count);
+  result.avg_wait /= n;
+  result.avg_delay /= n;
+  result.miss_rate = static_cast<double>(misses) / n;
+  result.avg_attempts = static_cast<double>(attempts_total) / n;
+  result.loss_rate =
+      1.0 - n / static_cast<double>(attempts_total);  // retries are losses
+  return result;
+}
+
+}  // namespace tcsa

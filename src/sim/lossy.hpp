@@ -1,0 +1,66 @@
+// lossy.hpp — wireless loss injection for broadcast reception.
+//
+// Real broadcast channels drop frames: a client deep in a parking garage
+// misses an appearance and must wait a whole spacing for the next one, so
+// loss multiplies exactly the delays this paper minimises. The model is the
+// standard two-state Gilbert–Elliott burst-loss chain evaluated per
+// appearance: in GOOD state a slot is received with high probability, in
+// BAD state with low probability, and the state evolves between the
+// appearances a client actually attempts.
+//
+// Used for failure-injection testing (the simulator's results must degrade
+// smoothly and predictably with loss) and for the loss-sensitivity bench.
+#pragma once
+
+#include <cstdint>
+
+#include "model/appearance_index.hpp"
+#include "model/workload.hpp"
+#include "util/rng.hpp"
+
+namespace tcsa {
+
+/// Gilbert–Elliott parameters. Defaults model light bursty loss.
+struct LossModel {
+  double p_good_to_bad = 0.02;  ///< per-attempt transition into the burst
+  double p_bad_to_good = 0.25;  ///< per-attempt burst exit
+  double loss_good = 0.0;       ///< drop probability in GOOD state
+  double loss_bad = 0.9;        ///< drop probability in BAD state
+
+  /// Independent (Bernoulli) loss with rate p — a degenerate chain.
+  static LossModel independent(double p);
+
+  /// Stationary loss rate of the chain.
+  double stationary_loss() const;
+};
+
+/// Outcome of one lossy access.
+struct LossyAccess {
+  double wait = 0.0;        ///< until the first *received* appearance
+  SlotCount attempts = 1;   ///< appearances listened to (>= 1)
+};
+
+/// Client-side reception: waits for successive appearances of `page` after
+/// `arrival` until one is actually received. `rng` carries the client's
+/// channel state evolution; `max_attempts` bounds pathological loss.
+LossyAccess lossy_wait(const AppearanceIndex& index, PageId page,
+                       double arrival, const LossModel& model, Rng& rng,
+                       SlotCount max_attempts = 1000);
+
+/// Aggregate over a uniform request stream (mirrors SimResult's core
+/// fields, plus retry statistics).
+struct LossySimResult {
+  std::size_t requests = 0;
+  double avg_wait = 0.0;
+  double avg_delay = 0.0;      ///< beyond the page's expected time
+  double miss_rate = 0.0;
+  double avg_attempts = 0.0;   ///< appearances listened per request
+  double loss_rate = 0.0;      ///< fraction of attempted slots dropped
+};
+
+/// Simulates `count` uniform accesses against `program` under `model`.
+LossySimResult simulate_lossy(const BroadcastProgram& program,
+                              const Workload& workload, const LossModel& model,
+                              SlotCount count, std::uint64_t seed);
+
+}  // namespace tcsa

@@ -1,0 +1,59 @@
+#include "sim/multi_item.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "model/appearance_index.hpp"
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace tcsa {
+
+MultiItemResult simulate_multi_item(const BroadcastProgram& program,
+                                    const Workload& workload,
+                                    const MultiItemConfig& config) {
+  TCSA_REQUIRE(config.requests >= 1, "multi_item: need at least one request");
+  TCSA_REQUIRE(config.items_per_request >= 1,
+               "multi_item: bundles need at least one page");
+  TCSA_REQUIRE(config.items_per_request <= workload.total_pages(),
+               "multi_item: bundle larger than the page population");
+
+  const AppearanceIndex index(program, workload.total_pages());
+  Rng rng(config.seed);
+  const DiscreteSampler sampler(
+      access_weights(workload, config.popularity, config.zipf_theta));
+
+  MultiItemResult result;
+  result.requests = static_cast<std::size_t>(config.requests);
+  const auto cycle = static_cast<double>(program.cycle_length());
+  std::size_t all_in_time = 0;
+  std::unordered_set<PageId> bundle;
+  for (SlotCount i = 0; i < config.requests; ++i) {
+    const double arrival = rng.uniform_real(0.0, cycle);
+    bundle.clear();
+    while (static_cast<SlotCount>(bundle.size()) < config.items_per_request)
+      bundle.insert(static_cast<PageId>(sampler.sample(rng)));
+
+    double completion = 0.0;
+    double worst_delay = 0.0;
+    bool within = true;
+    for (const PageId page : bundle) {
+      const double wait = index.wait_after(page, arrival);
+      completion = std::max(completion, wait);
+      const auto deadline =
+          static_cast<double>(workload.expected_time_of(page));
+      worst_delay = std::max(worst_delay, std::max(0.0, wait - deadline));
+      if (wait > deadline) within = false;
+    }
+    result.avg_completion += completion;
+    result.avg_bundle_delay += worst_delay;
+    if (within) ++all_in_time;
+  }
+  const auto n = static_cast<double>(config.requests);
+  result.avg_completion /= n;
+  result.avg_bundle_delay /= n;
+  result.all_in_time_rate = static_cast<double>(all_in_time) / n;
+  return result;
+}
+
+}  // namespace tcsa

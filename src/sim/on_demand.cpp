@@ -1,0 +1,53 @@
+#include "sim/on_demand.hpp"
+
+#include <utility>
+
+#include "util/contracts.hpp"
+
+namespace tcsa {
+
+OnDemandServer::OnDemandServer(EventQueue& events, SlotCount servers,
+                               double service_time)
+    : events_(events), servers_(servers), service_time_(service_time) {
+  TCSA_REQUIRE(servers >= 1, "OnDemandServer: need at least one uplink");
+  TCSA_REQUIRE(service_time > 0.0,
+               "OnDemandServer: service time must be positive");
+}
+
+void OnDemandServer::submit(PageId page, CompletionHandler handler) {
+  ++submitted_;
+  queue_seen_.add(static_cast<double>(queue_.size()));
+  Pending pending{page, events_.now(), std::move(handler)};
+  if (busy_ < servers_) {
+    start_service(std::move(pending));
+  } else {
+    queue_.push_back(std::move(pending));
+  }
+}
+
+void OnDemandServer::start_service(Pending pending) {
+  TCSA_ASSERT(busy_ < servers_, "OnDemandServer: no free uplink");
+  ++busy_;
+  // Capture by value: the Pending is consumed into the completion event.
+  events_.schedule_in(service_time_, [this, page = pending.page,
+                                      arrival = pending.arrival,
+                                      handler = std::move(pending.handler)]() mutable {
+    finish_service(page, arrival, std::move(handler));
+  });
+}
+
+void OnDemandServer::finish_service(PageId page, double arrival,
+                                    CompletionHandler handler) {
+  --busy_;
+  ++completed_;
+  const double response = events_.now() - arrival;
+  response_.add(response);
+  if (handler) handler(page, response);
+  if (!queue_.empty()) {
+    Pending next = std::move(queue_.front());
+    queue_.pop_front();
+    start_service(std::move(next));
+  }
+}
+
+}  // namespace tcsa

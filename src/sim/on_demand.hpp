@@ -1,0 +1,72 @@
+// on_demand.hpp — the pull-side server of a hybrid broadcast system.
+//
+// Section 1 motivates the whole paper with on-demand congestion: clients
+// whose expected time the broadcast cannot meet switch to the uplink and
+// pull the page directly, and "too often and too many such actions could
+// seriously congest the on-demand channels". This module models that server:
+// `servers` parallel on-demand channels, each delivering one page in
+// `service_time` slots, FIFO queueing, driven by an EventQueue.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "model/types.hpp"
+#include "sim/des.hpp"
+#include "util/stats.hpp"
+
+namespace tcsa {
+
+/// FIFO multi-server queue for pull requests.
+class OnDemandServer {
+ public:
+  /// Called when a request completes: (page, response_time_in_slots).
+  using CompletionHandler = std::function<void(PageId, double)>;
+
+  /// `servers` >= 1 uplink channels, each taking `service_time` > 0 slots
+  /// per request. Completions are scheduled on `events`; the queue object
+  /// must outlive the server.
+  OnDemandServer(EventQueue& events, SlotCount servers, double service_time);
+
+  /// Enqueues a pull for `page` at the current simulation time. `handler`
+  /// (optional) fires on completion with the response time (queueing +
+  /// service).
+  void submit(PageId page, CompletionHandler handler = nullptr);
+
+  /// Requests accepted so far.
+  std::uint64_t submitted() const noexcept { return submitted_; }
+  /// Requests fully served so far.
+  std::uint64_t completed() const noexcept { return completed_; }
+  /// Requests currently waiting (not yet in service).
+  std::size_t queue_length() const noexcept { return queue_.size(); }
+  /// Uplink channels currently serving a request.
+  SlotCount busy_servers() const noexcept { return busy_; }
+
+  /// Response-time statistics (queueing + service) over completed requests.
+  const OnlineStats& response_times() const noexcept { return response_; }
+  /// Queue length sampled at every submission (congestion indicator).
+  const OnlineStats& queue_at_arrival() const noexcept { return queue_seen_; }
+
+ private:
+  struct Pending {
+    PageId page;
+    double arrival;
+    CompletionHandler handler;
+  };
+
+  void start_service(Pending pending);
+  void finish_service(PageId page, double arrival, CompletionHandler handler);
+
+  EventQueue& events_;
+  SlotCount servers_;
+  double service_time_;
+  SlotCount busy_ = 0;
+  std::deque<Pending> queue_;
+  std::uint64_t submitted_ = 0;
+  std::uint64_t completed_ = 0;
+  OnlineStats response_;
+  OnlineStats queue_seen_;
+};
+
+}  // namespace tcsa

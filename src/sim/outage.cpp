@@ -1,0 +1,70 @@
+#include "sim/outage.hpp"
+
+#include <algorithm>
+
+#include "model/appearance_index.hpp"
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace tcsa {
+
+BroadcastProgram with_channel_outage(const BroadcastProgram& program,
+                                     SlotCount channel) {
+  TCSA_REQUIRE(channel >= 0 && channel < program.channels(),
+               "with_channel_outage: channel out of range");
+  BroadcastProgram degraded = program;
+  for (SlotCount s = 0; s < degraded.cycle_length(); ++s) {
+    if (!degraded.empty_at(channel, s)) degraded.clear(channel, s);
+  }
+  return degraded;
+}
+
+OutageImpact evaluate_outage(const BroadcastProgram& program,
+                             const Workload& workload, SlotCount channel,
+                             SlotCount count, std::uint64_t seed) {
+  TCSA_REQUIRE(count >= 1, "evaluate_outage: need at least one request");
+  const BroadcastProgram degraded = with_channel_outage(program, channel);
+  const AppearanceIndex before(program, workload.total_pages());
+  const AppearanceIndex after(degraded, workload.total_pages());
+
+  OutageImpact impact;
+  for (PageId page = 0; page < workload.total_pages(); ++page) {
+    if (after.count(page) == 0) {
+      ++impact.silenced_pages;
+    } else if (before.count(page) > 0 &&
+               after.max_gap(page) > before.max_gap(page)) {
+      ++impact.degraded_pages;
+    }
+  }
+
+  Rng rng(seed);
+  const auto cycle = static_cast<double>(program.cycle_length());
+  double before_sum = 0.0;
+  double after_sum = 0.0;
+  SlotCount reachable = 0;
+  SlotCount unreachable = 0;
+  for (SlotCount i = 0; i < count; ++i) {
+    const auto page =
+        static_cast<PageId>(rng.uniform_int(0, workload.total_pages() - 1));
+    const double arrival = rng.uniform_real(0.0, cycle);
+    if (after.count(page) == 0) {
+      ++unreachable;
+      continue;
+    }
+    ++reachable;
+    const auto deadline =
+        static_cast<double>(workload.expected_time_of(page));
+    before_sum +=
+        std::max(0.0, before.wait_after(page, arrival) - deadline);
+    after_sum += std::max(0.0, after.wait_after(page, arrival) - deadline);
+  }
+  impact.unreachable_rate =
+      static_cast<double>(unreachable) / static_cast<double>(count);
+  if (reachable > 0) {
+    impact.avg_delay_before = before_sum / static_cast<double>(reachable);
+    impact.avg_delay_after = after_sum / static_cast<double>(reachable);
+  }
+  return impact;
+}
+
+}  // namespace tcsa

@@ -1,0 +1,40 @@
+// outage.hpp — server-side failure injection: a broadcast channel dies.
+//
+// Transmitters fail. When channel c goes silent, every page whose copies
+// all lived on channel c disappears from the air entirely — and SUSC is
+// maximally exposed, because Theorem 3.3's elegance (each page occupies one
+// arithmetic progression on ONE channel) means a single transmitter loss
+// silences whole pages. Algorithm-4 placements (PAMAD/m-PB) scatter a
+// page's copies across channels, so an outage merely widens gaps. This
+// module builds the degraded program and quantifies both effects.
+#pragma once
+
+#include <cstdint>
+
+#include "model/program.hpp"
+#include "model/workload.hpp"
+
+namespace tcsa {
+
+/// Copy of `program` with every slot of `channel` cleared (the dead
+/// transmitter still occupies spectrum; clients simply hear nothing on it).
+BroadcastProgram with_channel_outage(const BroadcastProgram& program,
+                                     SlotCount channel);
+
+/// Impact of losing one channel.
+struct OutageImpact {
+  SlotCount silenced_pages = 0;   ///< pages with zero remaining appearances
+  SlotCount degraded_pages = 0;   ///< pages whose worst gap grew
+  double avg_delay_before = 0.0;  ///< AvgD over reachable pages, pre-outage
+  double avg_delay_after = 0.0;   ///< AvgD over still-reachable pages
+  double unreachable_rate = 0.0;  ///< fraction of requests for silent pages
+};
+
+/// Simulates `count` uniform requests against the degraded program.
+/// Requests for silenced pages count toward `unreachable_rate` and are
+/// excluded from the delay averages (they would never complete).
+OutageImpact evaluate_outage(const BroadcastProgram& program,
+                             const Workload& workload, SlotCount channel,
+                             SlotCount count, std::uint64_t seed);
+
+}  // namespace tcsa

@@ -1,0 +1,78 @@
+#include "sim/staleness.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace tcsa {
+
+double stale_fraction_for_gap(double gap, double update_rate) {
+  TCSA_REQUIRE(gap > 0.0, "staleness: gap must be positive");
+  TCSA_REQUIRE(update_rate > 0.0, "staleness: update rate must be positive");
+  // E[stale time in a gap] = g - (1 - e^{-u g}) / u: the copy is fresh
+  // until the first update, Exp(u) truncated at g.
+  const double fresh = (1.0 - std::exp(-update_rate * gap)) / update_rate;
+  return (gap - fresh) / gap;
+}
+
+double expected_stale_fraction(const AppearanceIndex& index, PageId page,
+                               double update_rate) {
+  const auto times = index.appearances(page);
+  TCSA_REQUIRE(!times.empty(), "staleness: page never appears");
+  const SlotCount cycle = index.cycle_length();
+  // Weighted by gap length: fraction = sum stale_time / cycle.
+  double stale_time = 0.0;
+  for (std::size_t k = 0; k < times.size(); ++k) {
+    const SlotCount next =
+        k + 1 < times.size() ? times[k + 1] : times.front() + cycle;
+    const auto gap = static_cast<double>(next - times[k]);
+    if (gap <= 0.0) continue;  // duplicate column: zero-length gap
+    stale_time += stale_fraction_for_gap(gap, update_rate) * gap;
+  }
+  return stale_time / static_cast<double>(cycle);
+}
+
+StalenessResult evaluate_staleness(const BroadcastProgram& program,
+                                   const Workload& workload,
+                                   double update_rate) {
+  const AppearanceIndex index(program, workload.total_pages());
+  StalenessResult result;
+  for (PageId page = 0; page < workload.total_pages(); ++page) {
+    const double fraction =
+        expected_stale_fraction(index, page, update_rate);
+    result.avg_stale_fraction += fraction;
+    result.worst_stale_fraction =
+        std::max(result.worst_stale_fraction, fraction);
+  }
+  result.avg_stale_fraction /= static_cast<double>(workload.total_pages());
+  return result;
+}
+
+double simulate_stale_fraction(const AppearanceIndex& index, PageId page,
+                               double update_rate, SlotCount cycles,
+                               std::uint64_t seed) {
+  TCSA_REQUIRE(cycles >= 1, "staleness: need at least one cycle");
+  TCSA_REQUIRE(update_rate > 0.0, "staleness: update rate must be positive");
+  const auto times = index.appearances(page);
+  TCSA_REQUIRE(!times.empty(), "staleness: page never appears");
+
+  Rng rng(seed);
+  const auto cycle = static_cast<double>(index.cycle_length());
+  const double horizon = cycle * static_cast<double>(cycles);
+  double stale_time = 0.0;
+  // Walk refresh points (appearances) in time order; within each gap the
+  // copy goes stale at the first Poisson update after the gap starts.
+  double gap_start = static_cast<double>(times.front());
+  while (gap_start < horizon) {
+    const double wait = index.wait_after(page, gap_start);
+    const double gap_end = gap_start + wait;
+    const double first_update = gap_start + rng.exponential(update_rate);
+    if (first_update < gap_end) stale_time += gap_end - first_update;
+    gap_start = gap_end;
+  }
+  return stale_time / horizon;
+}
+
+}  // namespace tcsa

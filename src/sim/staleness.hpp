@@ -1,0 +1,49 @@
+// staleness.hpp — cache coherence on air: how fresh is a listened-to copy?
+//
+// Server-side pages change (Poisson updates at rate u per page). A client
+// that holds a page refreshes its copy at every broadcast appearance, so
+// between an update and the page's next appearance the local copy is
+// stale. For even spacing the analysis is closed-form: over a gap of
+// length g the expected stale time is g - (1 - e^{-u g}) / u, giving a
+// stale-fraction of 1 - (1 - e^{-u g}) / (u g). Broadcast frequency — the
+// very thing PAMAD allocates — is therefore also the coherence knob; this
+// module provides the closed form (per actual program gaps) plus a
+// discrete-event cross-check.
+#pragma once
+
+#include <cstdint>
+
+#include "model/appearance_index.hpp"
+#include "model/program.hpp"
+#include "model/workload.hpp"
+
+namespace tcsa {
+
+/// Expected fraction of time a continuously-listening client's copy of
+/// `page` is stale, with Poisson updates at rate `update_rate` (> 0), using
+/// the program's *actual* appearance gaps (not the even-spacing ideal).
+double expected_stale_fraction(const AppearanceIndex& index, PageId page,
+                               double update_rate);
+
+/// Even-spacing closed form: stale fraction for gap g and rate u.
+double stale_fraction_for_gap(double gap, double update_rate);
+
+/// Aggregate over every page, weighted uniformly.
+struct StalenessResult {
+  double avg_stale_fraction = 0.0;  ///< mean over pages
+  double worst_stale_fraction = 0.0;
+};
+
+/// Analytic evaluation over a whole program; `update_rate` applies to every
+/// page (callers can loop for per-group rates).
+StalenessResult evaluate_staleness(const BroadcastProgram& program,
+                                   const Workload& workload,
+                                   double update_rate);
+
+/// Monte-Carlo cross-check for one page: simulates updates over `cycles`
+/// broadcast cycles and measures the stale-time fraction directly.
+double simulate_stale_fraction(const AppearanceIndex& index, PageId page,
+                               double update_rate, SlotCount cycles,
+                               std::uint64_t seed);
+
+}  // namespace tcsa

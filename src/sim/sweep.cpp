@@ -1,0 +1,95 @@
+#include "sim/sweep.hpp"
+
+#include <atomic>
+#include <thread>
+#include <utility>
+
+#include "core/channel_bound.hpp"
+#include "util/contracts.hpp"
+
+namespace tcsa {
+namespace {
+
+/// One (channels, method) measurement — the shared kernel of both drivers.
+SweepPoint measure_point(const Workload& workload, const SweepConfig& config,
+                         SlotCount channels, Method method) {
+  const ScheduleOutcome outcome = make_schedule(method, workload, channels);
+
+  SimConfig sim = config.sim;
+  // Independent stream per (channels, method): deterministic, and adding
+  // a point never perturbs the others.
+  sim.seed = Rng(config.sim.seed)
+                 .fork(static_cast<std::uint64_t>(channels) * 131 +
+                       static_cast<std::uint64_t>(method))();
+  const SimResult measured = simulate_requests(outcome.program, workload, sim);
+
+  SweepPoint point;
+  point.channels = channels;
+  point.method = method;
+  point.avg_delay = measured.avg_delay;
+  point.predicted_delay = outcome.predicted_delay;
+  point.miss_rate = measured.miss_rate;
+  point.p95_delay = measured.p95_delay;
+  point.t_major = outcome.t_major;
+  point.window_overflows = outcome.window_overflows;
+  return point;
+}
+
+/// Expands a config into the ordered (channels, method) work list.
+std::vector<std::pair<SlotCount, Method>> point_list(
+    const Workload& workload, const SweepConfig& config) {
+  TCSA_REQUIRE(!config.methods.empty(), "run_sweep: no methods selected");
+  TCSA_REQUIRE(config.step >= 1, "run_sweep: step must be >= 1");
+  TCSA_REQUIRE(config.min_channels >= 1, "run_sweep: channels start at 1");
+  const SlotCount last = config.max_channels > 0 ? config.max_channels
+                                                 : min_channels(workload);
+  TCSA_REQUIRE(config.min_channels <= last, "run_sweep: empty channel range");
+
+  std::vector<std::pair<SlotCount, Method>> points;
+  for (SlotCount channels = config.min_channels; channels <= last;
+       channels += config.step) {
+    for (const Method method : config.methods) {
+      // SUSC only exists at/above the bound; skip it below.
+      if (method == Method::kSusc && !channels_sufficient(workload, channels))
+        continue;
+      points.emplace_back(channels, method);
+    }
+  }
+  return points;
+}
+
+}  // namespace
+
+std::vector<SweepPoint> run_sweep(const Workload& workload,
+                                  const SweepConfig& config) {
+  std::vector<SweepPoint> results;
+  for (const auto& [channels, method] : point_list(workload, config))
+    results.push_back(measure_point(workload, config, channels, method));
+  return results;
+}
+
+std::vector<SweepPoint> run_sweep_parallel(const Workload& workload,
+                                           const SweepConfig& config,
+                                           unsigned threads) {
+  const auto work = point_list(workload, config);
+  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+  threads = std::min<unsigned>(threads, static_cast<unsigned>(work.size()));
+  if (threads <= 1) return run_sweep(workload, config);
+
+  std::vector<SweepPoint> results(work.size());
+  std::atomic<std::size_t> next{0};
+  auto worker = [&]() {
+    for (std::size_t i = next.fetch_add(1); i < work.size();
+         i = next.fetch_add(1)) {
+      results[i] =
+          measure_point(workload, config, work[i].first, work[i].second);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  return results;
+}
+
+}  // namespace tcsa

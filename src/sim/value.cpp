@@ -1,0 +1,52 @@
+#include "sim/value.hpp"
+
+#include <algorithm>
+
+#include "model/appearance_index.hpp"
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace tcsa {
+
+double realized_value(double wait, SlotCount expected_time,
+                      double decay_factor) {
+  TCSA_REQUIRE(wait >= 0.0, "realized_value: negative wait");
+  TCSA_REQUIRE(expected_time >= 1, "realized_value: bad expected time");
+  TCSA_REQUIRE(decay_factor > 0.0, "realized_value: decay factor must be > 0");
+  const auto deadline = static_cast<double>(expected_time);
+  if (wait <= deadline) return 1.0;
+  const double overrun = wait - deadline;
+  return std::max(0.0, 1.0 - overrun / (decay_factor * deadline));
+}
+
+ValueSimResult simulate_value(const BroadcastProgram& program,
+                              const Workload& workload, double decay_factor,
+                              SlotCount count, std::uint64_t seed) {
+  TCSA_REQUIRE(count >= 1, "simulate_value: need at least one request");
+  const AppearanceIndex index(program, workload.total_pages());
+  Rng rng(seed);
+
+  ValueSimResult result;
+  result.requests = static_cast<std::size_t>(count);
+  const auto cycle = static_cast<double>(program.cycle_length());
+  std::size_t full = 0;
+  std::size_t zero = 0;
+  for (SlotCount i = 0; i < count; ++i) {
+    const auto page =
+        static_cast<PageId>(rng.uniform_int(0, workload.total_pages() - 1));
+    const double wait =
+        index.wait_after(page, rng.uniform_real(0.0, cycle));
+    const double value = realized_value(
+        wait, workload.expected_time_of(page), decay_factor);
+    result.avg_value += value;
+    if (value >= 1.0) ++full;
+    if (value <= 0.0) ++zero;
+  }
+  const auto n = static_cast<double>(count);
+  result.avg_value /= n;
+  result.full_value_rate = static_cast<double>(full) / n;
+  result.zero_value_rate = static_cast<double>(zero) / n;
+  return result;
+}
+
+}  // namespace tcsa

@@ -1,0 +1,42 @@
+// value.hpp — realized information value under deadline decay.
+//
+// The introduction motivates expected times with value, not just waiting:
+// stock quotes and traffic warnings are worth full value inside the
+// expected time and "diminish or even become useless" after it. This
+// module scores a schedule by the value clients actually realize:
+//
+//   value(wait) = 1                                  for wait <= t_i
+//               = max(0, 1 - (wait - t_i)/(k * t_i)) for wait  > t_i
+//
+// i.e. linear decay to zero over k deadline-lengths (k = decay_factor;
+// k -> 0 approximates a hard deadline, large k a forgiving one). AvgD
+// treats a 1-slot and a 100-slot overrun on a t=4 page very differently
+// from this metric, which is why both are reported.
+#pragma once
+
+#include <cstdint>
+
+#include "model/program.hpp"
+#include "model/workload.hpp"
+
+namespace tcsa {
+
+/// Value of one access: wait versus deadline with linear decay.
+/// Preconditions: wait >= 0, expected_time >= 1, decay_factor > 0.
+double realized_value(double wait, SlotCount expected_time,
+                      double decay_factor);
+
+/// Aggregates over a uniform request stream.
+struct ValueSimResult {
+  std::size_t requests = 0;
+  double avg_value = 0.0;        ///< mean realized value in [0, 1]
+  double full_value_rate = 0.0;  ///< fraction served at value 1
+  double zero_value_rate = 0.0;  ///< fraction whose value fully decayed
+};
+
+/// Simulates `count` uniform accesses and scores them.
+ValueSimResult simulate_value(const BroadcastProgram& program,
+                              const Workload& workload, double decay_factor,
+                              SlotCount count, std::uint64_t seed);
+
+}  // namespace tcsa

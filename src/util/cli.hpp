@@ -1,0 +1,59 @@
+// cli.hpp — minimal command-line parsing for the benches and examples.
+//
+// Supports `--key value`, `--key=value` and boolean switches (`--flag`).
+// Unknown options are an error so typos fail loudly; every registered option
+// contributes to the auto-generated --help text.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace tcsa {
+
+/// Declarative CLI parser: register options up front, then parse().
+class Cli {
+ public:
+  /// `program` and `summary` appear in --help output.
+  Cli(std::string program, std::string summary);
+
+  /// Registers an option; `fallback` is both the default and the help hint.
+  void add_int(const std::string& name, std::int64_t fallback,
+               const std::string& help);
+  void add_double(const std::string& name, double fallback,
+                  const std::string& help);
+  void add_string(const std::string& name, const std::string& fallback,
+                  const std::string& help);
+  void add_flag(const std::string& name, const std::string& help);
+
+  /// Parses argv. Returns false (after printing help) when --help was given.
+  /// Throws std::invalid_argument on unknown options or malformed values.
+  bool parse(int argc, const char* const* argv);
+
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  const std::string& get_string(const std::string& name) const;
+  bool get_flag(const std::string& name) const;
+
+  /// Generated usage text.
+  std::string help() const;
+
+ private:
+  enum class Kind { kInt, kDouble, kString, kFlag };
+  struct Option {
+    Kind kind;
+    std::string value;  // current value, textual
+    std::string help;
+  };
+
+  const Option& find(const std::string& name, Kind kind) const;
+  Option& find_mutable(const std::string& name);
+
+  std::string program_;
+  std::string summary_;
+  std::map<std::string, Option> options_;
+};
+
+}  // namespace tcsa

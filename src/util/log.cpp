@@ -1,0 +1,44 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+
+namespace tcsa {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::atomic<std::ostream*> g_sink{nullptr};
+std::mutex g_emit_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept { g_level.store(level); }
+
+LogLevel log_level() noexcept { return g_level.load(); }
+
+void set_log_sink(std::ostream* sink) noexcept { g_sink.store(sink); }
+
+namespace detail {
+
+void emit(LogLevel level, const std::string& message) {
+  if (level < g_level.load()) return;
+  std::ostream* sink = g_sink.load();
+  if (sink == nullptr) sink = &std::cerr;
+  const std::lock_guard<std::mutex> lock(g_emit_mutex);
+  (*sink) << "[tcsa " << level_name(level) << "] " << message << '\n';
+}
+
+}  // namespace detail
+}  // namespace tcsa

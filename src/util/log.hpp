@@ -1,0 +1,55 @@
+// log.hpp — small leveled logger.
+//
+// Benches and examples use INFO for progress; the library itself logs only at
+// DEBUG (scheduler internals) and WARN (e.g. placement-window overflow). The
+// sink and level are process-global and test-overridable.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace tcsa {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the minimum level that is emitted (default kWarn: library code is
+/// quiet unless something is off).
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+/// Redirects log output (default: std::cerr). Pass nullptr to restore.
+void set_log_sink(std::ostream* sink) noexcept;
+
+namespace detail {
+void emit(LogLevel level, const std::string& message);
+}
+
+/// Statement-style logging: TCSA_LOG(kInfo) << "cycle=" << t;
+#define TCSA_LOG(level_name)                                          \
+  for (bool tcsa_log_once =                                           \
+           ::tcsa::log_level() <= ::tcsa::LogLevel::level_name;       \
+       tcsa_log_once; tcsa_log_once = false)                          \
+  ::tcsa::detail::LogLine(::tcsa::LogLevel::level_name)
+
+namespace detail {
+/// Accumulates one log line and emits it on destruction.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { emit(level_, os_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    os_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace tcsa

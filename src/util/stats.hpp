@@ -1,0 +1,111 @@
+// stats.hpp — streaming and batch statistics used by the simulator and the
+// benchmark harness.
+//
+// OnlineStats accumulates mean / variance / extrema in one pass (Welford's
+// algorithm), so simulations never need to retain raw samples unless
+// percentiles are requested, in which case Reservoir or SampleSet is used.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tcsa {
+
+class Rng;
+
+/// One-pass mean / variance / min / max accumulator (Welford).
+class OnlineStats {
+ public:
+  void add(double x) noexcept;
+
+  /// Merges another accumulator (parallel-friendly, Chan et al. update).
+  void merge(const OnlineStats& other) noexcept;
+
+  std::size_t count() const noexcept { return count_; }
+  /// Mean of the observed samples; 0 for an empty accumulator.
+  double mean() const noexcept { return count_ ? mean_ : 0.0; }
+  /// Unbiased sample variance; 0 with fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept;
+  double max() const noexcept;
+  double sum() const noexcept { return mean_ * static_cast<double>(count_); }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Retains every sample; supplies exact quantiles. Use when the sample count
+/// is bounded (e.g. one value per simulated request).
+class SampleSet {
+ public:
+  void add(double x);
+  void reserve(std::size_t n) { samples_.reserve(n); }
+
+  std::size_t count() const noexcept { return samples_.size(); }
+  double mean() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+
+  /// Exact quantile with linear interpolation; q in [0, 1]. Requires at
+  /// least one sample.
+  double quantile(double q) const;
+
+  const std::vector<double>& samples() const noexcept { return samples_; }
+
+ private:
+  void ensure_sorted() const;
+
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+};
+
+/// Fixed-capacity uniform reservoir sample (Vitter's Algorithm R) for
+/// unbounded streams where approximate quantiles suffice.
+class Reservoir {
+ public:
+  Reservoir(std::size_t capacity, Rng& rng);
+
+  void add(double x);
+  std::size_t seen() const noexcept { return seen_; }
+  /// Approximate quantile over the retained sample.
+  double quantile(double q) const;
+
+ private:
+  std::size_t capacity_;
+  std::size_t seen_ = 0;
+  Rng* rng_;
+  std::vector<double> samples_;
+};
+
+/// Equal-width histogram over [lo, hi); out-of-range values clamp to the
+/// first/last bucket. Used by benches to show delay distributions.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x) noexcept;
+  std::size_t bucket_count() const noexcept { return counts_.size(); }
+  std::uint64_t bucket(std::size_t i) const { return counts_.at(i); }
+  double bucket_lo(std::size_t i) const;
+  double bucket_hi(std::size_t i) const;
+  std::uint64_t total() const noexcept { return total_; }
+
+  /// Multi-line ASCII rendering (one row per bucket with a proportional bar).
+  std::string render(std::size_t bar_width = 40) const;
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace tcsa

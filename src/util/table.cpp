@@ -1,0 +1,128 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/contracts.hpp"
+
+namespace tcsa {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  TCSA_REQUIRE(!headers_.empty(), "Table: need at least one column");
+}
+
+Table& Table::begin_row() {
+  if (!cells_.empty()) {
+    TCSA_REQUIRE(cells_.back().size() == headers_.size(),
+                 "Table: previous row incomplete");
+  }
+  cells_.emplace_back();
+  cells_.back().reserve(headers_.size());
+  return *this;
+}
+
+void Table::check_row_open() const {
+  TCSA_REQUIRE(!cells_.empty(), "Table: call begin_row() first");
+  TCSA_REQUIRE(cells_.back().size() < headers_.size(),
+               "Table: row already full");
+}
+
+Table& Table::add(std::string value) {
+  check_row_open();
+  cells_.back().push_back(std::move(value));
+  return *this;
+}
+
+Table& Table::add(std::int64_t value) { return add(std::to_string(value)); }
+
+Table& Table::add(std::uint64_t value) { return add(std::to_string(value)); }
+
+Table& Table::add(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return add(os.str());
+}
+
+const std::string& Table::cell(std::size_t row, std::size_t col) const {
+  TCSA_REQUIRE(row < cells_.size(), "Table: row out of range");
+  TCSA_REQUIRE(col < cells_[row].size(), "Table: column out of range");
+  return cells_[row][col];
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    width[c] = headers_[c].size();
+  for (const auto& row : cells_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      if (c) os << "  ";
+      const std::string& v = c < row.size() ? row[c] : std::string{};
+      os << std::setw(static_cast<int>(width[c])) << v;
+    }
+    os << '\n';
+  };
+  emit_row(headers_);
+  std::size_t rule = 0;
+  for (std::size_t c = 0; c < width.size(); ++c) rule += width[c] + (c ? 2 : 0);
+  os << std::string(rule, '-') << '\n';
+  for (const auto& row : cells_) emit_row(row);
+  return os.str();
+}
+
+namespace {
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char ch : s) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+std::string Table::to_csv() const {
+  std::ostringstream os;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c) os << ',';
+    os << csv_escape(headers_[c]);
+  }
+  os << '\n';
+  for (const auto& row : cells_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      os << csv_escape(row[c]);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string Table::to_markdown() const {
+  std::ostringstream os;
+  os << '|';
+  for (const auto& header : headers_) os << ' ' << header << " |";
+  os << "\n|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) os << "---|";
+  os << '\n';
+  for (const auto& row : cells_) {
+    os << '|';
+    for (const auto& v : row) os << ' ' << v << " |";
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Table& t) {
+  return os << t.to_string();
+}
+
+}  // namespace tcsa

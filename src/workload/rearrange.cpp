@@ -1,0 +1,81 @@
+#include "workload/rearrange.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/contracts.hpp"
+
+namespace tcsa {
+namespace {
+
+/// Largest ladder value t1 * c^k <= requested. Requires requested >= t1.
+SlotCount ladder_floor(SlotCount requested, SlotCount t1, SlotCount c) {
+  SlotCount value = t1;
+  while (value <= requested / c && value * c <= requested) value *= c;
+  return value;
+}
+
+}  // namespace
+
+RearrangedWorkload rearrange_expected_times(
+    const std::vector<SlotCount>& requested_times, SlotCount c) {
+  TCSA_REQUIRE(!requested_times.empty(),
+               "rearrange_expected_times: no pages given");
+  TCSA_REQUIRE(c >= 2, "rearrange_expected_times: ratio must be >= 2");
+  for (SlotCount t : requested_times)
+    TCSA_REQUIRE(t >= 1, "rearrange_expected_times: times must be >= 1");
+
+  const SlotCount t1 =
+      *std::min_element(requested_times.begin(), requested_times.end());
+
+  // Assign ladder times and bucket pages per ladder value.
+  std::vector<SlotCount> assigned(requested_times.size());
+  std::map<SlotCount, std::vector<std::size_t>> buckets;  // sorted by time
+  double ratio_sum = 0.0;
+  for (std::size_t i = 0; i < requested_times.size(); ++i) {
+    assigned[i] = ladder_floor(requested_times[i], t1, c);
+    buckets[assigned[i]].push_back(i);
+    ratio_sum += static_cast<double>(assigned[i]) /
+                 static_cast<double>(requested_times[i]);
+  }
+
+  std::vector<GroupSpec> groups;
+  groups.reserve(buckets.size());
+  std::vector<PageId> page_of_input(requested_times.size());
+  PageId next_id = 0;
+  for (const auto& [time, members] : buckets) {
+    groups.push_back(GroupSpec{time, static_cast<SlotCount>(members.size())});
+    for (std::size_t input : members) page_of_input[input] = next_id++;
+  }
+
+  RearrangedWorkload result{Workload(std::move(groups)),
+                            std::move(page_of_input), std::move(assigned),
+                            ratio_sum / static_cast<double>(requested_times.size())};
+  return result;
+}
+
+SlotCount best_ladder_ratio(const std::vector<SlotCount>& requested_times,
+                            SlotCount max_ratio) {
+  TCSA_REQUIRE(!requested_times.empty(), "best_ladder_ratio: no pages given");
+  TCSA_REQUIRE(max_ratio >= 2, "best_ladder_ratio: max_ratio must be >= 2");
+  const SlotCount t1 =
+      *std::min_element(requested_times.begin(), requested_times.end());
+
+  SlotCount best_c = 2;
+  double best_score = -1.0;
+  for (SlotCount c = 2; c <= max_ratio; ++c) {
+    double score = 0.0;
+    for (SlotCount t : requested_times) {
+      TCSA_REQUIRE(t >= 1, "best_ladder_ratio: times must be >= 1");
+      score += static_cast<double>(ladder_floor(t, t1, c)) /
+               static_cast<double>(t);
+    }
+    if (score > best_score) {  // strict: ties keep the smaller (finer) c
+      best_score = score;
+      best_c = c;
+    }
+  }
+  return best_c;
+}
+
+}  // namespace tcsa

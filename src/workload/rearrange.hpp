@@ -1,0 +1,39 @@
+// rearrange.hpp — Section 2's expected-time rearrangement.
+//
+// Real clients announce arbitrary expected times (e.g. 2, 3, 4, 6, 9). The
+// scheduling theory requires a divisibility ladder, so each announced time is
+// rounded *down* to the largest ladder value t1 * c^k that does not exceed it
+// (never up: a smaller expected time still satisfies the client, per the
+// paper's example where 3 -> 2, 6 -> 4, 9 -> 8). Rounding down as little as
+// possible avoids wasting bandwidth on needlessly frequent rebroadcast.
+#pragma once
+
+#include <vector>
+
+#include "model/workload.hpp"
+
+namespace tcsa {
+
+/// Result of rearranging arbitrary expected times onto a geometric ladder.
+struct RearrangedWorkload {
+  Workload workload;                  ///< ladder workload (groups ascending)
+  std::vector<PageId> page_of_input;  ///< input index -> page id in `workload`
+  std::vector<SlotCount> assigned_time;  ///< input index -> ladder time
+  double mean_tightening_ratio = 1.0;    ///< mean(assigned / requested), <= 1
+};
+
+/// Rounds `requested_times` (one per input page, each >= 1) down onto the
+/// ladder t1 * c^k with t1 = min(requested_times) and the given ratio c >= 2,
+/// groups equal assigned times, and builds the Workload.
+/// The paper's example — times {2,3,4,6,9}, c = 2 — yields the ladder
+/// {2,4,8} with assignments {2,2,4,4,8}.
+RearrangedWorkload rearrange_expected_times(
+    const std::vector<SlotCount>& requested_times, SlotCount c = 2);
+
+/// Picks the ratio c in [2, max_ratio] whose ladder loses the least time
+/// overall (maximises the mean assigned/requested ratio). Ties prefer the
+/// smaller c (finer ladder).
+SlotCount best_ladder_ratio(const std::vector<SlotCount>& requested_times,
+                            SlotCount max_ratio = 8);
+
+}  // namespace tcsa

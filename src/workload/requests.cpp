@@ -1,0 +1,49 @@
+#include "workload/requests.hpp"
+
+#include "util/contracts.hpp"
+
+namespace tcsa {
+
+std::vector<Request> generate_requests(const Workload& workload, double window,
+                                       const RequestConfig& config, Rng& rng) {
+  TCSA_REQUIRE(window > 0.0, "generate_requests: window must be positive");
+  TCSA_REQUIRE(config.count >= 0, "generate_requests: negative count");
+
+  const std::vector<double> weights =
+      access_weights(workload, config.popularity, config.zipf_theta);
+  const DiscreteSampler sampler(weights);
+
+  std::vector<Request> requests;
+  requests.reserve(static_cast<std::size_t>(config.count));
+  double clock = 0.0;
+  for (SlotCount i = 0; i < config.count; ++i) {
+    Request r;
+    r.page = static_cast<PageId>(sampler.sample(rng));
+    switch (config.arrivals) {
+      case ArrivalProcess::kUniformWindow:
+        r.arrival = rng.uniform_real(0.0, window);
+        break;
+      case ArrivalProcess::kPoisson:
+        clock += rng.exponential(config.poisson_rate);
+        r.arrival = clock;
+        break;
+    }
+    requests.push_back(r);
+  }
+  return requests;
+}
+
+std::vector<double> access_weights(const Workload& workload,
+                                   Popularity popularity, double zipf_theta) {
+  const auto n = static_cast<std::size_t>(workload.total_pages());
+  switch (popularity) {
+    case Popularity::kUniform:
+      return std::vector<double>(n, 1.0);
+    case Popularity::kZipf:
+      return zipf_weights(n, zipf_theta);
+  }
+  TCSA_ASSERT(false, "access_weights: unknown popularity model");
+  return {};
+}
+
+}  // namespace tcsa

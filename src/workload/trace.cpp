@@ -1,0 +1,62 @@
+#include "workload/trace.hpp"
+
+#include <istream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/contracts.hpp"
+
+namespace tcsa {
+
+std::vector<TraceEntry> parse_trace(std::istream& is) {
+  std::vector<TraceEntry> entries;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    // Normalise separators, strip comments.
+    if (const auto hash = line.find('#'); hash != std::string::npos)
+      line.erase(hash);
+    for (char& ch : line)
+      if (ch == ',' || ch == '\t') ch = ' ';
+    std::istringstream fields(line);
+    TraceEntry entry;
+    if (!(fields >> entry.name)) continue;  // blank line
+    if (!(fields >> entry.expected_time)) {
+      throw std::invalid_argument(
+          "trace parse error (line " + std::to_string(line_no) +
+          "): expected '<name> <expected-time>'");
+    }
+    std::string extra;
+    if (fields >> extra) {
+      throw std::invalid_argument("trace parse error (line " +
+                                  std::to_string(line_no) +
+                                  "): trailing fields: " + extra);
+    }
+    if (entry.expected_time < 1) {
+      throw std::invalid_argument("trace parse error (line " +
+                                  std::to_string(line_no) +
+                                  "): expected time must be >= 1");
+    }
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+TracePlan plan_from_trace(const std::vector<TraceEntry>& entries,
+                          SlotCount max_ratio) {
+  TCSA_REQUIRE(!entries.empty(), "plan_from_trace: empty trace");
+  std::vector<SlotCount> times;
+  times.reserve(entries.size());
+  for (const TraceEntry& entry : entries) times.push_back(entry.expected_time);
+
+  const SlotCount ratio = best_ladder_ratio(times, max_ratio);
+  TracePlan plan{rearrange_expected_times(times, ratio), {}, ratio};
+
+  plan.name_of_page.resize(entries.size());
+  for (std::size_t i = 0; i < entries.size(); ++i)
+    plan.name_of_page[plan.rearranged.page_of_input[i]] = entries[i].name;
+  return plan;
+}
+
+}  // namespace tcsa

@@ -1,0 +1,169 @@
+// Tests for the client cache (LRU / PIX) and the caching-client session.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "client/cache.hpp"
+#include "client/cached_client.hpp"
+#include "core/pamad.hpp"
+#include "core/susc.hpp"
+#include "workload/distributions.hpp"
+
+namespace tcsa {
+namespace {
+
+// -------------------------------------------------------------------- cache
+
+TEST(Cache, PolicyNamesRoundTrip) {
+  EXPECT_EQ(parse_cache_policy("lru"), CachePolicy::kLru);
+  EXPECT_EQ(parse_cache_policy("pix"), CachePolicy::kPix);
+  EXPECT_EQ(cache_policy_name(CachePolicy::kPix), "pix");
+  EXPECT_THROW(parse_cache_policy("fifo"), std::invalid_argument);
+}
+
+TEST(Cache, LruEvictsLeastRecent) {
+  ClientCache cache(2, CachePolicy::kLru);
+  cache.insert(1);
+  cache.insert(2);
+  EXPECT_TRUE(cache.lookup(1));  // 1 is now most recent
+  cache.insert(3);               // evicts 2
+  EXPECT_TRUE(cache.contains(1));
+  EXPECT_FALSE(cache.contains(2));
+  EXPECT_TRUE(cache.contains(3));
+  EXPECT_EQ(cache.evictions(), 1u);
+}
+
+TEST(Cache, LookupTracksHitsAndMisses) {
+  ClientCache cache(2, CachePolicy::kLru);
+  EXPECT_FALSE(cache.lookup(7));
+  cache.insert(7);
+  EXPECT_TRUE(cache.lookup(7));
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_DOUBLE_EQ(cache.hit_rate(), 0.5);
+}
+
+TEST(Cache, ReinsertIsNoEviction) {
+  ClientCache cache(1, CachePolicy::kLru);
+  cache.insert(5);
+  cache.insert(5);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.evictions(), 0u);
+}
+
+TEST(Cache, PixEvictsCheapToRefetch) {
+  // Page 0: popular but aired constantly (pix low). Page 1: moderately
+  // popular, aired once a cycle (pix high). Page 2 arrives; 0 must go.
+  const std::vector<double> prob = {0.5, 0.3, 0.2};
+  const std::vector<double> freq = {64.0, 1.0, 2.0};
+  ClientCache cache(2, CachePolicy::kPix, prob, freq);
+  cache.insert(0);
+  cache.insert(1);
+  cache.insert(2);
+  EXPECT_FALSE(cache.contains(0));  // 0.5/64 is the lowest score
+  EXPECT_TRUE(cache.contains(1));
+  EXPECT_TRUE(cache.contains(2));
+}
+
+TEST(Cache, PixCanBounceTheNewcomer) {
+  // The inserted page itself has the worst score: it should be the victim.
+  const std::vector<double> prob = {0.4, 0.4, 0.01};
+  const std::vector<double> freq = {1.0, 1.0, 50.0};
+  ClientCache cache(2, CachePolicy::kPix, prob, freq);
+  cache.insert(0);
+  cache.insert(1);
+  cache.insert(2);
+  EXPECT_FALSE(cache.contains(2));
+  EXPECT_TRUE(cache.contains(0));
+  EXPECT_TRUE(cache.contains(1));
+}
+
+TEST(Cache, RejectsBadConstruction) {
+  EXPECT_THROW(ClientCache(0, CachePolicy::kLru), std::invalid_argument);
+  EXPECT_THROW(ClientCache(2, CachePolicy::kPix), std::invalid_argument);
+  EXPECT_THROW(ClientCache(2, CachePolicy::kPix, {1.0}, {1.0, 2.0}),
+               std::invalid_argument);
+}
+
+TEST(Cache, PixRejectsUncoveredPage) {
+  ClientCache cache(2, CachePolicy::kPix, {1.0, 1.0}, {1.0, 1.0});
+  EXPECT_THROW(cache.insert(5), std::invalid_argument);
+}
+
+// ----------------------------------------------------------- cached client
+
+TEST(CachedClient, HitsReduceEffectiveWait) {
+  const Workload w = make_paper_workload(GroupSizeShape::kUniform, 4, 200, 4, 2);
+  const PamadSchedule s = schedule_pamad(w, 3);
+  CachedClientConfig config;
+  config.requests = 8000;
+  const CachedClientResult r =
+      simulate_cached_client(s.program, w, config);
+  EXPECT_GT(r.hit_rate, 0.1);
+  EXPECT_LT(r.avg_wait, r.avg_uncached_wait);
+}
+
+TEST(CachedClient, BiggerCacheHigherHitRate) {
+  const Workload w = make_paper_workload(GroupSizeShape::kUniform, 4, 200, 4, 2);
+  const PamadSchedule s = schedule_pamad(w, 3);
+  CachedClientConfig small, large;
+  small.requests = large.requests = 8000;
+  small.cache_capacity = 10;
+  large.cache_capacity = 100;
+  EXPECT_LT(simulate_cached_client(s.program, w, small).hit_rate,
+            simulate_cached_client(s.program, w, large).hit_rate);
+}
+
+TEST(CachedClient, PixBeatsLruOnEffectiveWait) {
+  // The Broadcast Disks headline: under skewed access on a frequency-skewed
+  // broadcast, cost-aware caching beats recency on *wait*, not necessarily
+  // on raw hit rate.
+  const Workload w = make_paper_workload(GroupSizeShape::kUniform, 5, 400, 4, 2);
+  const PamadSchedule s = schedule_pamad(w, 4);
+  CachedClientConfig pix, lru;
+  pix.requests = lru.requests = 20000;
+  pix.cache_capacity = lru.cache_capacity = 40;
+  pix.policy = CachePolicy::kPix;
+  lru.policy = CachePolicy::kLru;
+  const CachedClientResult rp = simulate_cached_client(s.program, w, pix);
+  const CachedClientResult rl = simulate_cached_client(s.program, w, lru);
+  EXPECT_LT(rp.avg_wait, rl.avg_wait);
+}
+
+TEST(CachedClient, UniformAccessCachesLittle) {
+  const Workload w = make_paper_workload(GroupSizeShape::kUniform, 4, 400, 4, 2);
+  const BroadcastProgram p = schedule_susc(w);
+  CachedClientConfig config;
+  config.requests = 5000;
+  config.cache_capacity = 10;
+  config.popularity = Popularity::kUniform;
+  const CachedClientResult r = simulate_cached_client(p, w, config);
+  EXPECT_LT(r.hit_rate, 0.08);  // ~10/400 chance of a repeat
+}
+
+TEST(CachedClient, DeterministicInSeed) {
+  const Workload w = make_paper_workload(GroupSizeShape::kUniform, 4, 100, 4, 2);
+  const PamadSchedule s = schedule_pamad(w, 2);
+  CachedClientConfig config;
+  config.requests = 3000;
+  const CachedClientResult a = simulate_cached_client(s.program, w, config);
+  const CachedClientResult b = simulate_cached_client(s.program, w, config);
+  EXPECT_DOUBLE_EQ(a.avg_wait, b.avg_wait);
+  EXPECT_DOUBLE_EQ(a.hit_rate, b.hit_rate);
+}
+
+TEST(CachedClient, RejectsBadConfig) {
+  const Workload w = make_workload({2}, {2});
+  BroadcastProgram p(1, 2);
+  p.place(0, 0, 0);
+  p.place(0, 1, 1);
+  CachedClientConfig config;
+  config.requests = 0;
+  EXPECT_THROW(simulate_cached_client(p, w, config), std::invalid_argument);
+  config.requests = 10;
+  config.think_time = -1.0;
+  EXPECT_THROW(simulate_cached_client(p, w, config), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tcsa

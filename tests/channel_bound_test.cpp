@@ -1,0 +1,99 @@
+// Tests for Theorem 3.1 (minimum number of channels).
+#include <gtest/gtest.h>
+
+#include "core/channel_bound.hpp"
+#include "core/susc.hpp"
+#include "model/validate.hpp"
+#include "workload/distributions.hpp"
+
+namespace tcsa {
+namespace {
+
+TEST(ChannelBound, PaperExample) {
+  // Section 3.1: P = (2, 3), t = (2, 4) -> ceil(2/2 + 3/4) = ceil(1.75) = 2.
+  const Workload w = make_workload({2, 4}, {2, 3});
+  EXPECT_EQ(min_channels(w), 2);
+  const BandwidthDemand d = bandwidth_demand(w);
+  EXPECT_EQ(d.numerator, 7);   // 2*(4/2) + 3*(4/4)
+  EXPECT_EQ(d.denominator, 4);
+  EXPECT_DOUBLE_EQ(d.as_double(), 1.75);
+}
+
+TEST(ChannelBound, Fig2ExampleNeedsFourChannels) {
+  // Section 4.4's example: P = (3, 5, 3), t = (2, 4, 8) -> four channels.
+  const Workload w = make_workload({2, 4, 8}, {3, 5, 3});
+  EXPECT_EQ(min_channels(w), 4);  // ceil(3/2 + 5/4 + 3/8) = ceil(3.125)
+}
+
+TEST(ChannelBound, SingleGroupExactDivision) {
+  // 8 pages, deadline 4 -> exactly 2 channels, no rounding.
+  EXPECT_EQ(min_channels(make_workload({4}, {8})), 2);
+  // 9 pages -> 3 channels.
+  EXPECT_EQ(min_channels(make_workload({4}, {9})), 3);
+}
+
+TEST(ChannelBound, AlwaysAtLeastOne) {
+  EXPECT_EQ(min_channels(make_workload({512}, {1})), 1);
+}
+
+TEST(ChannelBound, PaperDefaultsAreAround64) {
+  // Fig. 5(d) reports 64 minimally sufficient channels for the uniform
+  // distribution; the exact value depends on rounding. Uniform sizes give
+  // sum 125 * (1/4 + ... + 1/512) = 62.26 -> 63.
+  const Workload w = make_paper_workload(GroupSizeShape::kUniform);
+  EXPECT_GE(min_channels(w), 60);
+  EXPECT_LE(min_channels(w), 66);
+}
+
+TEST(ChannelBound, LSkewDemandsMoreThanSSkew) {
+  // Front-loaded deadlines are more expensive to meet.
+  const Workload l = make_paper_workload(GroupSizeShape::kLSkewed);
+  const Workload s = make_paper_workload(GroupSizeShape::kSSkewed);
+  EXPECT_GT(min_channels(l), min_channels(s));
+}
+
+TEST(ChannelBound, SufficiencyPredicate) {
+  const Workload w = make_workload({2, 4}, {2, 3});
+  EXPECT_FALSE(channels_sufficient(w, 1));
+  EXPECT_TRUE(channels_sufficient(w, 2));
+  EXPECT_TRUE(channels_sufficient(w, 10));
+}
+
+TEST(ChannelBound, BoundScalesLinearlyWithPages) {
+  const SlotCount base = min_channels(make_workload({4}, {4}));
+  const SlotCount doubled = min_channels(make_workload({4}, {8}));
+  EXPECT_EQ(doubled, 2 * base);
+}
+
+// Property: the bound is *achievable* — SUSC builds a valid program with
+// exactly min_channels — and *tight* in bandwidth terms: demand never
+// exceeds the bound, and exceeds bound-1 (otherwise fewer channels would do).
+class BoundTightness
+    : public ::testing::TestWithParam<std::tuple<GroupSizeShape, int>> {};
+
+TEST_P(BoundTightness, AchievableAndTight) {
+  const auto [shape, n] = GetParam();
+  const Workload w = make_paper_workload(shape, 4, n, 2, 2);
+  const SlotCount bound = min_channels(w);
+  const BandwidthDemand demand = bandwidth_demand(w);
+  EXPECT_LE(demand.as_double(), static_cast<double>(bound));
+  EXPECT_GT(demand.as_double(), static_cast<double>(bound - 1));
+
+  const BroadcastProgram program = schedule_susc(w, bound);
+  EXPECT_TRUE(is_valid_program(program, w));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapesAndSizes, BoundTightness,
+    ::testing::Combine(::testing::Values(GroupSizeShape::kUniform,
+                                         GroupSizeShape::kNormal,
+                                         GroupSizeShape::kLSkewed,
+                                         GroupSizeShape::kSSkewed),
+                       ::testing::Values(8, 40, 100, 333)),
+    [](const auto& info) {
+      return shape_name(std::get<0>(info.param)) + "_n" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace tcsa

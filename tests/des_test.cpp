@@ -1,0 +1,178 @@
+// Tests for the discrete-event engine and the on-demand server queue.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/des.hpp"
+#include "sim/on_demand.hpp"
+
+namespace tcsa {
+namespace {
+
+// ---------------------------------------------------------------- EventQueue
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(3.0, [&] { order.push_back(3); });
+  q.schedule_at(1.0, [&] { order.push_back(1); });
+  q.schedule_at(2.0, [&] { order.push_back(2); });
+  EXPECT_EQ(q.run_until(10.0), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.now(), 10.0);
+}
+
+TEST(EventQueue, SameTimeFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i)
+    q.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  q.run_until(2.0);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, HorizonIsInclusive) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule_at(5.0, [&] { ++fired; });
+  q.schedule_at(5.0001, [&] { ++fired; });
+  EXPECT_EQ(q.run_until(5.0), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueue, ActionsCanScheduleMore) {
+  EventQueue q;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    ++count;
+    if (count < 10) q.schedule_in(1.0, tick);
+  };
+  q.schedule_at(0.0, tick);
+  q.run_until(100.0);
+  EXPECT_EQ(count, 10);
+  EXPECT_DOUBLE_EQ(q.now(), 100.0);
+}
+
+TEST(EventQueue, NowAdvancesWithEvents) {
+  EventQueue q;
+  double seen = -1.0;
+  q.schedule_at(4.5, [&] { seen = q.now(); });
+  q.run_until(4.5);
+  EXPECT_DOUBLE_EQ(seen, 4.5);
+}
+
+TEST(EventQueue, RejectsPastAndNull) {
+  EventQueue q;
+  q.schedule_at(2.0, [] {});
+  q.run_until(2.0);
+  EXPECT_THROW(q.schedule_at(1.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(q.schedule_in(-1.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(q.schedule_at(3.0, nullptr), std::invalid_argument);
+}
+
+TEST(EventQueue, EmptyAndPending) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  q.schedule_at(1.0, [] {});
+  EXPECT_FALSE(q.empty());
+  EXPECT_EQ(q.pending(), 1u);
+  q.run_until(1.0);
+  EXPECT_TRUE(q.empty());
+}
+
+// ------------------------------------------------------------ OnDemandServer
+
+TEST(OnDemand, SingleServerSerialises) {
+  EventQueue q;
+  OnDemandServer server(q, 1, 2.0);
+  std::vector<double> responses;
+  q.schedule_at(0.0, [&] {
+    server.submit(0, [&](PageId, double r) { responses.push_back(r); });
+    server.submit(1, [&](PageId, double r) { responses.push_back(r); });
+    server.submit(2, [&](PageId, double r) { responses.push_back(r); });
+  });
+  q.run_until(100.0);
+  ASSERT_EQ(responses.size(), 3u);
+  EXPECT_DOUBLE_EQ(responses[0], 2.0);  // service only
+  EXPECT_DOUBLE_EQ(responses[1], 4.0);  // one queue wait
+  EXPECT_DOUBLE_EQ(responses[2], 6.0);  // two queue waits
+  EXPECT_EQ(server.completed(), 3u);
+}
+
+TEST(OnDemand, ParallelServersOverlap) {
+  EventQueue q;
+  OnDemandServer server(q, 3, 2.0);
+  std::vector<double> responses;
+  q.schedule_at(0.0, [&] {
+    for (PageId p = 0; p < 3; ++p)
+      server.submit(p, [&](PageId, double r) { responses.push_back(r); });
+  });
+  q.run_until(100.0);
+  ASSERT_EQ(responses.size(), 3u);
+  for (const double r : responses) EXPECT_DOUBLE_EQ(r, 2.0);
+}
+
+TEST(OnDemand, QueueLengthObservedAtArrival) {
+  EventQueue q;
+  OnDemandServer server(q, 1, 1.0);
+  q.schedule_at(0.0, [&] {
+    server.submit(0);  // starts service; queue empty at arrival
+    server.submit(1);  // queue empty (0 waiting) at arrival, then waits
+    server.submit(2);  // sees 1 waiting
+  });
+  q.run_until(10.0);
+  EXPECT_EQ(server.submitted(), 3u);
+  EXPECT_DOUBLE_EQ(server.queue_at_arrival().max(), 1.0);
+}
+
+TEST(OnDemand, BusyAndQueueTrackedMidFlight) {
+  EventQueue q;
+  OnDemandServer server(q, 2, 5.0);
+  q.schedule_at(0.0, [&] {
+    server.submit(0);
+    server.submit(1);
+    server.submit(2);
+  });
+  q.schedule_at(1.0, [&] {
+    EXPECT_EQ(server.busy_servers(), 2);
+    EXPECT_EQ(server.queue_length(), 1u);
+  });
+  q.run_until(20.0);
+  EXPECT_EQ(server.busy_servers(), 0);
+  EXPECT_EQ(server.queue_length(), 0u);
+  EXPECT_EQ(server.completed(), 3u);
+}
+
+TEST(OnDemand, ResponseStatsAccumulate) {
+  EventQueue q;
+  OnDemandServer server(q, 1, 1.0);
+  q.schedule_at(0.0, [&] {
+    server.submit(0);
+    server.submit(1);
+  });
+  q.run_until(10.0);
+  EXPECT_EQ(server.response_times().count(), 2u);
+  EXPECT_DOUBLE_EQ(server.response_times().mean(), 1.5);  // (1 + 2) / 2
+}
+
+TEST(OnDemand, RejectsBadConfig) {
+  EventQueue q;
+  EXPECT_THROW(OnDemandServer(q, 0, 1.0), std::invalid_argument);
+  EXPECT_THROW(OnDemandServer(q, 1, 0.0), std::invalid_argument);
+}
+
+TEST(OnDemand, StaggeredArrivalsKeepFifo) {
+  EventQueue q;
+  OnDemandServer server(q, 1, 3.0);
+  std::vector<PageId> completion_order;
+  auto track = [&](PageId p, double) { completion_order.push_back(p); };
+  q.schedule_at(0.0, [&] { server.submit(10, track); });
+  q.schedule_at(1.0, [&] { server.submit(11, track); });
+  q.schedule_at(2.0, [&] { server.submit(12, track); });
+  q.run_until(100.0);
+  EXPECT_EQ(completion_order, (std::vector<PageId>{10, 11, 12}));
+}
+
+}  // namespace
+}  // namespace tcsa

@@ -1,0 +1,224 @@
+// Tests for the multi-item, staleness and channel-switching extensions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/channel_bound.hpp"
+#include "core/mpb.hpp"
+#include "core/pamad.hpp"
+#include "core/susc.hpp"
+#include "sim/multi_item.hpp"
+#include "sim/staleness.hpp"
+#include "sim/switching.hpp"
+#include "workload/distributions.hpp"
+
+namespace tcsa {
+namespace {
+
+// --------------------------------------------------------------- multi item
+
+TEST(MultiItem, SingleItemMatchesDeadlineGuarantee) {
+  const Workload w = make_workload({2, 4, 8}, {3, 5, 3});
+  const BroadcastProgram p = schedule_susc(w);
+  MultiItemConfig config;
+  config.items_per_request = 1;
+  config.requests = 4000;
+  const MultiItemResult r = simulate_multi_item(p, w, config);
+  EXPECT_DOUBLE_EQ(r.all_in_time_rate, 1.0);  // valid program, k = 1
+  EXPECT_DOUBLE_EQ(r.avg_bundle_delay, 0.0);
+}
+
+TEST(MultiItem, ValidProgramSatisfiesAnyBundle) {
+  // Every page individually within deadline -> every bundle within too.
+  const Workload w = make_workload({2, 4, 8}, {3, 5, 3});
+  const BroadcastProgram p = schedule_susc(w);
+  MultiItemConfig config;
+  config.items_per_request = 5;
+  config.requests = 2000;
+  const MultiItemResult r = simulate_multi_item(p, w, config);
+  EXPECT_DOUBLE_EQ(r.all_in_time_rate, 1.0);
+}
+
+TEST(MultiItem, BiggerBundlesWaitLongerAndMissMore) {
+  const Workload w = make_paper_workload(GroupSizeShape::kUniform, 5, 200, 4, 2);
+  const PamadSchedule s = schedule_pamad(w, 4);
+  double last_completion = 0.0;
+  double last_in_time = 1.1;
+  for (const SlotCount k : {1, 2, 4, 8}) {
+    MultiItemConfig config;
+    config.items_per_request = k;
+    config.requests = 4000;
+    const MultiItemResult r = simulate_multi_item(s.program, w, config);
+    EXPECT_GT(r.avg_completion, last_completion) << "k=" << k;
+    EXPECT_LT(r.all_in_time_rate, last_in_time) << "k=" << k;
+    last_completion = r.avg_completion;
+    last_in_time = r.all_in_time_rate;
+  }
+}
+
+TEST(MultiItem, PamadStillBeatsMpbOnBundles) {
+  const Workload w = make_paper_workload(GroupSizeShape::kUniform, 5, 200, 4, 2);
+  const SlotCount channels = min_channels(w) / 3;
+  MultiItemConfig config;
+  config.items_per_request = 3;
+  config.requests = 4000;
+  const MultiItemResult rp =
+      simulate_multi_item(schedule_pamad(w, channels).program, w, config);
+  const MultiItemResult rm =
+      simulate_multi_item(schedule_mpb(w, channels).program, w, config);
+  EXPECT_LT(rp.avg_bundle_delay, rm.avg_bundle_delay);
+  EXPECT_GT(rp.all_in_time_rate, rm.all_in_time_rate);
+}
+
+TEST(MultiItem, RejectsBadConfig) {
+  const Workload w = make_workload({2}, {2});
+  BroadcastProgram p(1, 2);
+  p.place(0, 0, 0);
+  p.place(0, 1, 1);
+  MultiItemConfig config;
+  config.items_per_request = 3;  // > population
+  EXPECT_THROW(simulate_multi_item(p, w, config), std::invalid_argument);
+  config.items_per_request = 0;
+  EXPECT_THROW(simulate_multi_item(p, w, config), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- staleness
+
+TEST(Staleness, ClosedFormLimits) {
+  // u g -> 0: fraction -> u g / 2 (first order). u g -> inf: fraction -> 1.
+  EXPECT_NEAR(stale_fraction_for_gap(1.0, 0.01), 0.005, 1e-4);
+  EXPECT_NEAR(stale_fraction_for_gap(100.0, 10.0), 1.0, 1e-2);
+  EXPECT_THROW(stale_fraction_for_gap(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(stale_fraction_for_gap(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(Staleness, EvenSpacingMatchesClosedForm) {
+  const Workload w = make_workload({4}, {1});
+  BroadcastProgram p(1, 12);
+  for (const SlotCount s : {0, 4, 8}) p.place(0, s, 0);  // even gap 4
+  const AppearanceIndex idx(p, 1);
+  for (const double u : {0.05, 0.2, 1.0}) {
+    EXPECT_NEAR(expected_stale_fraction(idx, 0, u),
+                stale_fraction_for_gap(4.0, u), 1e-12)
+        << "u=" << u;
+  }
+}
+
+TEST(Staleness, MonteCarloAgreesWithAnalytic) {
+  const Workload w = make_workload({2, 4, 8}, {3, 5, 3});
+  const PamadSchedule s = schedule_pamad(w, 3);
+  const AppearanceIndex idx(s.program, w.total_pages());
+  for (const PageId page : {0u, 5u, 10u}) {
+    const double analytic = expected_stale_fraction(idx, page, 0.1);
+    const double simulated =
+        simulate_stale_fraction(idx, page, 0.1, 4000, 13);
+    EXPECT_NEAR(simulated, analytic, 0.02) << "page " << page;
+  }
+}
+
+TEST(Staleness, MoreFrequentBroadcastIsFresher) {
+  // SUSC at the bound rebroadcasts tight-deadline pages more often; their
+  // copies stay fresher at equal update rates.
+  const Workload w = make_workload({2, 4, 8}, {3, 5, 3});
+  const BroadcastProgram p = schedule_susc(w);
+  const AppearanceIndex idx(p, w.total_pages());
+  const double tight = expected_stale_fraction(idx, 0, 0.2);   // t = 2
+  const double loose = expected_stale_fraction(idx, 10, 0.2);  // t = 8
+  EXPECT_LT(tight, loose);
+}
+
+TEST(Staleness, HigherUpdateRateIsStaler) {
+  const Workload w = make_workload({2, 4, 8}, {3, 5, 3});
+  const PamadSchedule s = schedule_pamad(w, 3);
+  double last = 0.0;
+  for (const double u : {0.01, 0.1, 1.0}) {
+    const StalenessResult r = evaluate_staleness(s.program, w, u);
+    EXPECT_GT(r.avg_stale_fraction, last);
+    EXPECT_GE(r.worst_stale_fraction, r.avg_stale_fraction);
+    last = r.avg_stale_fraction;
+  }
+}
+
+// ---------------------------------------------------------------- switching
+
+TEST(Switching, ZeroCostMatchesPlainIndex) {
+  const Workload w = make_workload({2, 4, 8}, {3, 5, 3});
+  const BroadcastProgram p = schedule_susc(w);
+  const ChannelAppearanceIndex channel_idx(p, w.total_pages());
+  const AppearanceIndex idx(p, w.total_pages());
+  for (PageId page = 0; page < w.total_pages(); ++page) {
+    for (const double arrival : {0.0, 1.7, 5.2}) {
+      const TunedAccess access = tuned_wait(channel_idx, page, arrival, 0, 0.0);
+      EXPECT_DOUBLE_EQ(access.wait, idx.wait_after(page, arrival))
+          << "page " << page << " arrival " << arrival;
+    }
+  }
+}
+
+TEST(Switching, SameChannelNeedsNoRetune) {
+  const Workload w = make_workload({2}, {1});
+  BroadcastProgram p(2, 4);
+  p.place(0, 0, 0);
+  p.place(0, 2, 0);
+  const ChannelAppearanceIndex idx(p, 1);
+  // Client tuned to channel 0 catches the page directly even with a huge
+  // switch cost: next completion on its own channel is at time 1.
+  const TunedAccess access = tuned_wait(idx, 0, 0.5, 0, 100.0);
+  EXPECT_FALSE(access.switched);
+  EXPECT_DOUBLE_EQ(access.wait, 0.5);
+}
+
+TEST(Switching, RetuneDelaysCrossChannelCatch) {
+  const Workload w = make_workload({8}, {1});
+  BroadcastProgram p(2, 8);
+  p.place(1, 2, 0);  // only on channel 1, starts at 2, completes at 3
+  const ChannelAppearanceIndex idx(p, 1);
+  // Tuned to 0, arrival 0: with cost <= 2 the slot at start=2 is caught.
+  EXPECT_DOUBLE_EQ(tuned_wait(idx, 0, 0.0, 0, 2.0).wait, 3.0);
+  EXPECT_TRUE(tuned_wait(idx, 0, 0.0, 0, 2.0).switched);
+  // With cost 3 the client misses it and waits a whole cycle.
+  EXPECT_DOUBLE_EQ(tuned_wait(idx, 0, 0.0, 0, 3.0).wait, 11.0);
+}
+
+TEST(Switching, HugeCostFallsBackAcrossCycles) {
+  const Workload w = make_workload({4}, {1});
+  BroadcastProgram p(2, 4);
+  p.place(1, 0, 0);  // starts at 0; unreachable this cycle from channel 0
+  const ChannelAppearanceIndex idx(p, 1);
+  const TunedAccess access = tuned_wait(idx, 0, 0.0, 0, 9.0);
+  // Next reachable start: 0 + k*4 >= 9 -> k = 3 -> completion 13.
+  EXPECT_DOUBLE_EQ(access.wait, 13.0);
+}
+
+TEST(Switching, WaitGrowsWithSwitchCost) {
+  const Workload w = make_paper_workload(GroupSizeShape::kUniform, 5, 200, 4, 2);
+  const PamadSchedule s = schedule_pamad(w, 6);
+  double last = -1.0;
+  for (const double cost : {0.0, 1.0, 4.0, 16.0}) {
+    const SwitchingResult r =
+        simulate_switching(s.program, w, cost, 10000, 31);
+    EXPECT_GE(r.avg_wait, last) << "cost " << cost;
+    last = r.avg_wait;
+  }
+}
+
+TEST(Switching, MultiChannelClientsMostlySwitch) {
+  // With many channels and one tuner, most catches are off-channel.
+  const Workload w = make_paper_workload(GroupSizeShape::kUniform, 5, 200, 4, 2);
+  const PamadSchedule s = schedule_pamad(w, 8);
+  const SwitchingResult r = simulate_switching(s.program, w, 1.0, 10000, 7);
+  EXPECT_GT(r.switch_rate, 0.5);
+}
+
+TEST(Switching, RejectsBadArguments) {
+  const Workload w = make_workload({2}, {1});
+  BroadcastProgram p(1, 2);
+  p.place(0, 0, 0);
+  const ChannelAppearanceIndex idx(p, 1);
+  EXPECT_THROW(tuned_wait(idx, 0, 0.0, 0, -1.0), std::invalid_argument);
+  EXPECT_THROW(tuned_wait(idx, 0, 0.0, 5, 0.0), std::invalid_argument);
+  EXPECT_THROW(simulate_switching(p, w, 0.0, 0, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tcsa

@@ -1,0 +1,106 @@
+// Tests for the hybrid broadcast/on-demand simulation (Section 1's
+// motivation, experiment A4).
+#include <gtest/gtest.h>
+
+#include "core/channel_bound.hpp"
+#include "core/mpb.hpp"
+#include "core/pamad.hpp"
+#include "core/susc.hpp"
+#include "sim/hybrid.hpp"
+#include "workload/distributions.hpp"
+
+namespace tcsa {
+namespace {
+
+TEST(Hybrid, ValidProgramNeverPulls) {
+  // Under SUSC every wait fits the deadline, so the uplink stays idle.
+  const Workload w = make_workload({2, 4, 8}, {3, 5, 3});
+  const BroadcastProgram p = schedule_susc(w);
+  HybridConfig config;
+  config.horizon = 2000.0;
+  const HybridResult r = simulate_hybrid(p, w, config);
+  EXPECT_GT(r.total_requests, 0u);
+  EXPECT_EQ(r.pulled, 0u);
+  EXPECT_DOUBLE_EQ(r.pull_fraction, 0.0);
+  EXPECT_EQ(r.broadcast_served, r.total_requests);
+}
+
+TEST(Hybrid, InsufficientChannelsPushLoadToUplink) {
+  const Workload w = make_paper_workload(GroupSizeShape::kUniform, 6, 200, 4, 2);
+  const PamadSchedule s = schedule_pamad(w, 2);  // far below the bound
+  HybridConfig config;
+  config.horizon = 3000.0;
+  const HybridResult r = simulate_hybrid(s.program, w, config);
+  EXPECT_GT(r.pulled, 0u);
+  EXPECT_GT(r.pull_fraction, 0.0);
+  EXPECT_LT(r.pull_fraction, 1.0);
+}
+
+TEST(Hybrid, PamadShieldsUplinkBetterThanMpb) {
+  // The motivating claim: a scheduler that keeps broadcast waits inside
+  // expected times protects on-demand quality of service.
+  const Workload w = make_paper_workload(GroupSizeShape::kUniform, 6, 300, 4, 2);
+  const SlotCount channels = min_channels(w) / 4;
+  const PamadSchedule pamad = schedule_pamad(w, channels);
+  const MpbSchedule mpb = schedule_mpb(w, channels);
+  HybridConfig config;
+  config.horizon = 4000.0;
+  config.uplink_channels = 4;
+  const HybridResult rp = simulate_hybrid(pamad.program, w, config);
+  const HybridResult rm = simulate_hybrid(mpb.program, w, config);
+  EXPECT_LT(rp.pull_fraction, rm.pull_fraction);
+}
+
+TEST(Hybrid, DeterministicInSeed) {
+  const Workload w = make_paper_workload(GroupSizeShape::kUniform, 4, 50, 2, 2);
+  const PamadSchedule s = schedule_pamad(w, 2);
+  HybridConfig config;
+  config.horizon = 1000.0;
+  const HybridResult a = simulate_hybrid(s.program, w, config);
+  const HybridResult b = simulate_hybrid(s.program, w, config);
+  EXPECT_EQ(a.total_requests, b.total_requests);
+  EXPECT_EQ(a.pulled, b.pulled);
+  EXPECT_DOUBLE_EQ(a.avg_broadcast_wait, b.avg_broadcast_wait);
+}
+
+TEST(Hybrid, ArrivalRateScalesRequests) {
+  const Workload w = make_paper_workload(GroupSizeShape::kUniform, 4, 50, 2, 2);
+  const PamadSchedule s = schedule_pamad(w, 2);
+  HybridConfig slow, fast;
+  slow.horizon = fast.horizon = 3000.0;
+  slow.arrival_rate = 0.5;
+  fast.arrival_rate = 4.0;
+  const HybridResult rs = simulate_hybrid(s.program, w, slow);
+  const HybridResult rf = simulate_hybrid(s.program, w, fast);
+  EXPECT_GT(rf.total_requests, rs.total_requests * 4);
+  EXPECT_NEAR(static_cast<double>(rs.total_requests) / slow.horizon, 0.5, 0.05);
+}
+
+TEST(Hybrid, FewUplinksCongestMore) {
+  const Workload w = make_paper_workload(GroupSizeShape::kUniform, 6, 300, 4, 2);
+  const PamadSchedule s = schedule_pamad(w, 2);
+  HybridConfig narrow, wide;
+  narrow.horizon = wide.horizon = 3000.0;
+  narrow.arrival_rate = wide.arrival_rate = 4.0;
+  narrow.uplink_channels = 1;
+  wide.uplink_channels = 8;
+  const HybridResult rn = simulate_hybrid(s.program, w, narrow);
+  const HybridResult rw = simulate_hybrid(s.program, w, wide);
+  EXPECT_GT(rn.avg_pull_response, rw.avg_pull_response);
+}
+
+TEST(Hybrid, RejectsBadConfig) {
+  const Workload w = make_workload({2}, {1});
+  BroadcastProgram p(1, 2);
+  p.place(0, 0, 0);
+  p.place(0, 1, 0);
+  HybridConfig config;
+  config.arrival_rate = 0.0;
+  EXPECT_THROW(simulate_hybrid(p, w, config), std::invalid_argument);
+  config.arrival_rate = 1.0;
+  config.horizon = 0.0;
+  EXPECT_THROW(simulate_hybrid(p, w, config), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tcsa

@@ -1,0 +1,133 @@
+// Tests for incremental SUSC maintenance under page churn.
+#include <gtest/gtest.h>
+
+#include "core/channel_bound.hpp"
+#include "core/incremental.hpp"
+#include "core/susc.hpp"
+#include "model/appearance_index.hpp"
+#include "model/validate.hpp"
+#include "util/rng.hpp"
+
+namespace tcsa {
+namespace {
+
+/// Validity restricted to the pages actually present in the program.
+bool valid_for_live_pages(const BroadcastProgram& program,
+                          const Workload& workload) {
+  const AppearanceIndex index(program, workload.total_pages());
+  for (PageId page = 0; page < workload.total_pages(); ++page) {
+    if (index.count(page) == 0) continue;  // removed: fine
+    if (index.appearances(page).front() > workload.expected_time_of(page))
+      return false;
+    if (index.max_gap(page) > workload.expected_time_of(page)) return false;
+  }
+  return true;
+}
+
+TEST(Incremental, StartsFromValidSusc) {
+  const Workload w = make_workload({2, 4, 8}, {3, 5, 3});
+  const MaintainedSchedule m(w, min_channels(w));
+  EXPECT_TRUE(is_valid_program(m.program(), w));
+  EXPECT_EQ(m.live_pages(0), 3);
+  EXPECT_EQ(m.live_pages(1), 5);
+  EXPECT_EQ(m.live_pages(2), 3);
+}
+
+TEST(Incremental, RemoveClearsWholeProgression) {
+  const Workload w = make_workload({2, 4, 8}, {3, 5, 3});
+  MaintainedSchedule m(w, min_channels(w));
+  ASSERT_TRUE(m.remove_page(0));
+  const AppearanceIndex index(m.program(), w.total_pages());
+  EXPECT_EQ(index.count(0), 0);
+  EXPECT_EQ(m.live_pages(0), 2);
+  EXPECT_TRUE(valid_for_live_pages(m.program(), w));
+  // Second removal of the same page is a no-op.
+  EXPECT_FALSE(m.remove_page(0));
+  EXPECT_EQ(m.live_pages(0), 2);
+}
+
+TEST(Incremental, AddReusesFreedCapacity) {
+  const Workload w = make_workload({2, 4, 8}, {3, 5, 3});
+  MaintainedSchedule m(w, min_channels(w));
+  ASSERT_TRUE(m.remove_page(1));
+  EXPECT_TRUE(m.can_add(0));
+  const auto channel = m.add_page(0, 1);
+  ASSERT_TRUE(channel.has_value());
+  EXPECT_EQ(m.live_pages(0), 3);
+  EXPECT_TRUE(is_valid_program(m.program(), w));  // full catalogue again
+}
+
+TEST(Incremental, AddFailsWhenSaturated) {
+  // Fully packed program (demand integral): no free progression anywhere.
+  const Workload w = make_workload({2, 4}, {4, 8});  // demand exactly 4
+  MaintainedSchedule m(w, min_channels(w));
+  EXPECT_EQ(m.program().occupied(), m.program().capacity());
+  EXPECT_FALSE(m.can_add(0));
+  EXPECT_FALSE(m.add_page(0, 0).has_value());  // even reusing an id: full
+}
+
+TEST(Incremental, CrossGroupReuseRespectsProgressions) {
+  // Remove a tight page (frees a t=2 progression: every other slot) and
+  // add a loose one; the loose page must land on a fully free progression,
+  // never interleave into half-freed slots of another page.
+  const Workload w = make_workload({2, 4}, {2, 3});
+  MaintainedSchedule m(w, min_channels(w));
+  ASSERT_TRUE(m.remove_page(0));  // t = 2 page gone
+  const auto channel = m.add_page(1, 2);  // a t = 4 page id
+  if (channel.has_value()) {
+    EXPECT_TRUE(valid_for_live_pages(m.program(), w));
+  }
+}
+
+TEST(Incremental, RejectsMismatchedGroupOrUnknownPage) {
+  const Workload w = make_workload({2, 4}, {2, 3});
+  MaintainedSchedule m(w, min_channels(w));
+  EXPECT_THROW(m.add_page(1, 0), std::invalid_argument);  // page 0 is group 0
+  EXPECT_THROW(m.add_page(0, 99), std::invalid_argument);
+  EXPECT_THROW(m.remove_page(99), std::invalid_argument);
+  EXPECT_THROW(m.live_pages(5), std::invalid_argument);
+}
+
+TEST(Incremental, RejectsNonSuscShapedProgram) {
+  const Workload w = make_workload({2, 4}, {2, 3});
+  BroadcastProgram wrong_cycle(2, 7);  // not t_h
+  EXPECT_THROW(MaintainedSchedule(w, std::move(wrong_cycle)),
+               std::invalid_argument);
+}
+
+TEST(Incremental, ChurnStormKeepsLivePagesValid) {
+  // Property: random remove/add churn never breaks validity for the pages
+  // currently on air.
+  const Workload w = make_workload({2, 4, 8, 16}, {4, 6, 10, 12});
+  MaintainedSchedule m(w, min_channels(w));
+  Rng rng(99);
+  std::vector<bool> live(static_cast<std::size_t>(w.total_pages()), true);
+  for (int step = 0; step < 300; ++step) {
+    const auto page =
+        static_cast<PageId>(rng.uniform_int(0, w.total_pages() - 1));
+    if (live[page]) {
+      EXPECT_TRUE(m.remove_page(page));
+      live[page] = false;
+    } else {
+      const GroupId g = w.group_of(page);
+      const auto channel = m.add_page(g, page);
+      // Capacity freed by this page's own removal guarantees room unless
+      // another group grabbed it; both outcomes are legal, but on success
+      // the page must be live again.
+      if (channel.has_value()) live[page] = true;
+    }
+    ASSERT_TRUE(valid_for_live_pages(m.program(), w)) << "step " << step;
+  }
+  // Re-add everything that fits; live counts must match the tracker.
+  for (PageId page = 0; page < w.total_pages(); ++page) {
+    if (!live[page]) {
+      if (m.add_page(w.group_of(page), page).has_value()) live[page] = true;
+    }
+  }
+  const AppearanceIndex index(m.program(), w.total_pages());
+  for (PageId page = 0; page < w.total_pages(); ++page)
+    EXPECT_EQ(index.count(page) > 0, live[page]) << "page " << page;
+}
+
+}  // namespace
+}  // namespace tcsa

@@ -1,0 +1,173 @@
+// Tests for the air-indexing module (src/index).
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/channel_bound.hpp"
+#include "core/pamad.hpp"
+#include "core/susc.hpp"
+#include "index/air_index.hpp"
+#include "workload/distributions.hpp"
+
+namespace tcsa {
+namespace {
+
+IndexConfig config_of(IndexStrategy strategy, SlotCount fanout = 4,
+                      SlotCount m = 2) {
+  IndexConfig config;
+  config.strategy = strategy;
+  config.fanout = fanout;
+  config.replication = m;
+  return config;
+}
+
+TEST(AirIndex, StrategyNamesRoundTrip) {
+  for (const IndexStrategy s : {IndexStrategy::kNone, IndexStrategy::kOneM,
+                                IndexStrategy::kDedicated}) {
+    EXPECT_EQ(parse_index_strategy(index_strategy_name(s)), s);
+  }
+  EXPECT_THROW(parse_index_strategy("hash"), std::invalid_argument);
+}
+
+TEST(AirIndex, DirectorySizing) {
+  const Workload w = make_workload({2, 4, 8}, {3, 5, 3});  // n = 11
+  const BroadcastProgram p = schedule_susc(w);
+  EXPECT_EQ(IndexedBroadcast(w, p, config_of(IndexStrategy::kOneM, 4))
+                .directory_slots(),
+            3);  // ceil(11/4)
+  EXPECT_EQ(IndexedBroadcast(w, p, config_of(IndexStrategy::kNone))
+                .directory_slots(),
+            0);
+  EXPECT_EQ(IndexedBroadcast(w, p, config_of(IndexStrategy::kOneM, 64))
+                .directory_slots(),
+            1);
+}
+
+TEST(AirIndex, OneMStretchesCycleByMTimesD) {
+  const Workload w = make_workload({2, 4, 8}, {3, 5, 3});
+  const BroadcastProgram p = schedule_susc(w);  // cycle 8
+  const IndexedBroadcast indexed(w, p, config_of(IndexStrategy::kOneM, 4, 2));
+  EXPECT_EQ(indexed.cycle_length(), 8 + 2 * 3);
+  EXPECT_EQ(indexed.total_channels(), p.channels());
+}
+
+TEST(AirIndex, DedicatedkeepsCycleAddsChannel) {
+  const Workload w = make_workload({2, 4, 8}, {3, 5, 3});
+  const BroadcastProgram p = schedule_susc(w);
+  const IndexedBroadcast indexed(w, p,
+                                 config_of(IndexStrategy::kDedicated, 4));
+  EXPECT_EQ(indexed.cycle_length(), p.cycle_length());
+  EXPECT_EQ(indexed.total_channels(), p.channels() + 1);
+}
+
+TEST(AirIndex, NoneLatencyEqualsTuning) {
+  const Workload w = make_workload({2, 4, 8}, {3, 5, 3});
+  const BroadcastProgram p = schedule_susc(w);
+  const IndexedBroadcast indexed(w, p, config_of(IndexStrategy::kNone));
+  for (double arrival : {0.0, 1.3, 6.9}) {
+    const AccessOutcome outcome = indexed.access(5, arrival);
+    EXPECT_DOUBLE_EQ(outcome.latency, outcome.tuning_time);
+    EXPECT_GT(outcome.latency, 0.0);
+  }
+}
+
+TEST(AirIndex, IndexedTuningIsThreeBuckets) {
+  const Workload w = make_workload({2, 4, 8}, {3, 5, 3});
+  const BroadcastProgram p = schedule_susc(w);
+  for (const IndexStrategy s :
+       {IndexStrategy::kOneM, IndexStrategy::kDedicated}) {
+    const IndexedBroadcast indexed(w, p, config_of(s, 4, 2));
+    for (PageId page : {0u, 5u, 10u}) {
+      const AccessOutcome outcome = indexed.access(page, 2.7);
+      EXPECT_DOUBLE_EQ(outcome.tuning_time, 3.0)
+          << index_strategy_name(s) << " page " << page;
+      EXPECT_GE(outcome.latency, outcome.tuning_time);
+    }
+  }
+}
+
+TEST(AirIndex, LatencyOrderingProbeIndexPage) {
+  // Latency must cover: probe (1 slot) + wait for directory bucket + wait
+  // for the page. Lower bound: > 2 slots for any indexed access.
+  const Workload w = make_workload({2, 4, 8}, {3, 5, 3});
+  const BroadcastProgram p = schedule_susc(w);
+  const IndexedBroadcast indexed(w, p, config_of(IndexStrategy::kOneM, 4, 2));
+  for (double arrival = 0.0; arrival < 14.0; arrival += 0.7)
+    EXPECT_GT(indexed.access(7, arrival).latency, 2.0);
+}
+
+TEST(AirIndex, SimulateAggregatesAndIsDeterministic) {
+  const Workload w = make_paper_workload(GroupSizeShape::kUniform, 4, 64, 4, 2);
+  const PamadSchedule s = schedule_pamad(w, 3);
+  const IndexedBroadcast indexed(w, s.program,
+                                 config_of(IndexStrategy::kOneM, 16, 4));
+  const IndexSimResult a = indexed.simulate(4000, 5);
+  const IndexSimResult b = indexed.simulate(4000, 5);
+  EXPECT_DOUBLE_EQ(a.avg_latency, b.avg_latency);
+  EXPECT_DOUBLE_EQ(a.avg_tuning, b.avg_tuning);
+  EXPECT_EQ(a.requests, 4000u);
+  EXPECT_GT(a.avg_latency, a.avg_tuning);  // dozing saves energy, not time
+}
+
+TEST(AirIndex, IndexingSlashesTuningTime) {
+  // The classic tradeoff: vs no index, (1,m) pays a little latency for an
+  // order-of-magnitude tuning-time cut.
+  const Workload w = make_paper_workload(GroupSizeShape::kUniform, 4, 64, 4, 2);
+  const PamadSchedule s = schedule_pamad(w, 3);
+  const IndexedBroadcast bare(w, s.program, config_of(IndexStrategy::kNone));
+  const IndexedBroadcast onem(w, s.program,
+                              config_of(IndexStrategy::kOneM, 16, 4));
+  const IndexSimResult rb = bare.simulate(4000, 9);
+  const IndexSimResult ro = onem.simulate(4000, 9);
+  EXPECT_LT(ro.avg_tuning, rb.avg_tuning / 3.0);
+  EXPECT_GT(ro.avg_latency, rb.avg_latency);  // stretch + protocol overhead
+}
+
+TEST(AirIndex, MoreReplicationShortensIndexWait) {
+  const Workload w = make_paper_workload(GroupSizeShape::kUniform, 4, 64, 4, 2);
+  const PamadSchedule s = schedule_pamad(w, 3);
+  const IndexSimResult m1 =
+      IndexedBroadcast(w, s.program, config_of(IndexStrategy::kOneM, 16, 1))
+          .simulate(6000, 3);
+  const IndexSimResult m8 =
+      IndexedBroadcast(w, s.program, config_of(IndexStrategy::kOneM, 16, 8))
+          .simulate(6000, 3);
+  // More segments = shorter wait to the next directory, at equal tuning.
+  EXPECT_DOUBLE_EQ(m1.avg_tuning, m8.avg_tuning);
+  // Latency balance: m=8 stretches the cycle more but reaches an index
+  // sooner; for this small directory the reach-sooner effect dominates.
+  EXPECT_LT(m8.avg_latency, m1.avg_latency * 1.5);
+}
+
+TEST(AirIndex, DedicatedBeatsOneMOnLatency) {
+  // The dedicated channel avoids stretching the data cycle.
+  const Workload w = make_paper_workload(GroupSizeShape::kUniform, 4, 64, 4, 2);
+  const PamadSchedule s = schedule_pamad(w, 3);
+  const IndexSimResult onem =
+      IndexedBroadcast(w, s.program, config_of(IndexStrategy::kOneM, 8, 4))
+          .simulate(6000, 7);
+  const IndexSimResult dedicated =
+      IndexedBroadcast(w, s.program,
+                       config_of(IndexStrategy::kDedicated, 8))
+          .simulate(6000, 7);
+  EXPECT_LT(dedicated.avg_latency, onem.avg_latency);
+  EXPECT_EQ(dedicated.avg_tuning, onem.avg_tuning);
+}
+
+TEST(AirIndex, RejectsBadConfig) {
+  const Workload w = make_workload({2}, {2});
+  BroadcastProgram p(1, 2);
+  p.place(0, 0, 0);
+  p.place(0, 1, 1);
+  EXPECT_THROW(IndexedBroadcast(w, p, config_of(IndexStrategy::kOneM, 0)),
+               std::invalid_argument);
+  IndexConfig bad = config_of(IndexStrategy::kOneM);
+  bad.replication = 0;
+  EXPECT_THROW(IndexedBroadcast(w, p, bad), std::invalid_argument);
+  const IndexedBroadcast ok(w, p, config_of(IndexStrategy::kNone));
+  EXPECT_THROW(ok.access(9, 0.0), std::invalid_argument);
+  EXPECT_THROW(ok.simulate(0, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tcsa

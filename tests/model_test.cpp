@@ -1,0 +1,322 @@
+// Tests for src/model: Workload invariants, BroadcastProgram grid,
+// AppearanceIndex queries, and the validity checker.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "model/appearance_index.hpp"
+#include "model/program.hpp"
+#include "model/validate.hpp"
+#include "model/workload.hpp"
+
+namespace tcsa {
+namespace {
+
+// ----------------------------------------------------------------- workload
+
+TEST(Workload, PaperFig2Example) {
+  // Figure 2(a): P = (3, 5, 3), t = (2, 4, 8).
+  const Workload w = make_workload({2, 4, 8}, {3, 5, 3});
+  EXPECT_EQ(w.group_count(), 3);
+  EXPECT_EQ(w.total_pages(), 11);
+  EXPECT_EQ(w.expected_time(0), 2);
+  EXPECT_EQ(w.expected_time(2), 8);
+  EXPECT_EQ(w.max_expected_time(), 8);
+  EXPECT_EQ(w.pages_in_group(1), 5);
+  EXPECT_EQ(w.first_page(0), 0u);
+  EXPECT_EQ(w.first_page(1), 3u);
+  EXPECT_EQ(w.first_page(2), 8u);
+}
+
+TEST(Workload, GroupOfPageAndExpectedTimeOf) {
+  const Workload w = make_workload({2, 4, 8}, {3, 5, 3});
+  EXPECT_EQ(w.group_of(0), 0);
+  EXPECT_EQ(w.group_of(2), 0);
+  EXPECT_EQ(w.group_of(3), 1);
+  EXPECT_EQ(w.group_of(7), 1);
+  EXPECT_EQ(w.group_of(8), 2);
+  EXPECT_EQ(w.group_of(10), 2);
+  EXPECT_EQ(w.expected_time_of(0), 2);
+  EXPECT_EQ(w.expected_time_of(5), 4);
+  EXPECT_EQ(w.expected_time_of(10), 8);
+}
+
+TEST(Workload, GroupOfRejectsOutOfRange) {
+  const Workload w = make_workload({2}, {3});
+  EXPECT_THROW(w.group_of(3), std::invalid_argument);
+}
+
+TEST(Workload, SingleGroup) {
+  const Workload w = make_workload({5}, {7});
+  EXPECT_EQ(w.group_count(), 1);
+  EXPECT_EQ(w.max_expected_time(), 5);
+  SlotCount c = 0;
+  EXPECT_TRUE(w.uniform_ratio(c));
+  EXPECT_EQ(c, 1);
+}
+
+TEST(Workload, UniformRatioDetection) {
+  SlotCount c = 0;
+  EXPECT_TRUE(make_workload({2, 4, 8}, {1, 1, 1}).uniform_ratio(c));
+  EXPECT_EQ(c, 2);
+  EXPECT_TRUE(make_workload({3, 9, 27}, {1, 1, 1}).uniform_ratio(c));
+  EXPECT_EQ(c, 3);
+  // Mixed ratios form a legal ladder but are not uniformly geometric.
+  EXPECT_FALSE(make_workload({2, 4, 12}, {1, 1, 1}).uniform_ratio(c));
+}
+
+TEST(Workload, RejectsNonDividingTimes) {
+  EXPECT_THROW(make_workload({2, 3}, {1, 1}), std::invalid_argument);
+  EXPECT_THROW(make_workload({4, 6}, {1, 1}), std::invalid_argument);
+}
+
+TEST(Workload, RejectsNonIncreasingTimes) {
+  EXPECT_THROW(make_workload({4, 4}, {1, 1}), std::invalid_argument);
+  EXPECT_THROW(make_workload({8, 4}, {1, 1}), std::invalid_argument);
+}
+
+TEST(Workload, RejectsDegenerateGroups) {
+  EXPECT_THROW(make_workload({}, {}), std::invalid_argument);
+  EXPECT_THROW(make_workload({0}, {1}), std::invalid_argument);
+  EXPECT_THROW(make_workload({2}, {0}), std::invalid_argument);
+}
+
+TEST(Workload, DescribeMentionsShape) {
+  const std::string d = make_workload({2, 4}, {3, 5}).describe();
+  EXPECT_NE(d.find("h=2"), std::string::npos);
+  EXPECT_NE(d.find("n=8"), std::string::npos);
+  EXPECT_NE(d.find("t=[2,4]"), std::string::npos);
+  EXPECT_NE(d.find("P=[3,5]"), std::string::npos);
+}
+
+TEST(Workload, EqualityComparesGroups) {
+  EXPECT_EQ(make_workload({2, 4}, {1, 2}), make_workload({2, 4}, {1, 2}));
+  EXPECT_NE(make_workload({2, 4}, {1, 2}), make_workload({2, 4}, {2, 2}));
+}
+
+// ------------------------------------------------------------------ program
+
+TEST(Program, StartsEmpty) {
+  const BroadcastProgram p(3, 10);
+  EXPECT_EQ(p.channels(), 3);
+  EXPECT_EQ(p.cycle_length(), 10);
+  EXPECT_EQ(p.occupied(), 0);
+  EXPECT_EQ(p.capacity(), 30);
+  for (SlotCount ch = 0; ch < 3; ++ch)
+    for (SlotCount s = 0; s < 10; ++s) EXPECT_TRUE(p.empty_at(ch, s));
+}
+
+TEST(Program, PlaceAndReadBack) {
+  BroadcastProgram p(2, 4);
+  p.place(1, 3, 7);
+  EXPECT_EQ(p.at(1, 3), 7u);
+  EXPECT_FALSE(p.empty_at(1, 3));
+  EXPECT_EQ(p.occupied(), 1);
+}
+
+TEST(Program, OverwriteIsALogicError) {
+  BroadcastProgram p(1, 2);
+  p.place(0, 0, 1);
+  EXPECT_THROW(p.place(0, 0, 2), std::logic_error);
+}
+
+TEST(Program, ClearFreesSlot) {
+  BroadcastProgram p(1, 2);
+  p.place(0, 1, 5);
+  p.clear(0, 1);
+  EXPECT_TRUE(p.empty_at(0, 1));
+  EXPECT_EQ(p.occupied(), 0);
+  EXPECT_THROW(p.clear(0, 1), std::invalid_argument);
+}
+
+TEST(Program, BoundsChecked) {
+  BroadcastProgram p(2, 3);
+  EXPECT_THROW(p.at(2, 0), std::invalid_argument);
+  EXPECT_THROW(p.at(0, 3), std::invalid_argument);
+  EXPECT_THROW(p.at(-1, 0), std::invalid_argument);
+  EXPECT_THROW(p.place(0, -1, 1), std::invalid_argument);
+}
+
+TEST(Program, CannotPlaceSentinel) {
+  BroadcastProgram p(1, 1);
+  EXPECT_THROW(p.place(0, 0, kNoPage), std::invalid_argument);
+}
+
+TEST(Program, ColumnLoad) {
+  BroadcastProgram p(3, 2);
+  p.place(0, 0, 1);
+  p.place(2, 0, 2);
+  EXPECT_EQ(p.column_load(0), 2);
+  EXPECT_EQ(p.column_load(1), 0);
+}
+
+TEST(Program, RejectsDegenerateShape) {
+  EXPECT_THROW(BroadcastProgram(0, 5), std::invalid_argument);
+  EXPECT_THROW(BroadcastProgram(2, 0), std::invalid_argument);
+}
+
+TEST(Program, RenderShowsPagesAndHoles) {
+  BroadcastProgram p(2, 3);
+  p.place(0, 0, 12);
+  const std::string out = p.render();
+  EXPECT_NE(out.find("ch0"), std::string::npos);
+  EXPECT_NE(out.find("ch1"), std::string::npos);
+  EXPECT_NE(out.find("12"), std::string::npos);
+  EXPECT_NE(out.find('.'), std::string::npos);
+}
+
+// --------------------------------------------------------- appearance index
+
+TEST(AppearanceIndex, CompletionTimesAreSlotPlusOne) {
+  BroadcastProgram p(1, 6);
+  p.place(0, 0, 0);
+  p.place(0, 3, 0);
+  const AppearanceIndex idx(p, 1);
+  const auto a = idx.appearances(0);
+  ASSERT_EQ(a.size(), 2u);
+  EXPECT_EQ(a[0], 1);
+  EXPECT_EQ(a[1], 4);
+}
+
+TEST(AppearanceIndex, MultiChannelSameColumnBothCounted) {
+  BroadcastProgram p(2, 4);
+  p.place(0, 1, 0);
+  p.place(1, 1, 0);
+  const AppearanceIndex idx(p, 1);
+  EXPECT_EQ(idx.count(0), 2);
+  EXPECT_EQ(idx.appearances(0)[0], idx.appearances(0)[1]);
+}
+
+TEST(AppearanceIndex, MissingPageHasNoAppearances) {
+  BroadcastProgram p(1, 3);
+  p.place(0, 0, 0);
+  const AppearanceIndex idx(p, 2);
+  EXPECT_EQ(idx.count(1), 0);
+  EXPECT_THROW(idx.wait_after(1, 0.0), std::invalid_argument);
+  EXPECT_THROW(idx.max_gap(1), std::invalid_argument);
+}
+
+TEST(AppearanceIndex, WaitWithinCycle) {
+  BroadcastProgram p(1, 8);
+  p.place(0, 1, 0);  // completes at 2
+  p.place(0, 5, 0);  // completes at 6
+  const AppearanceIndex idx(p, 1);
+  EXPECT_DOUBLE_EQ(idx.wait_after(0, 0.0), 2.0);
+  EXPECT_DOUBLE_EQ(idx.wait_after(0, 1.5), 0.5);
+  EXPECT_DOUBLE_EQ(idx.wait_after(0, 2.0), 4.0);  // strictly after 2
+  EXPECT_DOUBLE_EQ(idx.wait_after(0, 5.99), 6.0 - 5.99);
+}
+
+TEST(AppearanceIndex, WaitWrapsAroundCycle) {
+  BroadcastProgram p(1, 8);
+  p.place(0, 1, 0);  // completes at 2
+  const AppearanceIndex idx(p, 1);
+  // After the only appearance, the next one is in the following cycle.
+  EXPECT_DOUBLE_EQ(idx.wait_after(0, 3.0), 2.0 + 8.0 - 3.0);
+  EXPECT_DOUBLE_EQ(idx.wait_after(0, 2.0), 8.0);  // exactly at completion
+}
+
+TEST(AppearanceIndex, WaitAcceptsTimesBeyondOneCycle) {
+  BroadcastProgram p(1, 4);
+  p.place(0, 2, 0);  // completes at 3
+  const AppearanceIndex idx(p, 1);
+  EXPECT_DOUBLE_EQ(idx.wait_after(0, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(idx.wait_after(0, 4.5), 2.5);   // second cycle
+  EXPECT_DOUBLE_EQ(idx.wait_after(0, 40.5), 2.5);  // tenth cycle
+}
+
+TEST(AppearanceIndex, MaxGapSingleAppearanceIsCycle) {
+  BroadcastProgram p(2, 10);
+  p.place(1, 4, 0);
+  const AppearanceIndex idx(p, 1);
+  EXPECT_EQ(idx.max_gap(0), 10);
+}
+
+TEST(AppearanceIndex, MaxGapIncludesWrap) {
+  BroadcastProgram p(1, 10);
+  p.place(0, 0, 0);  // completes at 1
+  p.place(0, 3, 0);  // completes at 4
+  const AppearanceIndex idx(p, 1);
+  // Gaps: 3 (1 -> 4) and 7 (4 -> 11 via wrap).
+  EXPECT_EQ(idx.max_gap(0), 7);
+}
+
+TEST(AppearanceIndex, EvenSpacingGapEqualsSpacing) {
+  BroadcastProgram p(1, 12);
+  for (SlotCount s : {0, 4, 8}) p.place(0, s, 0);
+  const AppearanceIndex idx(p, 1);
+  EXPECT_EQ(idx.max_gap(0), 4);
+}
+
+TEST(AppearanceIndex, RejectsUnknownPageInProgram) {
+  BroadcastProgram p(1, 2);
+  p.place(0, 0, 5);
+  EXPECT_THROW(AppearanceIndex(p, 3), std::invalid_argument);
+}
+
+// ----------------------------------------------------------------- validate
+
+TEST(Validate, PerfectProgramIsValid) {
+  // One page, t = 2, broadcast every other slot in a 4-slot cycle.
+  const Workload w = make_workload({2}, {1});
+  BroadcastProgram p(1, 4);
+  p.place(0, 0, 0);
+  p.place(0, 2, 0);
+  const ValidityReport r = validate_program(p, w);
+  EXPECT_TRUE(r.valid);
+  EXPECT_TRUE(r.violations.empty());
+  EXPECT_EQ(r.worst_wait, 2);
+  EXPECT_LE(r.worst_lateness, 0);
+}
+
+TEST(Validate, MissingPageIsViolation) {
+  const Workload w = make_workload({2}, {2});
+  BroadcastProgram p(1, 2);
+  p.place(0, 0, 0);
+  p.place(0, 1, 0);  // page 1 missing
+  const ValidityReport r = validate_program(p, w);
+  EXPECT_FALSE(r.valid);
+  ASSERT_FALSE(r.violations.empty());
+  EXPECT_NE(r.violations[0].find("page 1"), std::string::npos);
+}
+
+TEST(Validate, LateFirstAppearanceIsViolation) {
+  const Workload w = make_workload({2}, {1});
+  BroadcastProgram p(1, 4);
+  p.place(0, 2, 0);  // completes at 3 > t = 2, and wrap gap 4 > 2
+  const ValidityReport r = validate_program(p, w);
+  EXPECT_FALSE(r.valid);
+  EXPECT_GE(r.violations.size(), 1u);
+}
+
+TEST(Validate, WideGapIsViolation) {
+  const Workload w = make_workload({2}, {1});
+  BroadcastProgram p(1, 6);
+  p.place(0, 0, 0);  // completes at 1
+  p.place(0, 1, 0);  // completes at 2 — then gap of 5 via wrap
+  const ValidityReport r = validate_program(p, w);
+  EXPECT_FALSE(r.valid);
+  EXPECT_EQ(r.worst_wait, 5);
+  EXPECT_EQ(r.worst_lateness, 3);
+}
+
+TEST(Validate, DuplicateColumnIsWarningNotViolation) {
+  const Workload w = make_workload({2}, {1});
+  BroadcastProgram p(2, 2);
+  p.place(0, 0, 0);
+  p.place(1, 0, 0);  // same column on another channel: wasteful
+  p.place(0, 1, 0);
+  const ValidityReport r = validate_program(p, w);
+  EXPECT_TRUE(r.valid);
+  EXPECT_FALSE(r.warnings.empty());
+}
+
+TEST(Validate, IsValidProgramConvenience) {
+  const Workload w = make_workload({1}, {1});
+  BroadcastProgram p(1, 1);
+  p.place(0, 0, 0);
+  EXPECT_TRUE(is_valid_program(p, w));
+}
+
+}  // namespace
+}  // namespace tcsa

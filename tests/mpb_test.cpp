@@ -1,0 +1,103 @@
+// Tests for the m-PB baseline and the round-robin floor.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/channel_bound.hpp"
+#include "core/mpb.hpp"
+#include "core/pamad.hpp"
+#include "core/round_robin.hpp"
+#include "model/validate.hpp"
+#include "sim/broadcast_sim.hpp"
+#include "workload/distributions.hpp"
+
+namespace tcsa {
+namespace {
+
+TEST(Mpb, FrequenciesAreThOverTi) {
+  const Workload w = make_workload({2, 4, 8}, {3, 5, 3});
+  EXPECT_EQ(mpb_frequencies(w), (std::vector<SlotCount>{4, 2, 1}));
+  const Workload paper = make_paper_workload(GroupSizeShape::kUniform);
+  EXPECT_EQ(mpb_frequencies(paper),
+            (std::vector<SlotCount>{128, 64, 32, 16, 8, 4, 2, 1}));
+}
+
+TEST(Mpb, ValidAtSufficientChannels) {
+  // With enough channels m-PB's cycle fits in t_h and meets every deadline.
+  const Workload w = make_workload({2, 4}, {2, 3});
+  const MpbSchedule s = schedule_mpb(w, min_channels(w));
+  EXPECT_LE(s.t_major, w.max_expected_time());
+  EXPECT_DOUBLE_EQ(s.predicted_delay, 0.0);
+  SimConfig config;
+  config.requests.count = 5000;
+  EXPECT_NEAR(simulate_requests(s.program, w, config).avg_delay, 0.0, 0.2);
+}
+
+TEST(Mpb, CycleStretchesBelowTheBound) {
+  const Workload w = make_paper_workload(GroupSizeShape::kUniform);
+  const MpbSchedule at5 = schedule_mpb(w, 5);
+  EXPECT_GT(at5.t_major, w.max_expected_time());
+  const MpbSchedule at20 = schedule_mpb(w, 20);
+  EXPECT_GT(at5.t_major, at20.t_major);
+}
+
+TEST(Mpb, EveryPageGetsItsCopies) {
+  const Workload w = make_workload({2, 4, 8}, {3, 5, 3});
+  const MpbSchedule s = schedule_mpb(w, 2);
+  EXPECT_EQ(s.program.occupied(), 4 * 3 + 2 * 5 + 1 * 3);
+}
+
+TEST(Mpb, PamadNeverWorseAnalytically) {
+  // The core Section 5 finding at model level, across the paper's shapes
+  // and the whole channel range.
+  for (const GroupSizeShape shape : paper_shapes()) {
+    const Workload w = make_paper_workload(shape, 6, 400, 4, 2);
+    for (SlotCount channels = 1; channels <= min_channels(w); ++channels) {
+      const double pamad = pamad_frequencies(w, channels).predicted_delay;
+      const double mpb = schedule_mpb(w, channels).predicted_delay;
+      // Tiny slack: in the near-zero regime right below the bound, ceil()
+      // artefacts can favour m-PB by hundredths of a slot.
+      EXPECT_LE(pamad, mpb * 1.05 + 0.01)
+          << shape_name(shape) << " channels=" << channels;
+    }
+  }
+}
+
+TEST(Mpb, PamadClearlyBetterMidRange) {
+  // Not just "never worse": at mid-range channel counts the gap is large
+  // (the paper's plots show an order of magnitude).
+  const Workload w = make_paper_workload(GroupSizeShape::kUniform);
+  const SlotCount mid = min_channels(w) / 4;
+  const double pamad = pamad_frequencies(w, mid).predicted_delay;
+  const double mpb = schedule_mpb(w, mid).predicted_delay;
+  EXPECT_LT(pamad * 4.0, mpb);
+}
+
+TEST(RoundRobin, FlatFrequencies) {
+  const Workload w = make_workload({2, 4, 8}, {3, 5, 3});
+  EXPECT_EQ(round_robin_frequencies(w), (std::vector<SlotCount>{1, 1, 1}));
+}
+
+TEST(RoundRobin, CycleIsCeilNOverChannels) {
+  const Workload w = make_workload({2, 4, 8}, {3, 5, 3});  // n = 11
+  EXPECT_EQ(schedule_round_robin(w, 3).t_major, 4);
+  EXPECT_EQ(schedule_round_robin(w, 1).t_major, 11);
+}
+
+TEST(RoundRobin, EveryPageExactlyOnce) {
+  const Workload w = make_workload({2, 4}, {5, 7});
+  const RoundRobinSchedule s = schedule_round_robin(w, 3);
+  EXPECT_EQ(s.program.occupied(), 12);
+}
+
+TEST(RoundRobin, PamadBeatsFlatWhenDeadlinesDiffer) {
+  const Workload w = make_paper_workload(GroupSizeShape::kUniform, 6, 300, 4, 2);
+  for (const SlotCount channels : {2, 5, 10}) {
+    const double pamad = pamad_frequencies(w, channels).predicted_delay;
+    const double flat = schedule_round_robin(w, channels).predicted_delay;
+    EXPECT_LE(pamad, flat + 1e-9) << "channels=" << channels;
+  }
+}
+
+}  // namespace
+}  // namespace tcsa

@@ -1,0 +1,173 @@
+// Tests for the OPT comparator: brute force as ground truth, the
+// paper-scale ladder + hill-climb search matching it, and OPT's ordering
+// relative to PAMAD.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/channel_bound.hpp"
+#include "core/delay_model.hpp"
+#include "core/opt.hpp"
+#include "core/pamad.hpp"
+#include "workload/distributions.hpp"
+
+namespace tcsa {
+namespace {
+
+TEST(BruteForce, FindsZeroDelayWhenChannelsSufficient) {
+  const Workload w = make_workload({2, 4}, {2, 3});
+  const OptResult r = brute_force_frequencies(w, 2, 4);
+  EXPECT_DOUBLE_EQ(r.predicted_delay, 0.0);
+}
+
+TEST(BruteForce, SingleGroupOptimumIsOneCopy) {
+  // One group: any S > 1 shortens spacing but S = 1 already gives
+  // spacing = ceil(P/channels); more copies cannot reduce spacing below
+  // cycle/S = P/channels — delay is constant, so tie-break keeps S = 1.
+  const Workload w = make_workload({2}, {10});
+  const OptResult r = brute_force_frequencies(w, 2, 6);
+  EXPECT_EQ(r.S, (std::vector<SlotCount>{1}));
+}
+
+TEST(BruteForce, EvaluatesEntireSpace) {
+  const Workload w = make_workload({2, 4}, {2, 2});
+  const OptResult r = brute_force_frequencies(w, 1, 5);
+  EXPECT_EQ(r.evaluations, 25u);  // 5^2
+}
+
+TEST(BruteForce, RefusesHugeSpaces) {
+  const Workload w = make_paper_workload(GroupSizeShape::kUniform);
+  EXPECT_THROW(brute_force_frequencies(w, 4, 100), std::invalid_argument);
+}
+
+// Ground truth: the production OPT search matches brute force wherever
+// brute force is feasible.
+struct OptCase {
+  SlotCount t1, c;
+  std::vector<SlotCount> pages;
+  SlotCount channels;
+  SlotCount brute_cap;
+};
+
+class OptMatchesBruteForce : public ::testing::TestWithParam<OptCase> {};
+
+TEST_P(OptMatchesBruteForce, AtLeastAsGoodAsCapLimitedExhaustive) {
+  // Brute force is exhaustive only up to its frequency cap; the production
+  // search works on an uncapped space (waterfilling scales can exceed the
+  // cap), so it must reach a delay at least as low — and stay close, since
+  // the capped optimum is already near the continuous one.
+  const OptCase& tc = GetParam();
+  std::vector<SlotCount> times;
+  SlotCount t = tc.t1;
+  for (std::size_t i = 0; i < tc.pages.size(); ++i, t *= tc.c)
+    times.push_back(t);
+  const Workload w = make_workload(times, tc.pages);
+
+  const OptResult brute = brute_force_frequencies(w, tc.channels, tc.brute_cap);
+  const OptResult fast = opt_frequencies_unconstrained(w, tc.channels);
+  EXPECT_LE(fast.predicted_delay, brute.predicted_delay + 1e-9)
+      << w.describe() << " channels=" << tc.channels;
+  EXPECT_GE(fast.predicted_delay, brute.predicted_delay * 0.90 - 1e-3)
+      << w.describe() << " channels=" << tc.channels;
+
+  // The placeable (ladder) OPT is weaker by construction but must stay in
+  // the same delay regime as the unconstrained optimum.
+  const OptResult ladder = opt_frequencies(w, tc.channels);
+  EXPECT_GE(ladder.predicted_delay, fast.predicted_delay - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SmallInstances, OptMatchesBruteForce,
+    ::testing::Values(
+        OptCase{2, 2, {3, 5, 3}, 1, 12},
+        OptCase{2, 2, {3, 5, 3}, 2, 12},
+        OptCase{2, 2, {3, 5, 3}, 3, 12},
+        OptCase{2, 2, {2, 3}, 1, 16},
+        OptCase{2, 2, {6, 2}, 1, 16},
+        OptCase{2, 2, {1, 9}, 2, 16},
+        OptCase{4, 2, {10, 10, 10}, 3, 10},
+        OptCase{2, 3, {4, 4, 4}, 2, 10},
+        OptCase{3, 2, {7, 2, 5}, 2, 10},
+        OptCase{2, 2, {5, 5, 5, 5}, 3, 8},
+        OptCase{2, 2, {8, 1, 1, 8}, 2, 8},
+        OptCase{4, 4, {3, 9, 3}, 2, 10}),
+    [](const auto& info) {
+      return "case" + std::to_string(info.index);
+    });
+
+TEST(Opt, NeverWorseThanPamad) {
+  for (const GroupSizeShape shape : paper_shapes()) {
+    const Workload w = make_paper_workload(shape, 6, 300, 4, 2);
+    for (SlotCount channels = 1; channels <= min_channels(w); channels += 3) {
+      const double opt = opt_frequencies(w, channels).predicted_delay;
+      const double pamad = pamad_frequencies(w, channels).predicted_delay;
+      EXPECT_LE(opt, pamad + 1e-9)
+          << shape_name(shape) << " channels=" << channels;
+    }
+  }
+}
+
+TEST(Opt, PamadTracksOptClosely) {
+  // The Section 5 headline: PAMAD "almost overlaps" OPT. Quantified here as
+  // an absolute gap below 8% of the single-channel delay scale at every
+  // swept point.
+  for (const GroupSizeShape shape : paper_shapes()) {
+    const Workload w = make_paper_workload(shape, 6, 300, 4, 2);
+    const double scale = pamad_frequencies(w, 1).predicted_delay;
+    for (SlotCount channels = 1; channels <= min_channels(w); channels += 2) {
+      const double opt = opt_frequencies(w, channels).predicted_delay;
+      const double pamad = pamad_frequencies(w, channels).predicted_delay;
+      EXPECT_LE(pamad - opt, scale * 0.08)
+          << shape_name(shape) << " channels=" << channels;
+    }
+  }
+}
+
+TEST(Opt, ZeroDelayAtSufficientChannels) {
+  const Workload w = make_paper_workload(GroupSizeShape::kUniform, 5, 100, 4, 2);
+  EXPECT_DOUBLE_EQ(
+      opt_frequencies(w, min_channels(w)).predicted_delay, 0.0);
+}
+
+TEST(Opt, SingleGroup) {
+  const Workload w = make_workload({4}, {12});
+  const OptResult r = opt_frequencies(w, 2);
+  EXPECT_EQ(r.S, (std::vector<SlotCount>{1}));
+}
+
+TEST(Opt, PaperScaleTerminates) {
+  // Full Figure-4 workload at an awkward channel count; must finish fast
+  // and beat m-PB's frequencies.
+  const Workload w = make_paper_workload(GroupSizeShape::kNormal);
+  const OptResult r = opt_frequencies(w, 13);
+  EXPECT_GT(r.evaluations, 0u);
+  const std::vector<SlotCount> mpb = {128, 64, 32, 16, 8, 4, 2, 1};
+  EXPECT_LT(r.predicted_delay, analytic_average_delay(w, mpb, 13));
+}
+
+TEST(Opt, UnconstrainedLowerBoundsLadder) {
+  for (const GroupSizeShape shape : paper_shapes()) {
+    const Workload w = make_paper_workload(shape, 6, 300, 4, 2);
+    for (const SlotCount channels : {1, 4, 9}) {
+      const double ladder = opt_frequencies(w, channels).predicted_delay;
+      const double free_opt =
+          opt_frequencies_unconstrained(w, channels).predicted_delay;
+      EXPECT_LE(free_opt, ladder + 1e-9)
+          << shape_name(shape) << " channels=" << channels;
+      // ...and the structured space is not far behind the true bound.
+      EXPECT_LE(ladder, free_opt * 1.5 + 0.2)
+          << shape_name(shape) << " channels=" << channels;
+    }
+  }
+}
+
+TEST(Opt, ScheduleCarriesSearchResult) {
+  const Workload w = make_workload({2, 4, 8}, {3, 5, 3});
+  const OptSchedule s = schedule_opt(w, 3);
+  EXPECT_EQ(s.program.cycle_length(),
+            major_cycle(w, s.search.S, 3));
+  EXPECT_EQ(s.program.occupied(), total_slots(w, s.search.S));
+}
+
+}  // namespace
+}  // namespace tcsa

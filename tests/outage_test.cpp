@@ -1,0 +1,133 @@
+// Tests for channel-outage failure injection and the parallel sweep driver.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/channel_bound.hpp"
+#include "core/pamad.hpp"
+#include "core/susc.hpp"
+#include "model/appearance_index.hpp"
+#include "sim/outage.hpp"
+#include "sim/sweep.hpp"
+#include "workload/distributions.hpp"
+
+namespace tcsa {
+namespace {
+
+// ------------------------------------------------------------------- outage
+
+TEST(Outage, ClearsExactlyOneChannel) {
+  const Workload w = make_workload({2, 4, 8}, {3, 5, 3});
+  const BroadcastProgram p = schedule_susc(w);
+  const BroadcastProgram degraded = with_channel_outage(p, 1);
+  for (SlotCount s = 0; s < degraded.cycle_length(); ++s)
+    EXPECT_TRUE(degraded.empty_at(1, s));
+  for (SlotCount ch = 0; ch < p.channels(); ++ch) {
+    if (ch == 1) continue;
+    for (SlotCount s = 0; s < p.cycle_length(); ++s)
+      EXPECT_EQ(degraded.at(ch, s), p.at(ch, s));
+  }
+  EXPECT_THROW(with_channel_outage(p, 99), std::invalid_argument);
+}
+
+TEST(Outage, SuscSilencesWholePages) {
+  // SUSC pages live on exactly one channel: killing any non-empty channel
+  // silences every page homed there.
+  const Workload w = make_workload({2, 4, 8}, {3, 5, 3});
+  const BroadcastProgram p = schedule_susc(w);
+  const OutageImpact impact = evaluate_outage(p, w, 0, 5000, 3);
+  EXPECT_GT(impact.silenced_pages, 0);
+  EXPECT_GT(impact.unreachable_rate, 0.0);
+}
+
+TEST(Outage, PamadSpreadsRiskAcrossChannels) {
+  // Algorithm-4 placement scatters a page's copies over channels, so the
+  // worst single-transmitter loss silences far fewer pages than under
+  // SUSC, whose Theorem-3.3 structure homes each page on one channel.
+  // (Summed over ALL channels the counts can tie on small regular
+  // workloads — placement becomes channel-periodic — so the robustness
+  // claim is about the worst case, as in bench_ext_outage.)
+  const Workload w = make_paper_workload(GroupSizeShape::kUniform, 6, 300, 4, 2);
+  const SlotCount channels = min_channels(w);
+  const BroadcastProgram susc = schedule_susc(w, channels);
+  const PamadSchedule pamad = schedule_pamad(w, channels);
+
+  SlotCount worst_susc = 0;
+  SlotCount worst_pamad = 0;
+  for (SlotCount ch = 0; ch < channels; ++ch) {
+    worst_susc = std::max(worst_susc,
+                          evaluate_outage(susc, w, ch, 500, 7).silenced_pages);
+    worst_pamad = std::max(
+        worst_pamad,
+        evaluate_outage(pamad.program, w, ch, 500, 7).silenced_pages);
+  }
+  EXPECT_LT(worst_pamad, worst_susc);
+}
+
+TEST(Outage, DelayNeverImprovesAfterOutage) {
+  const Workload w = make_paper_workload(GroupSizeShape::kUniform, 5, 200, 4, 2);
+  const PamadSchedule s = schedule_pamad(w, 4);
+  for (SlotCount ch = 0; ch < 4; ++ch) {
+    const OutageImpact impact = evaluate_outage(s.program, w, ch, 4000, 11);
+    EXPECT_GE(impact.avg_delay_after, impact.avg_delay_before - 1e-9)
+        << "channel " << ch;
+  }
+}
+
+TEST(Outage, DegradedPagesCounted) {
+  const Workload w = make_paper_workload(GroupSizeShape::kUniform, 5, 200, 4, 2);
+  const PamadSchedule s = schedule_pamad(w, 4);
+  const OutageImpact impact = evaluate_outage(s.program, w, 0, 2000, 5);
+  // Losing a quarter of the slots must widen at least some gaps.
+  EXPECT_GT(impact.degraded_pages + impact.silenced_pages, 0);
+}
+
+TEST(Outage, RejectsBadCount) {
+  const Workload w = make_workload({2}, {1});
+  BroadcastProgram p(1, 2);
+  p.place(0, 0, 0);
+  EXPECT_THROW(evaluate_outage(p, w, 0, 0, 1), std::invalid_argument);
+}
+
+// ---------------------------------------------------------- parallel sweep
+
+TEST(ParallelSweep, BitIdenticalToSerial) {
+  const Workload w = make_paper_workload(GroupSizeShape::kNormal, 5, 150, 4, 2);
+  SweepConfig config;
+  config.methods = {Method::kPamad, Method::kMpb};
+  config.sim.requests.count = 1000;
+  const auto serial = run_sweep(w, config);
+  for (const unsigned threads : {2u, 4u, 0u}) {
+    const auto parallel = run_sweep_parallel(w, config, threads);
+    ASSERT_EQ(parallel.size(), serial.size()) << threads << " threads";
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(parallel[i].channels, serial[i].channels);
+      EXPECT_EQ(parallel[i].method, serial[i].method);
+      EXPECT_DOUBLE_EQ(parallel[i].avg_delay, serial[i].avg_delay) << i;
+      EXPECT_DOUBLE_EQ(parallel[i].predicted_delay,
+                       serial[i].predicted_delay);
+    }
+  }
+}
+
+TEST(ParallelSweep, SingleThreadFallsBackToSerial) {
+  const Workload w = make_workload({2, 4}, {4, 6});
+  SweepConfig config;
+  config.methods = {Method::kPamad};
+  config.sim.requests.count = 200;
+  const auto a = run_sweep(w, config);
+  const auto b = run_sweep_parallel(w, config, 1);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_DOUBLE_EQ(a[i].avg_delay, b[i].avg_delay);
+}
+
+TEST(ParallelSweep, RejectsEmptyConfigToo) {
+  const Workload w = make_workload({2}, {1});
+  SweepConfig config;
+  config.methods = {};
+  EXPECT_THROW(run_sweep_parallel(w, config, 2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tcsa

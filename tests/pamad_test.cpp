@@ -1,0 +1,207 @@
+// Tests for PAMAD (Section 4): the Algorithm 3 frequency search including
+// the paper's full worked example, and the assembled schedules.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "core/channel_bound.hpp"
+#include "core/delay_model.hpp"
+#include "core/pamad.hpp"
+#include "model/appearance_index.hpp"
+#include "model/validate.hpp"
+#include "sim/broadcast_sim.hpp"
+#include "workload/distributions.hpp"
+
+namespace tcsa {
+namespace {
+
+// ------------------------------------------ the paper's worked example (Fig 2)
+
+TEST(PamadFrequencies, WorkedExampleRatiosAndFrequencies) {
+  // P = (3,5,3), t = (2,4,8), 3 channels (minimum is 4):
+  // r1_opt = 2, r2_opt = 2 -> S = (4, 2, 1), t_major = 9.
+  const Workload w = make_workload({2, 4, 8}, {3, 5, 3});
+  const PamadFrequencies f = pamad_frequencies(w, 3);
+  ASSERT_EQ(f.r.size(), 2u);
+  EXPECT_EQ(f.r[0], 2);
+  EXPECT_EQ(f.r[1], 2);
+  EXPECT_EQ(f.S, (std::vector<SlotCount>{4, 2, 1}));
+  EXPECT_EQ(f.t_major, 9);
+}
+
+TEST(PamadFrequencies, WorkedExampleStageDelays) {
+  const Workload w = make_workload({2, 4, 8}, {3, 5, 3});
+  const PamadFrequencies f = pamad_frequencies(w, 3);
+  ASSERT_EQ(f.stage_delay.size(), 2u);
+  EXPECT_DOUBLE_EQ(f.stage_delay[0], 0.0);      // D'_2 at r1 = 2
+  EXPECT_NEAR(f.stage_delay[1], 0.042, 2e-3);   // D'_3 at r2 = 2
+}
+
+TEST(PamadFrequencies, LastGroupAlwaysOnce) {
+  for (const GroupSizeShape shape : paper_shapes()) {
+    const Workload w = make_paper_workload(shape);
+    for (const SlotCount channels : {1, 3, 10, 30}) {
+      const PamadFrequencies f = pamad_frequencies(w, channels);
+      EXPECT_EQ(f.S.back(), 1);
+    }
+  }
+}
+
+TEST(PamadFrequencies, FrequenciesAreNonIncreasing) {
+  // S_i = prod_{j >= i} r_j with every r >= 1.
+  for (const GroupSizeShape shape : paper_shapes()) {
+    const Workload w = make_paper_workload(shape);
+    for (const SlotCount channels : {1, 2, 7, 20, 45}) {
+      const PamadFrequencies f = pamad_frequencies(w, channels);
+      for (std::size_t g = 1; g < f.S.size(); ++g)
+        EXPECT_LE(f.S[g], f.S[g - 1]);
+    }
+  }
+}
+
+TEST(PamadFrequencies, SufficientChannelsReachZeroDelay) {
+  const Workload w = make_workload({2, 4, 8}, {3, 5, 3});
+  const PamadFrequencies f = pamad_frequencies(w, min_channels(w));
+  EXPECT_DOUBLE_EQ(f.predicted_delay, 0.0);
+}
+
+TEST(PamadFrequencies, SingleGroupIsTrivial) {
+  const Workload w = make_workload({4}, {20});
+  const PamadFrequencies f = pamad_frequencies(w, 2);
+  EXPECT_EQ(f.S, (std::vector<SlotCount>{1}));
+  EXPECT_TRUE(f.r.empty());
+  EXPECT_EQ(f.t_major, 10);
+  // 20 pages / 2 channels -> spacing 10 > 4: delay (10-4)^2/20 = 1.8.
+  EXPECT_DOUBLE_EQ(f.predicted_delay, 1.8);
+}
+
+TEST(PamadFrequencies, RejectsZeroChannels) {
+  const Workload w = make_workload({2}, {1});
+  EXPECT_THROW(pamad_frequencies(w, 0), std::invalid_argument);
+}
+
+TEST(PamadFrequencies, MoreChannelsEssentiallyMonotone) {
+  // The greedy stage search can regress slightly when an extra channel
+  // flips a stage's discrete choice; the trend must still be a steep
+  // monotone-ish decline (small local upticks only, and the endpoints
+  // strictly ordered).
+  for (const GroupSizeShape shape : paper_shapes()) {
+    const Workload w = make_paper_workload(shape, 6, 300, 4, 2);
+    double last = std::numeric_limits<double>::infinity();
+    for (SlotCount channels = 1; channels <= min_channels(w); ++channels) {
+      const double d = pamad_frequencies(w, channels).predicted_delay;
+      EXPECT_LE(d, std::max(last * 1.25, last + 0.3))
+          << shape_name(shape) << " channels=" << channels;
+      last = d;
+    }
+    EXPECT_DOUBLE_EQ(
+        pamad_frequencies(w, min_channels(w)).predicted_delay, 0.0);
+    EXPECT_GT(pamad_frequencies(w, 1).predicted_delay, 1.0);
+  }
+}
+
+TEST(PamadFrequencies, ObjectiveVariantsAgreeClosely) {
+  // A1 ablation: the two stage objectives share the same minimiser in the
+  // continuous limit, so the greedy lands on near-identical frequencies.
+  // (Pointwise dominance does not hold — a greedy can be lucky under either
+  // objective at individual channel counts — so compare the sweeps.)
+  for (const GroupSizeShape shape : paper_shapes()) {
+    const Workload w = make_paper_workload(shape, 6, 300, 4, 2);
+    double paper_sum = 0.0, exact_sum = 0.0;
+    for (SlotCount channels = 1; channels <= min_channels(w); ++channels) {
+      paper_sum += pamad_frequencies(w, channels, PamadObjective::kPaper)
+                       .predicted_delay;
+      exact_sum += pamad_frequencies(w, channels, PamadObjective::kExact)
+                       .predicted_delay;
+    }
+    EXPECT_NEAR(exact_sum / paper_sum, 1.0, 0.10) << shape_name(shape);
+  }
+}
+
+// ------------------------------------------------------------- full schedule
+
+TEST(PamadSchedule, WorkedExampleProgramShape) {
+  const Workload w = make_workload({2, 4, 8}, {3, 5, 3});
+  const PamadSchedule s = schedule_pamad(w, 3);
+  EXPECT_EQ(s.program.channels(), 3);
+  EXPECT_EQ(s.program.cycle_length(), 9);
+  EXPECT_EQ(s.program.occupied(), 25);
+  EXPECT_EQ(s.window_overflows, 0);
+  const AppearanceIndex idx(s.program, w.total_pages());
+  for (PageId page = 0; page < w.total_pages(); ++page) {
+    const GroupId g = w.group_of(page);
+    EXPECT_EQ(idx.count(page),
+              s.frequencies.S[static_cast<std::size_t>(g)]);
+  }
+}
+
+TEST(PamadSchedule, ValidWheneverChannelsSufficient) {
+  // At the Theorem 3.1 minimum PAMAD must deliver a zero-delay (valid)
+  // program, like SUSC.
+  for (const GroupSizeShape shape : paper_shapes()) {
+    const Workload w = make_paper_workload(shape, 5, 150, 2, 2);
+    const PamadSchedule s = schedule_pamad(w, min_channels(w));
+    SimConfig config;
+    config.requests.count = 5000;
+    const SimResult sim = simulate_requests(s.program, w, config);
+    EXPECT_NEAR(sim.avg_delay, 0.0, 0.35)
+        << shape_name(shape) << ": " << w.describe();
+  }
+}
+
+TEST(PamadSchedule, SimulatedDelayTracksPrediction) {
+  const Workload w = make_paper_workload(GroupSizeShape::kUniform, 8, 1000, 4, 2);
+  for (const SlotCount channels : {3, 8, 16, 32}) {
+    const PamadSchedule s = schedule_pamad(w, channels);
+    SimConfig config;
+    config.requests.count = 30000;
+    const SimResult sim = simulate_requests(s.program, w, config);
+    EXPECT_NEAR(sim.avg_delay, s.frequencies.predicted_delay,
+                std::max(1.0, s.frequencies.predicted_delay * 0.25))
+        << "channels=" << channels;
+  }
+}
+
+TEST(PamadSchedule, OneFifthRuleDelayNearlyIgnorable) {
+  // Section 5's headline: at ~1/5 of the minimum channels, AvgD is tiny
+  // relative to the single-channel delay. The claim is about workloads
+  // whose minimum is tens of channels (Fig. 5(d): 64); with single-digit
+  // minima "one fifth" is one or two channels and the ratio test is
+  // meaningless, so such shapes are skipped.
+  for (const GroupSizeShape shape : paper_shapes()) {
+    const Workload w = make_paper_workload(shape);
+    if (min_channels(w) < 15) continue;
+    const SlotCount fifth = (min_channels(w) + 4) / 5;
+    const double at_one = pamad_frequencies(w, 1).predicted_delay;
+    const double at_fifth = pamad_frequencies(w, fifth).predicted_delay;
+    // Uniform/normal land around 2%; the steepest skew sits just above 5%.
+    EXPECT_LT(at_fifth, at_one * 0.06) << shape_name(shape);
+  }
+}
+
+TEST(PamadSchedule, PaperScaleOverflowsAreRare) {
+  for (const GroupSizeShape shape : paper_shapes()) {
+    const Workload w = make_paper_workload(shape);
+    for (const SlotCount channels : {1, 7, 21, 50}) {
+      const PamadSchedule s = schedule_pamad(w, channels);
+      const auto copies = static_cast<double>(s.program.occupied());
+      EXPECT_LT(static_cast<double>(s.window_overflows), copies * 0.01)
+          << shape_name(shape) << " channels=" << channels;
+    }
+  }
+}
+
+// Stage caps: the sweep bound from Algorithm 3 must never stop the search
+// below the zero-delay ratio when bandwidth allows it.
+TEST(PamadFrequencies, CapReachesZeroDelayRatio) {
+  const Workload w = make_workload({2, 4}, {2, 3});  // needs 2 channels
+  const PamadFrequencies f = pamad_frequencies(w, 2);
+  EXPECT_DOUBLE_EQ(f.predicted_delay, 0.0);
+  EXPECT_EQ(f.S[1], 1);
+  EXPECT_EQ(f.S[0], 2);  // the SUSC ratio t2/t1
+}
+
+}  // namespace
+}  // namespace tcsa

@@ -1,0 +1,115 @@
+// Tests for the tcsa v1 text formats (model/serialize).
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/pamad.hpp"
+#include "core/susc.hpp"
+#include "model/serialize.hpp"
+#include "workload/distributions.hpp"
+
+namespace tcsa {
+namespace {
+
+TEST(SerializeWorkload, RoundTrip) {
+  const Workload w = make_workload({2, 4, 8}, {3, 5, 3});
+  EXPECT_EQ(workload_from_string(workload_to_string(w)), w);
+}
+
+TEST(SerializeWorkload, RoundTripPaperDefaults) {
+  for (const GroupSizeShape shape : paper_shapes()) {
+    const Workload w = make_paper_workload(shape);
+    EXPECT_EQ(workload_from_string(workload_to_string(w)), w);
+  }
+}
+
+TEST(SerializeWorkload, FormatIsStable) {
+  const std::string text = workload_to_string(make_workload({2, 4}, {1, 7}));
+  EXPECT_EQ(text,
+            "tcsa-workload v1\n"
+            "groups 2\n"
+            "group 2 1\n"
+            "group 4 7\n");
+}
+
+TEST(SerializeWorkload, CommentsAndBlanksIgnored) {
+  const Workload w = workload_from_string(
+      "# saved by tooling\n\n"
+      "tcsa-workload v1\n"
+      "groups 1\n"
+      "# the only group\n"
+      "group 5 3\n");
+  EXPECT_EQ(w.expected_time(0), 5);
+  EXPECT_EQ(w.pages_in_group(0), 3);
+}
+
+TEST(SerializeWorkload, RejectsBadHeader) {
+  EXPECT_THROW(workload_from_string("tcsa-workload v2\ngroups 1\ngroup 2 1\n"),
+               std::invalid_argument);
+  EXPECT_THROW(workload_from_string(""), std::invalid_argument);
+}
+
+TEST(SerializeWorkload, RejectsMalformedLines) {
+  EXPECT_THROW(workload_from_string("tcsa-workload v1\ngroups x\n"),
+               std::invalid_argument);
+  EXPECT_THROW(
+      workload_from_string("tcsa-workload v1\ngroups 1\ngroup 2\n"),
+      std::invalid_argument);
+  EXPECT_THROW(
+      workload_from_string("tcsa-workload v1\ngroups 2\ngroup 2 1\n"),
+      std::invalid_argument);
+}
+
+TEST(SerializeWorkload, RejectsInvariantViolations) {
+  // Non-dividing ladder caught with a parse-context message.
+  EXPECT_THROW(workload_from_string("tcsa-workload v1\ngroups 2\n"
+                                    "group 2 1\ngroup 3 1\n"),
+               std::invalid_argument);
+}
+
+TEST(SerializeProgram, RoundTripEmptySlots) {
+  BroadcastProgram p(2, 3);
+  p.place(0, 0, 7);
+  p.place(1, 2, 0);
+  const BroadcastProgram q = program_from_string(program_to_string(p));
+  EXPECT_EQ(p, q);
+}
+
+TEST(SerializeProgram, RoundTripRealSchedules) {
+  const Workload w = make_workload({2, 4, 8}, {3, 5, 3});
+  const BroadcastProgram susc = schedule_susc(w);
+  EXPECT_EQ(program_from_string(program_to_string(susc)), susc);
+  const PamadSchedule pamad = schedule_pamad(w, 3);
+  EXPECT_EQ(program_from_string(program_to_string(pamad.program)),
+            pamad.program);
+}
+
+TEST(SerializeProgram, FormatIsStable) {
+  BroadcastProgram p(1, 3);
+  p.place(0, 1, 4);
+  EXPECT_EQ(program_to_string(p),
+            "tcsa-program v1\n"
+            "shape 1 3\n"
+            "row 0 . 4 .\n");
+}
+
+TEST(SerializeProgram, RejectsBadShapeAndRows) {
+  EXPECT_THROW(program_from_string("tcsa-program v1\nshape 0 3\n"),
+               std::invalid_argument);
+  EXPECT_THROW(program_from_string("tcsa-program v1\nshape 1 2\nrow 0 .\n"),
+               std::invalid_argument);
+  EXPECT_THROW(
+      program_from_string("tcsa-program v1\nshape 1 2\nrow 1 . .\n"),
+      std::invalid_argument);
+  EXPECT_THROW(
+      program_from_string("tcsa-program v1\nshape 1 2\nrow 0 . x\n"),
+      std::invalid_argument);
+}
+
+TEST(SerializeProgram, RejectsMissingRows) {
+  EXPECT_THROW(program_from_string("tcsa-program v1\nshape 2 2\nrow 0 . .\n"),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tcsa
