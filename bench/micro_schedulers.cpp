@@ -7,9 +7,11 @@
 #include <benchmark/benchmark.h>
 
 #include "core/channel_bound.hpp"
+#include "core/delay_model.hpp"
 #include "core/mpb.hpp"
 #include "core/opt.hpp"
 #include "core/pamad.hpp"
+#include "core/placement.hpp"
 #include "core/susc.hpp"
 #include "workload/distributions.hpp"
 
@@ -78,6 +80,40 @@ void BM_OptFrequencySearch(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_OptFrequencySearch)->Arg(1)->Arg(13)->Arg(32)->Arg(62)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_OptLadderSearch(benchmark::State& state) {
+  // The deep-ladder stress case (h = 12) the incremental search was built
+  // for; the argument is the worker count, so Arg(1) vs Arg(8) isolates
+  // parallel scaling on top of the single-thread incremental gains.
+  const Workload w =
+      make_paper_workload(GroupSizeShape::kUniform, 12, 1200, 2, 2);
+  const auto threads = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    const OptResult r = opt_frequencies(w, 100, threads);
+    benchmark::DoNotOptimize(r.predicted_delay);
+  }
+}
+BENCHMARK(BM_OptLadderSearch)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PlacementEvenSpread(benchmark::State& state) {
+  // The column-tracker placer vs the seed double-scan (reference) on the
+  // same Figure-4 workload; range(0) selects the implementation so the two
+  // rows land adjacent in reports.
+  const Workload w = bench_workload(4000);
+  const std::vector<SlotCount> S = {128, 64, 32, 16, 8, 4, 2, 1};
+  const bool reference = state.range(0) != 0;
+  for (auto _ : state) {
+    const PlacementResult r = reference ? place_even_spread_reference(w, S, 5)
+                                        : place_even_spread(w, S, 5);
+    benchmark::DoNotOptimize(r.program.occupied());
+  }
+  state.SetLabel(reference ? "reference" : "tracker");
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(total_slots(w, S)));
+}
+BENCHMARK(BM_PlacementEvenSpread)->Arg(0)->Arg(1)
     ->Unit(benchmark::kMillisecond);
 
 void BM_BruteForceSearch(benchmark::State& state) {

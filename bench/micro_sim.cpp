@@ -55,6 +55,74 @@ void BM_SimulateFigure5Point(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulateFigure5Point)->Arg(4)->Arg(16)->Arg(62);
 
+void BM_ComputeWaits(benchmark::State& state) {
+  // The wait kernel in isolation: batched (page-grouped) vs scalar
+  // (per-request binary search in stream order); range(0) selects the
+  // path. End-to-end simulate_requests also pays a quantile sort over all
+  // delays, which dwarfs the wait kernel — this bench removes that floor.
+  const Workload w = make_paper_workload(GroupSizeShape::kUniform);
+  const PamadSchedule s = schedule_pamad(w, 16);
+  const AppearanceIndex idx(s.program, w.total_pages());
+  RequestConfig config;
+  config.count = 100000;
+  Rng rng(11);
+  const auto requests = generate_requests(
+      w, static_cast<double>(s.program.cycle_length()), config, rng);
+  const bool reference = state.range(0) != 0;
+  std::vector<double> waits(requests.size());
+  for (auto _ : state) {
+    if (reference) {
+      for (std::size_t i = 0; i < requests.size(); ++i)
+        waits[i] = idx.wait_after(requests[i].page, requests[i].arrival);
+    } else {
+      compute_waits(idx, w.total_pages(), requests, waits);
+    }
+    benchmark::DoNotOptimize(waits.data());
+  }
+  state.SetLabel(reference ? "reference" : "batched");
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(requests.size()));
+}
+BENCHMARK(BM_ComputeWaits)->Arg(0)->Arg(1);
+
+void BM_SimulateRequestStream(benchmark::State& state) {
+  // End-to-end batched vs scalar simulate over the same pre-generated
+  // stream (wait kernel + statistics; the shared quantile sort sets a
+  // floor on both rows).
+  const Workload w = make_paper_workload(GroupSizeShape::kUniform);
+  const PamadSchedule s = schedule_pamad(w, 16);
+  const AppearanceIndex idx(s.program, w.total_pages());
+  RequestConfig config;
+  config.count = 100000;
+  Rng rng(11);
+  const auto requests = generate_requests(
+      w, static_cast<double>(s.program.cycle_length()), config, rng);
+  const bool reference = state.range(0) != 0;
+  for (auto _ : state) {
+    const SimResult r = reference
+                            ? simulate_requests_reference(idx, w, requests)
+                            : simulate_requests(idx, w, requests);
+    benchmark::DoNotOptimize(r.avg_delay);
+  }
+  state.SetLabel(reference ? "reference" : "batched");
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(requests.size()));
+}
+BENCHMARK(BM_SimulateRequestStream)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_GroupOfLookup(benchmark::State& state) {
+  // The per-request page -> group lookup, now a dense table read.
+  const Workload w = make_paper_workload(GroupSizeShape::kUniform);
+  Rng rng(3);
+  for (auto _ : state) {
+    const auto page =
+        static_cast<PageId>(rng.uniform_int(0, w.total_pages() - 1));
+    benchmark::DoNotOptimize(w.group_of(page));
+  }
+}
+BENCHMARK(BM_GroupOfLookup);
+
 void BM_RequestGeneration(benchmark::State& state) {
   const Workload w = make_paper_workload(GroupSizeShape::kUniform);
   RequestConfig config;

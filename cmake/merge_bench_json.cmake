@@ -1,0 +1,31 @@
+# merge_bench_json.cmake — combine per-suite google-benchmark JSON reports
+# into one file. Invoked by the bench_json target as
+#   cmake -DOUTPUT=<path> -DSUITES=<name1;name2;...> -DINPUT_DIR=<dir>
+#         -P merge_bench_json.cmake
+# where each suite's report is <INPUT_DIR>/<name>.json. The merged document
+# is {"suites": {"<name>": <report>, ...}} — plain string assembly, so each
+# report is embedded verbatim and no JSON parser is required.
+
+if(NOT OUTPUT OR NOT SUITES OR NOT INPUT_DIR)
+  message(FATAL_ERROR "merge_bench_json: OUTPUT, SUITES and INPUT_DIR are required")
+endif()
+
+set(merged "{\n  \"suites\": {")
+set(first TRUE)
+foreach(suite IN LISTS SUITES)
+  set(report "${INPUT_DIR}/${suite}.json")
+  if(NOT EXISTS "${report}")
+    message(FATAL_ERROR "merge_bench_json: missing report ${report}")
+  endif()
+  file(READ "${report}" content)
+  string(STRIP "${content}" content)
+  if(NOT first)
+    string(APPEND merged ",")
+  endif()
+  set(first FALSE)
+  string(APPEND merged "\n    \"${suite}\": ${content}")
+endforeach()
+string(APPEND merged "\n  }\n}\n")
+
+file(WRITE "${OUTPUT}" "${merged}")
+message(STATUS "merge_bench_json: wrote ${OUTPUT}")

@@ -23,6 +23,16 @@
 //
 // All variants minimise the true expected delay (analytic_average_delay),
 // since OPT exists to lower-bound the achievable AvgD.
+//
+// The ladder search is parallel and deterministic: the stage-1.. ratio
+// space is split into independent subtrees, each explored with a private
+// candidate tracker and evaluation counter, and the results are merged
+// under the total order (min delay, then fewer total slots, then
+// lexicographically smallest S). The answer — S, delay, and the evaluation
+// count — is therefore bit-identical for every thread count. The 5M
+// evaluation budget applies per subtree, so a search the seed implementation
+// abandoned mid-tree now finishes more of the space (still bounded, still
+// deterministic).
 #pragma once
 
 #include <vector>
@@ -47,12 +57,16 @@ OptResult brute_force_frequencies(const Workload& workload, SlotCount channels,
                                   SlotCount max_freq);
 
 /// Paper-scale OPT: exhaustive ladder enumeration (placeable vectors only).
-OptResult opt_frequencies(const Workload& workload, SlotCount channels);
+/// `threads` workers explore the ratio subtrees (0 = hardware concurrency);
+/// the result is bit-identical for every thread count.
+OptResult opt_frequencies(const Workload& workload, SlotCount channels,
+                          unsigned threads = 0);
 
 /// Analytic lower bound: ladder + waterfilling + hill climb over arbitrary
 /// integer vectors. Do not place/simulate the result — see header comment.
 OptResult opt_frequencies_unconstrained(const Workload& workload,
-                                        SlotCount channels);
+                                        SlotCount channels,
+                                        unsigned threads = 0);
 
 /// Complete OPT schedule (frequencies + Algorithm 4 placement).
 struct OptSchedule {

@@ -33,9 +33,19 @@ struct PlacementResult {
 
 /// Runs Algorithm 4 for the given frequencies.
 /// Preconditions: channels >= 1; S has one entry >= 1 per group.
+/// Placement cost is amortised near-O(1) per copy: per-column occupancy
+/// counts plus a pointer-jumping "next non-full column" structure replace
+/// the naive window/channel scans while choosing the identical slots.
 PlacementResult place_even_spread(const Workload& workload,
                                   std::span<const SlotCount> S,
                                   SlotCount channels);
+
+/// The seed's naive double-scan placer, kept verbatim as a test oracle:
+/// place_even_spread must produce a bit-identical program. O(copies *
+/// t_major * channels) worst case — do not use on hot paths.
+PlacementResult place_even_spread_reference(const Workload& workload,
+                                            std::span<const SlotCount> S,
+                                            SlotCount channels);
 
 /// Ablation variant (experiment A2): ignores the even-spread windows and
 /// fills slots first-fit in page order. Same cycle length and copy counts,

@@ -1,5 +1,6 @@
 #include "model/workload.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 #include "util/contracts.hpp"
@@ -29,6 +30,12 @@ Workload::Workload(std::vector<GroupSpec> groups) : groups_(std::move(groups)) {
                  "Workload: too many pages for PageId");
     first_page_.push_back(static_cast<PageId>(total_pages_));
   }
+  page_group_.resize(static_cast<std::size_t>(total_pages_));
+  for (std::size_t g = 0; g < groups_.size(); ++g) {
+    std::fill(page_group_.begin() + first_page_[g],
+              page_group_.begin() + first_page_[g + 1],
+              static_cast<GroupId>(g));
+  }
 }
 
 SlotCount Workload::expected_time(GroupId g) const {
@@ -48,18 +55,7 @@ PageId Workload::first_page(GroupId g) const {
 
 GroupId Workload::group_of(PageId page) const {
   TCSA_REQUIRE(page < total_pages_, "Workload: page id out of range");
-  // Binary search over prefix sums (h is small; still O(log h)).
-  GroupId lo = 0;
-  GroupId hi = group_count() - 1;
-  while (lo < hi) {
-    const GroupId mid = lo + (hi - lo) / 2;
-    if (page < first_page_[static_cast<std::size_t>(mid) + 1]) {
-      hi = mid;
-    } else {
-      lo = mid + 1;
-    }
-  }
-  return lo;
+  return page_group_[page];
 }
 
 bool Workload::uniform_ratio(SlotCount& ratio) const noexcept {

@@ -53,7 +53,8 @@ class Workload {
   /// First global page id of group g (groups own contiguous id ranges).
   PageId first_page(GroupId g) const;
 
-  /// Group owning the given page id.
+  /// Group owning the given page id. O(1): a dense page -> group table is
+  /// built once at construction (the simulator calls this per request).
   GroupId group_of(PageId page) const;
 
   /// Expected time of the given page's group.
@@ -74,7 +75,8 @@ class Workload {
 
  private:
   std::vector<GroupSpec> groups_;
-  std::vector<PageId> first_page_;  // prefix sums, size h+1
+  std::vector<PageId> first_page_;   // prefix sums, size h+1
+  std::vector<GroupId> page_group_;  // dense page -> group table, size n
   SlotCount total_pages_ = 0;
 };
 

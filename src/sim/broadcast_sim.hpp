@@ -43,10 +43,31 @@ SimResult simulate_requests(const BroadcastProgram& program,
                             const Workload& workload, const SimConfig& config);
 
 /// Same, but over a pre-generated request stream (used by tests that need
-/// to inspect individual waits and by the hybrid simulator).
+/// to inspect individual waits and by the hybrid simulator). Waits come from
+/// compute_waits (page-batched), then statistics accumulate in original
+/// request order, so the result is bit-identical to
+/// simulate_requests_reference.
 SimResult simulate_requests(const AppearanceIndex& index,
                             const Workload& workload,
                             const std::vector<Request>& requests);
+
+/// The batched wait kernel: groups requests per page (counting sort), then
+/// answers each page's bucket with either a phase-sorted merge walk along
+/// the appearance list (amortised O(1) per request) or, for buckets smaller
+/// than the list, per-request binary search over the cache-resident span.
+/// `waits[i]` receives the wait of `requests[i]` — identical bit for bit to
+/// `wait_for(index, requests[i].page, requests[i].arrival)`.
+void compute_waits(const AppearanceIndex& index, SlotCount page_count,
+                   const std::vector<Request>& requests,
+                   std::vector<double>& waits);
+
+/// The scalar reference path: one AppearanceIndex::wait_after binary search
+/// per request, in request order. Semantically the definition of the
+/// simulator; kept for tests (batched must match it bit for bit) and as the
+/// baseline in bench_micro_sim.
+SimResult simulate_requests_reference(const AppearanceIndex& index,
+                                      const Workload& workload,
+                                      const std::vector<Request>& requests);
 
 /// Single-request wait in slots (exposed for tests and the hybrid model).
 double wait_for(const AppearanceIndex& index, PageId page, double arrival);

@@ -1,11 +1,10 @@
 #include "sim/sweep.hpp"
 
-#include <atomic>
-#include <thread>
 #include <utility>
 
 #include "core/channel_bound.hpp"
 #include "util/contracts.hpp"
+#include "util/parallel.hpp"
 
 namespace tcsa {
 namespace {
@@ -58,38 +57,32 @@ std::vector<std::pair<SlotCount, Method>> point_list(
   return points;
 }
 
+/// The single sweep driver: both public entry points route here. Points are
+/// independent by construction (per-point forked seeds, immutable workload),
+/// so result slot i never depends on scheduling; threads == 1 runs inline on
+/// the calling thread with no pool spawned.
+std::vector<SweepPoint> run_sweep_impl(const Workload& workload,
+                                       const SweepConfig& config,
+                                       unsigned threads) {
+  const auto work = point_list(workload, config);
+  std::vector<SweepPoint> results(work.size());
+  parallel_for(work.size(), threads, [&](std::size_t i) {
+    results[i] = measure_point(workload, config, work[i].first, work[i].second);
+  });
+  return results;
+}
+
 }  // namespace
 
 std::vector<SweepPoint> run_sweep(const Workload& workload,
                                   const SweepConfig& config) {
-  std::vector<SweepPoint> results;
-  for (const auto& [channels, method] : point_list(workload, config))
-    results.push_back(measure_point(workload, config, channels, method));
-  return results;
+  return run_sweep_impl(workload, config, 1);
 }
 
 std::vector<SweepPoint> run_sweep_parallel(const Workload& workload,
                                            const SweepConfig& config,
                                            unsigned threads) {
-  const auto work = point_list(workload, config);
-  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
-  threads = std::min<unsigned>(threads, static_cast<unsigned>(work.size()));
-  if (threads <= 1) return run_sweep(workload, config);
-
-  std::vector<SweepPoint> results(work.size());
-  std::atomic<std::size_t> next{0};
-  auto worker = [&]() {
-    for (std::size_t i = next.fetch_add(1); i < work.size();
-         i = next.fetch_add(1)) {
-      results[i] =
-          measure_point(workload, config, work[i].first, work[i].second);
-    }
-  };
-  std::vector<std::thread> pool;
-  pool.reserve(threads);
-  for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
-  for (std::thread& t : pool) t.join();
-  return results;
+  return run_sweep_impl(workload, config, threads);
 }
 
 }  // namespace tcsa

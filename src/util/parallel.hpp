@@ -1,0 +1,78 @@
+// parallel.hpp — the shared work-pool behind every parallel kernel.
+//
+// One primitive, `parallel_for`, runs `fn(i)` for i in [0, tasks) across a
+// bounded set of worker threads with dynamic (atomic-counter) scheduling.
+// Design rules, enforced here so every caller inherits them:
+//
+//  * Determinism is the caller's job and the pool makes it easy: tasks are
+//    identified by a dense index, so callers write results into slot i of a
+//    pre-sized vector and merge with an associative, total-order rule.
+//    Nothing about the *values* produced may depend on which thread ran a
+//    task or in what order tasks interleaved.
+//  * threads == 0 means hardware concurrency; threads <= 1 (or a single
+//    task) degrades to a plain inline loop — no thread is ever spawned, so
+//    serial callers pay nothing and serial/parallel share one code path.
+//  * The calling thread participates as a worker (tasks never wait on an
+//    idle caller), and the first exception thrown by any task is captured
+//    and rethrown on the calling thread after all workers join.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace tcsa {
+
+/// Resolves a requested thread count: 0 = hardware concurrency (at least 1).
+inline unsigned resolve_thread_count(unsigned requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+/// Runs fn(i) for every i in [0, tasks) on up to `threads` workers
+/// (0 = hardware concurrency). Tasks are claimed dynamically via an atomic
+/// counter, so uneven task costs balance automatically. fn must be safe to
+/// invoke concurrently from distinct threads on distinct indices.
+template <typename Fn>
+void parallel_for(std::size_t tasks, unsigned threads, Fn&& fn) {
+  if (tasks == 0) return;
+  const unsigned workers = std::min<std::size_t>(
+      resolve_thread_count(threads), tasks);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < tasks; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;
+  auto worker = [&]() {
+    for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+         i < tasks; i = next.fetch_add(1, std::memory_order_relaxed)) {
+      if (failed.load(std::memory_order_acquire)) return;
+      try {
+        fn(i);
+      } catch (...) {
+        // First failure wins; `failed` orders the write to `error`.
+        if (!failed.exchange(true, std::memory_order_acq_rel))
+          error = std::current_exception();
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (unsigned t = 0; t + 1 < workers; ++t) pool.emplace_back(worker);
+  worker();  // the calling thread is the last worker
+  for (std::thread& t : pool) t.join();
+  if (failed.load(std::memory_order_acquire) && error)
+    std::rethrow_exception(error);
+}
+
+}  // namespace tcsa

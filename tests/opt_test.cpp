@@ -161,6 +161,32 @@ TEST(Opt, UnconstrainedLowerBoundsLadder) {
   }
 }
 
+TEST(Opt, DeterministicAcrossThreadCounts) {
+  // The parallel ladder search must be schedule-independent: the fixed task
+  // decomposition, per-subtree budgets, and total-order merge guarantee the
+  // same S, the same delay bit for bit, and the same evaluation count no
+  // matter how many workers run.
+  for (const GroupSizeShape shape : paper_shapes()) {
+    const Workload w = make_paper_workload(shape);
+    for (const SlotCount channels : {1, 13, 60}) {
+      const OptResult one = opt_frequencies(w, channels, 1);
+      for (const unsigned threads : {2u, 8u}) {
+        const OptResult many = opt_frequencies(w, channels, threads);
+        EXPECT_EQ(many.S, one.S)
+            << shape_name(shape) << " channels=" << channels
+            << " threads=" << threads;
+        // Bitwise, not approximate: the merged result is the same leaf.
+        EXPECT_EQ(many.predicted_delay, one.predicted_delay)
+            << shape_name(shape) << " channels=" << channels
+            << " threads=" << threads;
+        EXPECT_EQ(many.evaluations, one.evaluations)
+            << shape_name(shape) << " channels=" << channels
+            << " threads=" << threads;
+      }
+    }
+  }
+}
+
 TEST(Opt, ScheduleCarriesSearchResult) {
   const Workload w = make_workload({2, 4, 8}, {3, 5, 3});
   const OptSchedule s = schedule_opt(w, 3);

@@ -93,6 +93,24 @@ TEST(Placement, PaperScaleOverflowsAreRare) {
   }
 }
 
+TEST(Placement, TrackerMatchesReferenceScan) {
+  // The column-tracker placer (occupancy counts + pointer-jumping next-free
+  // links) must reproduce the seed double-scan implementation exactly:
+  // same program slot for slot, same overflow count.
+  const std::vector<SlotCount> S = {128, 64, 32, 16, 8, 4, 2, 1};
+  for (const GroupSizeShape shape : paper_shapes()) {
+    const Workload w = make_paper_workload(shape);
+    for (const SlotCount channels : {1, 5, 20, 60}) {
+      const PlacementResult fast = place_even_spread(w, S, channels);
+      const PlacementResult ref = place_even_spread_reference(w, S, channels);
+      EXPECT_TRUE(fast.program == ref.program)
+          << shape_name(shape) << " channels=" << channels;
+      EXPECT_EQ(fast.window_overflows, ref.window_overflows)
+          << shape_name(shape) << " channels=" << channels;
+    }
+  }
+}
+
 TEST(FirstFit, PlacesEverythingButSpreadsWorse) {
   const Workload w = make_paper_workload(GroupSizeShape::kUniform, 4, 80, 4, 2);
   const std::vector<SlotCount> S = {6, 3, 2, 1};

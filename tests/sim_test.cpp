@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 
 #include "core/susc.hpp"
 #include "model/appearance_index.hpp"
@@ -120,6 +121,38 @@ TEST(Sim, PreGeneratedStreamPath) {
   EXPECT_DOUBLE_EQ(r.avg_wait, 2.0);
   EXPECT_DOUBLE_EQ(r.avg_delay, 0.0);
   EXPECT_DOUBLE_EQ(r.miss_rate, 0.0);
+}
+
+TEST(Sim, BatchedMatchesScalarReference) {
+  // The page-batched wait computation must agree with the per-request
+  // binary-search path on every statistic, bit for bit, across the paper
+  // workloads and both popularity models.
+  for (const GroupSizeShape shape : paper_shapes()) {
+    const Workload w = make_paper_workload(shape, 6, 300, 4, 2);
+    const BroadcastProgram p = schedule_susc(w);
+    const AppearanceIndex idx(p, w.total_pages());
+    for (const Popularity pop : {Popularity::kUniform, Popularity::kZipf}) {
+      RequestConfig rc;
+      rc.count = 20000;
+      rc.popularity = pop;
+      Rng rng(static_cast<std::uint64_t>(shape) * 2 +
+              static_cast<std::uint64_t>(pop) + 1);
+      const std::vector<Request> requests = generate_requests(
+          w, static_cast<double>(p.cycle_length()), rc, rng);
+      const SimResult batched = simulate_requests(idx, w, requests);
+      const SimResult scalar = simulate_requests_reference(idx, w, requests);
+      EXPECT_EQ(batched.requests, scalar.requests);
+      EXPECT_EQ(batched.avg_wait, scalar.avg_wait) << shape_name(shape);
+      EXPECT_EQ(batched.avg_delay, scalar.avg_delay) << shape_name(shape);
+      EXPECT_EQ(batched.miss_rate, scalar.miss_rate) << shape_name(shape);
+      EXPECT_EQ(batched.p50_delay, scalar.p50_delay) << shape_name(shape);
+      EXPECT_EQ(batched.p95_delay, scalar.p95_delay) << shape_name(shape);
+      EXPECT_EQ(batched.p99_delay, scalar.p99_delay) << shape_name(shape);
+      EXPECT_EQ(batched.max_delay, scalar.max_delay) << shape_name(shape);
+      EXPECT_EQ(batched.group_avg_delay, scalar.group_avg_delay)
+          << shape_name(shape);
+    }
+  }
 }
 
 TEST(Sim, ZipfStreamStillBounded) {
