@@ -11,6 +11,8 @@
 #include "core/theory.hpp"
 #include "model/serialize.hpp"
 #include "model/validate.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/lossy.hpp"
 #include "util/rng.hpp"
 #include "workload/distributions.hpp"
@@ -96,5 +98,69 @@ void BM_LossySimulation(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 3000);
 }
 BENCHMARK(BM_LossySimulation)->Unit(benchmark::kMillisecond);
+
+#if TCSA_OBS_COMPILED
+// Observability overhead in isolation: the per-site cost instrumented code
+// pays. Disabled rows are the acceptance budget (every PR-1 kernel carries
+// these sites); enabled rows bound the cost of scraping-grade detail.
+
+tcsa::obs::MetricId obs_bench_counter() {
+  static const tcsa::obs::MetricId id = tcsa::obs::register_counter(
+      "tcsa_bench_probe_total", "Synthetic counter for overhead benches");
+  return id;
+}
+
+tcsa::obs::MetricId obs_bench_histogram() {
+  static const tcsa::obs::MetricId id = tcsa::obs::register_histogram(
+      "tcsa_bench_probe_value", "Synthetic histogram for overhead benches",
+      {1, 10, 100, 1000, 10000});
+  return id;
+}
+
+void BM_ObsCounterAdd(benchmark::State& state) {
+  const tcsa::obs::MetricId id = obs_bench_counter();
+  const bool was_enabled = tcsa::obs::enabled();
+  tcsa::obs::set_enabled(state.range(0) != 0);
+  for (auto _ : state) tcsa::obs::counter_add(id, 1);
+  tcsa::obs::set_enabled(was_enabled);
+  state.SetLabel(state.range(0) != 0 ? "enabled" : "disabled");
+}
+BENCHMARK(BM_ObsCounterAdd)->Arg(0)->Arg(1);
+
+void BM_ObsHistogramObserve(benchmark::State& state) {
+  const tcsa::obs::MetricId id = obs_bench_histogram();
+  const bool was_enabled = tcsa::obs::enabled();
+  tcsa::obs::set_enabled(state.range(0) != 0);
+  double value = 0.0;
+  for (auto _ : state) {
+    tcsa::obs::histogram_observe(id, value);
+    value = value < 20000.0 ? value + 1.0 : 0.0;
+  }
+  tcsa::obs::set_enabled(was_enabled);
+  state.SetLabel(state.range(0) != 0 ? "enabled" : "disabled");
+}
+BENCHMARK(BM_ObsHistogramObserve)->Arg(0)->Arg(1);
+
+void BM_ObsTraceSpan(benchmark::State& state) {
+  const bool was_tracing = tcsa::obs::tracing_enabled();
+  tcsa::obs::set_tracing_enabled(state.range(0) != 0);
+  for (auto _ : state) {
+    TCSA_TRACE_SPAN("bench.probe");
+  }
+  tcsa::obs::set_tracing_enabled(was_tracing);
+  tcsa::obs::clear_trace();
+  state.SetLabel(state.range(0) != 0 ? "enabled" : "disabled");
+}
+BENCHMARK(BM_ObsTraceSpan)->Arg(0)->Arg(1);
+
+void BM_ObsSnapshot(benchmark::State& state) {
+  // Scrape cost with the full registry populated (all suites registered).
+  for (auto _ : state) {
+    const tcsa::obs::MetricsSnapshot snap = tcsa::obs::snapshot();
+    benchmark::DoNotOptimize(snap.counters.size());
+  }
+}
+BENCHMARK(BM_ObsSnapshot);
+#endif
 
 }  // namespace

@@ -5,6 +5,7 @@
 // 3000-request AvgD measurement (one Figure-5 data point).
 #include <benchmark/benchmark.h>
 
+#include "bench_obs.hpp"
 #include "core/pamad.hpp"
 #include "model/appearance_index.hpp"
 #include "sim/broadcast_sim.hpp"
@@ -107,6 +108,18 @@ void BM_SimulateRequestStream(benchmark::State& state) {
   state.SetLabel(reference ? "reference" : "batched");
   state.SetItemsProcessed(state.iterations() *
                           static_cast<std::int64_t>(requests.size()));
+#if TCSA_OBS_COMPILED
+  if (!reference) {
+    // One untimed instrumented run attaches the stream's registry delta
+    // (deterministic: the request stream is fixed above).
+    const auto delta = tcsa_bench::instrumented_delta([&] {
+      benchmark::DoNotOptimize(simulate_requests(idx, w, requests).avg_delay);
+    });
+    tcsa_bench::attach_counters(state, delta,
+                                {"tcsa_sim_requests_total",
+                                 "tcsa_sim_deadline_misses_total"});
+  }
+#endif
 }
 BENCHMARK(BM_SimulateRequestStream)->Arg(0)->Arg(1)
     ->Unit(benchmark::kMillisecond);

@@ -18,7 +18,10 @@
 #include "model/inspect.hpp"
 #include "model/serialize.hpp"
 #include "model/validate.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/broadcast_sim.hpp"
+#include "sim/sweep.hpp"
 #include "util/cli.hpp"
 #include "workload/trace.hpp"
 
@@ -33,23 +36,24 @@ Workload workload_from(const std::string& path) {
   return load_workload(file);
 }
 
-int run(int argc, const char* const* argv) {
-  Cli cli("tcsactl", "plan, schedule, validate and simulate "
-                     "time-constrained broadcast programs");
-  cli.add_string("cmd", "bound",
-                 "bound | schedule | validate | simulate | inspect | plan | "
-                 "demo");
-  cli.add_string("method", "pamad", "scheduler for --cmd schedule "
-                                    "(susc|pamad|mpb|opt|rr)");
-  cli.add_int("channels", 0, "channel count (0 = Theorem 3.1 minimum)");
-  cli.add_string("workload", "",
-                 "workload file for validate/simulate (default: none; "
-                 "bound/schedule read the workload from stdin)");
-  cli.add_int("requests", 3000, "simulated requests for --cmd simulate");
-  cli.add_int("seed", 42, "simulation seed");
-  cli.add_double("budget", 0.0, "with --cmd bound: also report the channel "
-                                "count for this AvgD budget");
-  if (!cli.parse(argc, argv)) return 0;
+/// Writes the scraped registry to `path`: Prometheus text exposition when
+/// the filename ends in .prom, JSON otherwise.
+void write_metrics_file(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::invalid_argument("cannot write metrics file: " + path);
+  const obs::MetricsSnapshot snap = obs::snapshot();
+  const bool prometheus =
+      path.size() >= 5 && path.compare(path.size() - 5, 5, ".prom") == 0;
+  out << (prometheus ? snap.to_prometheus() : snap.to_json());
+}
+
+void write_trace_file(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::invalid_argument("cannot write trace file: " + path);
+  obs::write_chrome_trace(out);
+}
+
+int dispatch(const Cli& cli) {
   const std::string cmd = cli.get_string("cmd");
 
   if (cmd == "demo") {
@@ -124,6 +128,32 @@ int run(int argc, const char* const* argv) {
     return 0;
   }
 
+  if (cmd == "sweep") {
+    // The Figure-5 driver end to end: schedule + simulate every method at
+    // every channel count, with the sweep's own metrics delta attached.
+    const Workload w = workload_from(cli.get_string("workload"));
+    SweepConfig config;
+    config.sim.requests.count = cli.get_int("requests");
+    config.sim.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+    if (const SlotCount channels = cli.get_int("channels"); channels > 0)
+      config.max_channels = channels;
+    const SweepReport report = run_sweep_with_metrics(w, config);
+    std::cout << "channels method    AvgD      predicted  miss%     p95\n";
+    for (const SweepPoint& p : report.points) {
+      std::cout << p.channels << '\t' << method_name(p.method) << '\t'
+                << p.avg_delay << '\t' << p.predicted_delay << '\t'
+                << 100.0 * p.miss_rate << '\t' << p.p95_delay << '\n';
+    }
+    std::cerr << "sweep observed "
+              << report.metrics.counter_value("tcsa_sweep_points_total")
+              << " points, "
+              << report.metrics.counter_value("tcsa_opt_nodes_total")
+              << " OPT search nodes, "
+              << report.metrics.counter_value("tcsa_sim_requests_total")
+              << " simulated requests\n";
+    return 0;
+  }
+
   if (cmd == "simulate") {
     const Workload w = workload_from(cli.get_string("workload"));
     const BroadcastProgram program = load_program(std::cin);
@@ -139,6 +169,41 @@ int run(int argc, const char* const* argv) {
   }
 
   throw std::invalid_argument("unknown --cmd: " + cmd);
+}
+
+int run(int argc, const char* const* argv) {
+  Cli cli("tcsactl", "plan, schedule, validate and simulate "
+                     "time-constrained broadcast programs");
+  cli.add_string("cmd", "bound",
+                 "bound | schedule | validate | simulate | sweep | inspect | "
+                 "plan | demo");
+  cli.add_string("method", "pamad", "scheduler for --cmd schedule "
+                                    "(susc|pamad|mpb|opt|rr)");
+  cli.add_int("channels", 0, "channel count (0 = Theorem 3.1 minimum)");
+  cli.add_string("workload", "",
+                 "workload file for validate/simulate (default: none; "
+                 "bound/schedule read the workload from stdin)");
+  cli.add_int("requests", 3000, "simulated requests for --cmd simulate");
+  cli.add_int("seed", 42, "simulation seed");
+  cli.add_double("budget", 0.0, "with --cmd bound: also report the channel "
+                                "count for this AvgD budget");
+  cli.add_string("metrics-out", "",
+                 "write a metrics snapshot of this run to FILE after the "
+                 "command (JSON; Prometheus text if FILE ends in .prom)");
+  cli.add_string("trace-out", "",
+                 "write a Chrome trace_event JSON timeline of this run to "
+                 "FILE (load in chrome://tracing or Perfetto)");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const std::string metrics_out = cli.get_string("metrics-out");
+  const std::string trace_out = cli.get_string("trace-out");
+  if (!metrics_out.empty()) obs::set_enabled(true);
+  if (!trace_out.empty()) obs::set_tracing_enabled(true);
+
+  const int rc = dispatch(cli);
+  if (!metrics_out.empty()) write_metrics_file(metrics_out);
+  if (!trace_out.empty()) write_trace_file(trace_out);
+  return rc;
 }
 
 }  // namespace

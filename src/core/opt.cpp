@@ -7,12 +7,51 @@
 
 #include "core/delay_model.hpp"
 #include "core/theory.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/contracts.hpp"
 #include "util/log.hpp"
 #include "util/parallel.hpp"
 
 namespace tcsa {
 namespace {
+
+#if TCSA_OBS_COMPILED
+/// Search observability: per-subtree counts are accumulated in plain ints
+/// inside LadderOutcome (zero atomic traffic in the hot loop) and flushed to
+/// the registry once per subtree.
+struct OptMetrics {
+  obs::MetricId searches;
+  obs::MetricId subtrees;
+  obs::MetricId nodes;
+  obs::MetricId leaves;
+  obs::MetricId prunes;
+  obs::MetricId budget_bails;
+  obs::MetricId merge_winner;
+};
+
+const OptMetrics& opt_metrics() {
+  static const OptMetrics metrics{
+      obs::register_counter("tcsa_opt_searches_total",
+                            "Ladder searches started"),
+      obs::register_counter("tcsa_opt_subtrees_total",
+                            "Independent subtree tasks explored"),
+      obs::register_counter("tcsa_opt_nodes_total",
+                            "Search nodes expanded (one per candidate rho)"),
+      obs::register_counter("tcsa_opt_leaves_total",
+                            "Complete frequency vectors evaluated"),
+      obs::register_counter("tcsa_opt_prunes_total",
+                            "Subtree ladders cut by the zero-delay rule"),
+      obs::register_counter(
+          "tcsa_warn_opt_budget_exhausted_total",
+          "Subtrees that hit the per-subtree evaluation budget (WARN)"),
+      obs::register_gauge(
+          "tcsa_opt_merge_winner_task",
+          "Subtree task index that produced the last search winner"),
+  };
+  return metrics;
+}
+#endif
 
 /// Candidate tracker under the deterministic total order:
 /// min delay -> fewer total slots -> lexicographically smallest S.
@@ -103,9 +142,13 @@ struct LadderTask {
 };
 
 /// Per-task outcome; merged deterministically after the pool drains.
+/// `nodes` / `prunes` feed the metrics registry (flushed once per subtree);
+/// they never influence the search result.
 struct LadderOutcome {
   Best best;
   std::uint64_t evaluations = 0;
+  std::uint64_t nodes = 0;
+  std::uint64_t prunes = 0;
   bool budget_exhausted = false;
 };
 
@@ -189,6 +232,7 @@ class LadderWorker {
         ctx_.t[static_cast<std::size_t>(stage) - 1];
     const SlotCount p_stage = ctx_.P[static_cast<std::size_t>(stage)];
     for (SlotCount rho = 1; rho <= cap; ++rho) {
+      ++outcome_.nodes;
       const SlotCount prefix_slots = rho * f_prev + p_stage;
       if (stage == ctx_.h - 1) {
         ++outcome_.evaluations;
@@ -214,6 +258,7 @@ class LadderWorker {
       // step still improves later stages.)
       if (rho >= ladder_step &&
           prefix_meets_deadlines(ctx_, base, rho, stage, prefix_slots)) {
+        ++outcome_.prunes;
         break;
       }
     }
@@ -306,6 +351,8 @@ std::vector<LadderTask> make_ladder_tasks(const LadderContext& ctx) {
 /// independent of scheduling); the merge applies the total order.
 OptResult ladder_search(const Workload& workload, SlotCount channels,
                         unsigned threads) {
+  TCSA_TRACE_SPAN_VAR(search_span, "opt.ladder_search");
+  TCSA_METRIC_ADD(opt_metrics().searches, 1);
   const LadderContext ctx(workload, channels);
   if (ctx.h == 1) {
     Best best;
@@ -314,22 +361,52 @@ OptResult ladder_search(const Workload& workload, SlotCount channels,
     return OptResult{std::move(best.S), best.delay, 1};
   }
 
-  const std::vector<LadderTask> tasks = make_ladder_tasks(ctx);
+  std::vector<LadderTask> tasks;
+  {
+    TCSA_TRACE_SPAN("opt.make_tasks");
+    tasks = make_ladder_tasks(ctx);
+  }
+  if (search_span.active()) search_span.set_arg("subtrees", tasks.size());
   std::vector<LadderOutcome> outcomes(tasks.size());
   parallel_for(tasks.size(), threads, [&](std::size_t i) {
+    TCSA_TRACE_SPAN_VAR(subtree_span, "opt.subtree");
+    if (subtree_span.active()) subtree_span.set_arg("task", i);
     LadderWorker worker(ctx);
     outcomes[i] = worker.run(tasks[i]);
+#if TCSA_OBS_COMPILED
+    if (obs::enabled()) {
+      const OptMetrics& om = opt_metrics();
+      obs::counter_add(om.subtrees, 1);
+      obs::counter_add(om.nodes, outcomes[i].nodes);
+      obs::counter_add(om.leaves, outcomes[i].evaluations);
+      obs::counter_add(om.prunes, outcomes[i].prunes);
+    }
+#endif
   });
 
+  TCSA_TRACE_SPAN("opt.merge");
   Best best;
   std::uint64_t evaluations = 0;
+  std::size_t winner = 0;
   bool exhausted = false;
-  for (const LadderOutcome& outcome : outcomes) {
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const LadderOutcome& outcome = outcomes[i];
+    if (!outcome.best.S.empty() &&
+        best.precedes(outcome.best.delay, outcome.best.slots, outcome.best.S))
+      winner = i;
     best.merge(outcome.best);
     evaluations += outcome.evaluations;
     exhausted = exhausted || outcome.budget_exhausted;
   }
+#if TCSA_OBS_COMPILED
+  obs::gauge_set(opt_metrics().merge_winner, static_cast<double>(winner));
+#endif
   if (exhausted) {
+#if TCSA_OBS_COMPILED
+    // Always counted (not gated on obs::enabled) so budget bails stay
+    // observable even when nobody asked for metrics up front.
+    obs::counter_add_always(opt_metrics().budget_bails, 1);
+#endif
     TCSA_LOG(kWarn) << "opt ladder search: per-subtree evaluation budget "
                        "reached; result refined by hill climb only";
   }
@@ -343,6 +420,7 @@ OptResult ladder_search(const Workload& workload, SlotCount channels,
 void offer_waterfilling_candidates(const Workload& workload,
                                    SlotCount channels, Best& best,
                                    std::uint64_t& evaluations) {
+  TCSA_TRACE_SPAN("opt.waterfilling");
   const std::vector<double> spacings = waterfilling_spacings(workload, channels);
   if (spacings.empty()) return;
   const double g_max = *std::max_element(spacings.begin(), spacings.end());
@@ -363,6 +441,7 @@ void offer_waterfilling_candidates(const Workload& workload,
 /// take the best improving move, repeat to a local optimum.
 void hill_climb(const Workload& workload, SlotCount channels, Best& best,
                 std::uint64_t& evaluations) {
+  TCSA_TRACE_SPAN("opt.hill_climb");
   TCSA_ASSERT(!best.S.empty(), "hill_climb: seed solution required");
   bool improved = true;
   std::vector<SlotCount> trial = best.S;

@@ -1,15 +1,43 @@
 #include "core/placement.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <numeric>
 #include <vector>
 
 #include "core/delay_model.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/contracts.hpp"
 #include "util/log.hpp"
 
 namespace tcsa {
 namespace {
+
+#if TCSA_OBS_COMPILED
+struct PlacementMetrics {
+  obs::MetricId placements;
+  obs::MetricId copies;
+  obs::MetricId uf_jumps;
+  obs::MetricId overflows;
+};
+
+const PlacementMetrics& placement_metrics() {
+  static const PlacementMetrics metrics{
+      obs::register_counter("tcsa_placement_runs_total",
+                            "Placement passes executed"),
+      obs::register_counter("tcsa_placement_copies_total",
+                            "Page copies placed into programs"),
+      obs::register_counter(
+          "tcsa_placement_uf_jumps_total",
+          "Union-find pointer jumps while locating free columns"),
+      obs::register_counter(
+          "tcsa_warn_placement_window_overflow_total",
+          "Copies that fell outside their even-spread window (WARN)"),
+  };
+  return metrics;
+}
+#endif
 
 /// Groups ordered by descending frequency (Algorithm 4's sort). Stable on
 /// ties so equal-frequency groups keep ascending-deadline order.
@@ -48,11 +76,15 @@ class ColumnTracker {
   }
 
   /// First non-full column >= from, or `columns()` when none remains to the
-  /// right. Compresses every traversed pointer onto the answer.
+  /// right. Compresses every traversed pointer onto the answer. Jumps are
+  /// tallied in a plain member (near-zero cost) and flushed to the metrics
+  /// registry by the placement drivers.
   SlotCount find_from(SlotCount from) {
     SlotCount root = from;
-    while (next_[static_cast<std::size_t>(root)] != root)
+    while (next_[static_cast<std::size_t>(root)] != root) {
       root = next_[static_cast<std::size_t>(root)];
+      ++jumps_;
+    }
     // Path compression: point the whole chain at the root.
     SlotCount walk = from;
     while (next_[static_cast<std::size_t>(walk)] != walk) {
@@ -82,10 +114,12 @@ class ColumnTracker {
   }
 
   SlotCount columns() const noexcept { return columns_; }
+  std::uint64_t jumps() const noexcept { return jumps_; }
 
  private:
   SlotCount channels_;
   SlotCount columns_;
+  std::uint64_t jumps_ = 0;      ///< pointer jumps taken (observability)
   std::vector<SlotCount> load_;  ///< occupied channels per column
   std::vector<SlotCount> next_;  ///< pointer-jumping "next maybe-free", +1 sentinel
 };
@@ -115,11 +149,13 @@ PlacementResult place_even_spread(const Workload& workload,
                                   std::span<const SlotCount> S,
                                   SlotCount channels) {
   TCSA_REQUIRE(channels >= 1, "place_even_spread: need at least one channel");
+  TCSA_TRACE_SPAN_VAR(span, "placement.even_spread");
   const SlotCount t_major = major_cycle(workload, S, channels);
   PlacementResult result{BroadcastProgram(channels, t_major), 0};
   BroadcastProgram& program = result.program;
   ColumnTracker tracker(channels, t_major);
 
+  std::uint64_t copies = 0;
   for (GroupId g : descending_frequency_order(workload, S)) {
     const SlotCount s = S[static_cast<std::size_t>(g)];
     for (SlotCount j = 0; j < workload.pages_in_group(g); ++j) {
@@ -136,6 +172,7 @@ PlacementResult place_even_spread(const Workload& workload,
         const SlotCount hi =
             std::max(std::min((t_major * k + s - 1) / s, t_major), lo + 1);
         const SlotCount column = tracker.find_from(lo);
+        ++copies;
         if (column < hi) {
           tracker.place(program, column, page);
         } else {
@@ -147,6 +184,21 @@ PlacementResult place_even_spread(const Workload& workload,
       }
     }
   }
+#if TCSA_OBS_COMPILED
+  if (span.active()) span.set_arg("copies", copies);
+  if (obs::enabled()) {
+    const PlacementMetrics& pm = placement_metrics();
+    obs::counter_add(pm.placements, 1);
+    obs::counter_add(pm.copies, copies);
+    obs::counter_add(pm.uf_jumps, tracker.jumps());
+  }
+  if (result.window_overflows > 0)
+    obs::counter_add_always(
+        placement_metrics().overflows,
+        static_cast<std::uint64_t>(result.window_overflows));
+#else
+  (void)copies;
+#endif
   if (result.window_overflows > 0) {
     TCSA_LOG(kWarn) << "place_even_spread: " << result.window_overflows
                     << " copies fell outside their even-spread window";
@@ -195,20 +247,33 @@ PlacementResult place_first_fit(const Workload& workload,
                                 std::span<const SlotCount> S,
                                 SlotCount channels) {
   TCSA_REQUIRE(channels >= 1, "place_first_fit: need at least one channel");
+  TCSA_TRACE_SPAN("placement.first_fit");
   const SlotCount t_major = major_cycle(workload, S, channels);
   PlacementResult result{BroadcastProgram(channels, t_major), 0};
   ColumnTracker tracker(channels, t_major);
 
   SlotCount cursor = 0;
+  std::uint64_t copies = 0;
   for (GroupId g : descending_frequency_order(workload, S)) {
     for (SlotCount j = 0; j < workload.pages_in_group(g); ++j) {
       const PageId page = workload.first_page(g) + static_cast<PageId>(j);
       for (SlotCount k = 0; k < S[static_cast<std::size_t>(g)]; ++k) {
         cursor = tracker.find_cyclic(cursor);
         tracker.place(result.program, cursor, page);
+        ++copies;
       }
     }
   }
+#if TCSA_OBS_COMPILED
+  if (obs::enabled()) {
+    const PlacementMetrics& pm = placement_metrics();
+    obs::counter_add(pm.placements, 1);
+    obs::counter_add(pm.copies, copies);
+    obs::counter_add(pm.uf_jumps, tracker.jumps());
+  }
+#else
+  (void)copies;
+#endif
   return result;
 }
 

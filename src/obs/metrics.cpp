@@ -1,0 +1,480 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <unordered_map>
+
+#include "util/contracts.hpp"
+
+namespace tcsa::obs {
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+// Fixed capacities let every shard preallocate its cells once, so recording
+// never allocates, never resizes, and never races a registration. The caps
+// are far above the library's instrumentation set; exceeding one is a
+// programming error caught at registration.
+constexpr std::size_t kMaxMetrics = 256;
+constexpr std::size_t kMaxIntCells = 4096;  // counters + histogram buckets
+constexpr std::size_t kMaxGauges = 128;
+constexpr std::size_t kMaxHistograms = 64;
+
+enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+/// Immutable once registered; published to recorders via the happens-before
+/// edge of the registering call returning the MetricId.
+struct Def {
+  Kind kind = Kind::kCounter;
+  std::string name;
+  std::string help;
+  std::uint32_t cell = 0;        ///< first int cell (counter/histogram)
+  std::uint32_t gauge_slot = 0;  ///< gauge index
+  std::uint32_t hist_slot = 0;   ///< histogram index (for the sum cell)
+  std::vector<double> bounds;    ///< histogram upper bounds, ascending
+};
+
+/// One thread's value cells. Writers are the owning thread only (relaxed
+/// fetch_add); the scrape thread reads the same atomics, so TSan sees no
+/// race and torn reads are impossible.
+struct Shard {
+  std::vector<std::atomic<std::uint64_t>> ints;
+  std::vector<std::atomic<double>> sums;
+
+  Shard() : ints(kMaxIntCells), sums(kMaxHistograms) {
+    for (auto& cell : ints) cell.store(0, std::memory_order_relaxed);
+    for (auto& cell : sums) cell.store(0.0, std::memory_order_relaxed);
+  }
+};
+
+class Registry {
+ public:
+  static Registry& instance() {
+    // Intentionally leaked: thread_local shard handles retire themselves on
+    // thread exit, which may run after function-local statics are destroyed;
+    // a never-destroyed registry keeps that path safe.
+    static Registry* registry = new Registry;
+    return *registry;
+  }
+
+  MetricId register_metric(Kind kind, const std::string& name,
+                           const std::string& help,
+                           std::vector<double> bounds) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (const auto it = by_name_.find(name); it != by_name_.end()) {
+      const Def& def = defs_[it->second];
+      TCSA_REQUIRE(def.kind == kind,
+                   "metrics: name re-registered with a different kind");
+      TCSA_REQUIRE(def.bounds == bounds,
+                   "metrics: histogram re-registered with different buckets");
+      return it->second;
+    }
+    TCSA_REQUIRE(defs_.size() < kMaxMetrics, "metrics: registry full");
+    Def def;
+    def.kind = kind;
+    def.name = name;
+    def.help = help;
+    switch (kind) {
+      case Kind::kCounter:
+        TCSA_REQUIRE(next_int_cell_ + 1 <= kMaxIntCells,
+                     "metrics: out of counter cells");
+        def.cell = next_int_cell_++;
+        break;
+      case Kind::kGauge:
+        TCSA_REQUIRE(next_gauge_ < kMaxGauges, "metrics: out of gauge slots");
+        def.gauge_slot = next_gauge_++;
+        break;
+      case Kind::kHistogram: {
+        TCSA_REQUIRE(!bounds.empty(), "metrics: histogram needs buckets");
+        TCSA_REQUIRE(std::is_sorted(bounds.begin(), bounds.end()),
+                     "metrics: histogram bounds must ascend");
+        const std::size_t cells = bounds.size() + 1;  // + the +Inf bucket
+        TCSA_REQUIRE(next_int_cell_ + cells <= kMaxIntCells,
+                     "metrics: out of histogram cells");
+        TCSA_REQUIRE(next_hist_ < kMaxHistograms,
+                     "metrics: out of histogram slots");
+        def.cell = next_int_cell_;
+        def.hist_slot = next_hist_++;
+        def.bounds = std::move(bounds);
+        next_int_cell_ += static_cast<std::uint32_t>(cells);
+        break;
+      }
+    }
+    const auto id = static_cast<MetricId>(defs_.size());
+    defs_.push_back(std::move(def));
+    by_name_.emplace(defs_.back().name, id);
+    return id;
+  }
+
+  // -- hot path -----------------------------------------------------------
+
+  /// The calling thread's shard, created on first use. The thread_local
+  /// handle folds the shard back into `retired_` when the thread exits, so
+  /// short-lived pool workers do not leak shards.
+  Shard& local_shard() {
+    struct Handle {
+      Shard* shard = nullptr;
+      ~Handle() {
+        if (shard != nullptr) Registry::instance().retire(shard);
+      }
+    };
+    thread_local Handle handle;
+    if (handle.shard == nullptr) handle.shard = adopt_shard();
+    return *handle.shard;
+  }
+
+  const Def& def(MetricId id) const { return defs_[id]; }
+
+  std::atomic<double>& gauge_cell(MetricId id) {
+    return gauges_[defs_[id].gauge_slot];
+  }
+
+  // -- scrape / lifecycle -------------------------------------------------
+
+  MetricsSnapshot scrape() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    MetricsSnapshot snap;
+    for (const Def& def : defs_) {
+      switch (def.kind) {
+        case Kind::kCounter:
+          snap.counters.push_back({def.name, def.help, sum_int(def.cell)});
+          break;
+        case Kind::kGauge:
+          snap.gauges.push_back(
+              {def.name, def.help,
+               gauges_[def.gauge_slot].load(std::memory_order_relaxed)});
+          break;
+        case Kind::kHistogram: {
+          HistogramSnapshot hist;
+          hist.name = def.name;
+          hist.help = def.help;
+          hist.upper_bounds = def.bounds;
+          hist.counts.resize(def.bounds.size() + 1);
+          for (std::size_t b = 0; b < hist.counts.size(); ++b)
+            hist.counts[b] = sum_int(def.cell + static_cast<std::uint32_t>(b));
+          hist.sum = retired_sums_[def.hist_slot];
+          for (const Shard* shard : live_)
+            hist.sum +=
+                shard->sums[def.hist_slot].load(std::memory_order_relaxed);
+          snap.histograms.push_back(std::move(hist));
+          break;
+        }
+      }
+    }
+    return snap;
+  }
+
+  void reset() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    retired_ints_.assign(kMaxIntCells, 0);
+    retired_sums_.assign(kMaxHistograms, 0.0);
+    for (Shard* shard : live_) {
+      for (auto& cell : shard->ints) cell.store(0, std::memory_order_relaxed);
+      for (auto& cell : shard->sums)
+        cell.store(0.0, std::memory_order_relaxed);
+    }
+    for (auto& cell : gauges_) cell.store(0.0, std::memory_order_relaxed);
+  }
+
+ private:
+  Registry()
+      : gauges_(kMaxGauges),
+        retired_ints_(kMaxIntCells, 0),
+        retired_sums_(kMaxHistograms, 0.0) {
+    for (auto& cell : gauges_) cell.store(0.0, std::memory_order_relaxed);
+  }
+
+  Shard* adopt_shard() {
+    auto shard = std::make_unique<Shard>();
+    Shard* raw = shard.get();
+    const std::lock_guard<std::mutex> lock(mutex_);
+    owned_.push_back(std::move(shard));
+    live_.push_back(raw);
+    return raw;
+  }
+
+  void retire(Shard* shard) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t i = 0; i < kMaxIntCells; ++i)
+      retired_ints_[i] += shard->ints[i].load(std::memory_order_relaxed);
+    for (std::size_t i = 0; i < kMaxHistograms; ++i)
+      retired_sums_[i] += shard->sums[i].load(std::memory_order_relaxed);
+    live_.erase(std::remove(live_.begin(), live_.end(), shard), live_.end());
+    owned_.erase(std::remove_if(owned_.begin(), owned_.end(),
+                                [&](const std::unique_ptr<Shard>& owned) {
+                                  return owned.get() == shard;
+                                }),
+                 owned_.end());
+  }
+
+  std::uint64_t sum_int(std::uint32_t cell) const {
+    std::uint64_t total = retired_ints_[cell];
+    for (const Shard* shard : live_)
+      total += shard->ints[cell].load(std::memory_order_relaxed);
+    return total;
+  }
+
+  mutable std::mutex mutex_;
+  std::vector<Def> defs_;
+  std::unordered_map<std::string, MetricId> by_name_;
+  std::uint32_t next_int_cell_ = 0;
+  std::uint32_t next_gauge_ = 0;
+  std::uint32_t next_hist_ = 0;
+  std::vector<std::atomic<double>> gauges_;
+  std::vector<std::unique_ptr<Shard>> owned_;
+  std::vector<Shard*> live_;
+  std::vector<std::uint64_t> retired_ints_;   ///< folded exited-thread cells
+  std::vector<double> retired_sums_;
+};
+
+void add_to_shard(MetricId id, std::uint64_t n) {
+  Registry& registry = Registry::instance();
+  registry.local_shard().ints[registry.def(id).cell].fetch_add(
+      n, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------- exports
+
+void append_json_escaped(std::string& out, const std::string& text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+std::string format_double(double value) {
+  std::ostringstream os;
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << value;
+  return os.str();
+}
+
+}  // namespace
+
+bool enabled() noexcept { return g_enabled.load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) noexcept {
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+MetricId register_counter(const std::string& name, const std::string& help) {
+  return Registry::instance().register_metric(Kind::kCounter, name, help, {});
+}
+
+MetricId register_gauge(const std::string& name, const std::string& help) {
+  return Registry::instance().register_metric(Kind::kGauge, name, help, {});
+}
+
+MetricId register_histogram(const std::string& name, const std::string& help,
+                            std::vector<double> upper_bounds) {
+  return Registry::instance().register_metric(Kind::kHistogram, name, help,
+                                              std::move(upper_bounds));
+}
+
+void counter_add(MetricId id, std::uint64_t n) noexcept {
+  if (!enabled()) return;
+  add_to_shard(id, n);
+}
+
+void counter_add_always(MetricId id, std::uint64_t n) noexcept {
+  add_to_shard(id, n);
+}
+
+void gauge_set(MetricId id, double value) noexcept {
+  if (!enabled()) return;
+  Registry::instance().gauge_cell(id).store(value, std::memory_order_relaxed);
+}
+
+void histogram_observe(MetricId id, double value) noexcept {
+  if (!enabled()) return;
+  Registry& registry = Registry::instance();
+  const Def& def = registry.def(id);
+  // Linear scan: bucket counts are small (<= ~16) and the bounds are hot in
+  // cache, so this beats a branchy binary search at this size.
+  std::size_t bucket = 0;
+  while (bucket < def.bounds.size() && value > def.bounds[bucket]) ++bucket;
+  Shard& shard = registry.local_shard();
+  shard.ints[def.cell + bucket].fetch_add(1, std::memory_order_relaxed);
+  shard.sums[def.hist_slot].fetch_add(value, std::memory_order_relaxed);
+}
+
+std::uint64_t HistogramSnapshot::total() const noexcept {
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : counts) total += c;
+  return total;
+}
+
+void MetricsSnapshot::merge(const MetricsSnapshot& other) {
+  for (const CounterSnapshot& theirs : other.counters) {
+    const auto it =
+        std::find_if(counters.begin(), counters.end(),
+                     [&](const auto& c) { return c.name == theirs.name; });
+    if (it == counters.end()) {
+      counters.push_back(theirs);
+    } else {
+      it->value += theirs.value;
+    }
+  }
+  for (const GaugeSnapshot& theirs : other.gauges) {
+    const auto it =
+        std::find_if(gauges.begin(), gauges.end(),
+                     [&](const auto& g) { return g.name == theirs.name; });
+    if (it == gauges.end()) {
+      gauges.push_back(theirs);
+    } else {
+      it->value = theirs.value;  // last writer wins
+    }
+  }
+  for (const HistogramSnapshot& theirs : other.histograms) {
+    const auto it =
+        std::find_if(histograms.begin(), histograms.end(),
+                     [&](const auto& h) { return h.name == theirs.name; });
+    if (it == histograms.end()) {
+      histograms.push_back(theirs);
+      continue;
+    }
+    TCSA_REQUIRE(it->upper_bounds == theirs.upper_bounds,
+                 "MetricsSnapshot::merge: histogram buckets differ");
+    for (std::size_t b = 0; b < it->counts.size(); ++b)
+      it->counts[b] += theirs.counts[b];
+    it->sum += theirs.sum;
+  }
+}
+
+MetricsSnapshot MetricsSnapshot::minus(const MetricsSnapshot& base) const {
+  MetricsSnapshot delta = *this;
+  for (CounterSnapshot& mine : delta.counters) {
+    const auto it =
+        std::find_if(base.counters.begin(), base.counters.end(),
+                     [&](const auto& c) { return c.name == mine.name; });
+    if (it != base.counters.end()) mine.value -= it->value;
+  }
+  for (HistogramSnapshot& mine : delta.histograms) {
+    const auto it =
+        std::find_if(base.histograms.begin(), base.histograms.end(),
+                     [&](const auto& h) { return h.name == mine.name; });
+    if (it == base.histograms.end()) continue;
+    for (std::size_t b = 0; b < mine.counts.size(); ++b)
+      mine.counts[b] -= it->counts[b];
+    mine.sum -= it->sum;
+  }
+  return delta;
+}
+
+std::uint64_t MetricsSnapshot::counter_value(
+    const std::string& name) const noexcept {
+  for (const CounterSnapshot& c : counters)
+    if (c.name == name) return c.value;
+  return 0;
+}
+
+const HistogramSnapshot* MetricsSnapshot::histogram(
+    const std::string& name) const noexcept {
+  for (const HistogramSnapshot& h : histograms)
+    if (h.name == name) return &h;
+  return nullptr;
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const CounterSnapshot& c : counters) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"";
+    append_json_escaped(out, c.name);
+    out += "\": ";
+    out += std::to_string(c.value);
+  }
+  out += "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const GaugeSnapshot& g : gauges) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"";
+    append_json_escaped(out, g.name);
+    out += "\": ";
+    out += format_double(g.value);
+  }
+  out += "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const HistogramSnapshot& h : histograms) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"";
+    append_json_escaped(out, h.name);
+    out += "\": {\"sum\": ";
+    out += format_double(h.sum);
+    out += ", \"count\": ";
+    out += std::to_string(h.total());
+    out += ", \"buckets\": [";
+    for (std::size_t b = 0; b < h.counts.size(); ++b) {
+      if (b > 0) out += ", ";
+      out += "{\"le\": ";
+      out += b < h.upper_bounds.size()
+                 ? format_double(h.upper_bounds[b])
+                 : std::string("\"+Inf\"");
+      out += ", \"count\": ";
+      out += std::to_string(h.counts[b]);
+      out += '}';
+    }
+    out += "]}";
+  }
+  out += "\n  }\n}\n";
+  return out;
+}
+
+std::string MetricsSnapshot::to_prometheus() const {
+  std::string out;
+  const auto header = [&](const std::string& name, const std::string& help,
+                          const char* type) {
+    out += "# HELP " + name + ' ' + help + '\n';
+    out += "# TYPE " + name + ' ' + type + '\n';
+  };
+  for (const CounterSnapshot& c : counters) {
+    header(c.name, c.help, "counter");
+    out += c.name + ' ' + std::to_string(c.value) + '\n';
+  }
+  for (const GaugeSnapshot& g : gauges) {
+    header(g.name, g.help, "gauge");
+    out += g.name + ' ' + format_double(g.value) + '\n';
+  }
+  for (const HistogramSnapshot& h : histograms) {
+    header(h.name, h.help, "histogram");
+    std::uint64_t cumulative = 0;  // Prometheus buckets are cumulative
+    for (std::size_t b = 0; b < h.counts.size(); ++b) {
+      cumulative += h.counts[b];
+      const std::string le = b < h.upper_bounds.size()
+                                 ? format_double(h.upper_bounds[b])
+                                 : std::string("+Inf");
+      out += h.name + "_bucket{le=\"" + le + "\"} " +
+             std::to_string(cumulative) + '\n';
+    }
+    out += h.name + "_sum " + format_double(h.sum) + '\n';
+    out += h.name + "_count " + std::to_string(h.total()) + '\n';
+  }
+  return out;
+}
+
+MetricsSnapshot snapshot() { return Registry::instance().scrape(); }
+
+void reset_metrics() { Registry::instance().reset(); }
+
+}  // namespace tcsa::obs

@@ -1,0 +1,186 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <vector>
+
+namespace tcsa::obs {
+namespace {
+
+std::atomic<bool> g_tracing{false};
+
+/// One buffered event. Name/arg_name point at string literals (see header).
+struct Event {
+  const char* name = nullptr;
+  const char* arg_name = nullptr;
+  std::uint64_t arg = 0;
+  std::uint64_t start_us = 0;
+  std::uint64_t duration_us = 0;
+  std::uint32_t tid = 0;
+};
+
+constexpr std::size_t kRingCapacity = 1 << 14;  ///< events kept per thread
+
+/// Per-thread ring. The owning thread appends; the flush thread copies.
+/// A plain mutex per ring keeps both sides trivially race-free — the lock
+/// is thread-private in steady state, so it is uncontended and cheap, and
+/// tracing is an opt-in diagnostic mode anyway.
+struct Ring {
+  std::mutex mutex;
+  std::vector<Event> events;  ///< ring storage, grown up to capacity
+  std::size_t head = 0;       ///< next write position once full
+  std::uint32_t tid = 0;
+
+  void push(const Event& event) {
+    const std::lock_guard<std::mutex> lock(mutex);
+    if (events.size() < kRingCapacity) {
+      events.push_back(event);
+      return;
+    }
+    events[head] = event;  // overwrite oldest
+    head = (head + 1) % kRingCapacity;
+  }
+};
+
+class TraceBuffer {
+ public:
+  static TraceBuffer& instance() {
+    // Leaked for the same reason as the metrics Registry: ring retirement
+    // from thread_local destructors must stay valid during process exit.
+    static TraceBuffer* buffer = new TraceBuffer;
+    return *buffer;
+  }
+
+  Ring& local_ring() {
+    struct Handle {
+      Ring* ring = nullptr;
+      ~Handle() {
+        if (ring != nullptr) TraceBuffer::instance().retire(ring);
+      }
+    };
+    thread_local Handle handle;
+    if (handle.ring == nullptr) handle.ring = adopt_ring();
+    return *handle.ring;
+  }
+
+  std::vector<Event> collect() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<Event> all = retired_;
+    for (const std::unique_ptr<Ring>& ring : live_) {
+      const std::lock_guard<std::mutex> ring_lock(ring->mutex);
+      all.insert(all.end(), ring->events.begin(), ring->events.end());
+    }
+    std::stable_sort(all.begin(), all.end(),
+                     [](const Event& a, const Event& b) {
+                       return a.start_us < b.start_us;
+                     });
+    return all;
+  }
+
+  void clear() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    retired_.clear();
+    for (const std::unique_ptr<Ring>& ring : live_) {
+      const std::lock_guard<std::mutex> ring_lock(ring->mutex);
+      ring->events.clear();
+      ring->head = 0;
+    }
+  }
+
+ private:
+  Ring* adopt_ring() {
+    auto ring = std::make_unique<Ring>();
+    Ring* raw = ring.get();
+    const std::lock_guard<std::mutex> lock(mutex_);
+    raw->tid = next_tid_++;
+    live_.push_back(std::move(ring));
+    return raw;
+  }
+
+  /// Folds an exiting thread's events into the retired list (bounded: the
+  /// retired list keeps at most kRetiredCapacity most-recent events) and
+  /// frees the ring, so pool workers never accumulate rings.
+  void retire(Ring* ring) {
+    constexpr std::size_t kRetiredCapacity = 1 << 16;
+    const std::lock_guard<std::mutex> lock(mutex_);
+    retired_.insert(retired_.end(), ring->events.begin(), ring->events.end());
+    if (retired_.size() > kRetiredCapacity)
+      retired_.erase(retired_.begin(),
+                     retired_.end() -
+                         static_cast<std::ptrdiff_t>(kRetiredCapacity));
+    live_.erase(std::remove_if(live_.begin(), live_.end(),
+                               [&](const std::unique_ptr<Ring>& owned) {
+                                 return owned.get() == ring;
+                               }),
+                live_.end());
+  }
+
+  std::mutex mutex_;
+  std::vector<std::unique_ptr<Ring>> live_;
+  std::vector<Event> retired_;
+  std::uint32_t next_tid_ = 1;
+};
+
+}  // namespace
+
+bool tracing_enabled() noexcept {
+  return g_tracing.load(std::memory_order_relaxed);
+}
+
+void set_tracing_enabled(bool on) noexcept {
+  g_tracing.store(on, std::memory_order_relaxed);
+}
+
+std::uint64_t trace_now_us() noexcept {
+  // One process-wide epoch so timestamps from every thread share an origin.
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch)
+          .count());
+}
+
+void record_span(const char* name, std::uint64_t start_us,
+                 std::uint64_t duration_us, const char* arg_name,
+                 std::uint64_t arg_value) noexcept {
+  Ring& ring = TraceBuffer::instance().local_ring();
+  Event event;
+  event.name = name;
+  event.arg_name = arg_name;
+  event.arg = arg_value;
+  event.start_us = start_us;
+  event.duration_us = duration_us;
+  event.tid = ring.tid;
+  ring.push(event);
+}
+
+void write_chrome_trace(std::ostream& out) {
+  const std::vector<Event> events = TraceBuffer::instance().collect();
+  out << "{\"traceEvents\": [";
+  bool first = true;
+  for (const Event& event : events) {
+    out << (first ? "\n" : ",\n");
+    first = false;
+    out << "  {\"name\": \"" << event.name
+        << "\", \"ph\": \"X\", \"cat\": \"tcsa\", \"pid\": 1, \"tid\": "
+        << event.tid << ", \"ts\": " << event.start_us
+        << ", \"dur\": " << event.duration_us;
+    if (event.arg_name != nullptr)
+      out << ", \"args\": {\"" << event.arg_name << "\": " << event.arg << '}';
+    out << '}';
+  }
+  out << "\n], \"displayTimeUnit\": \"ms\"}\n";
+}
+
+void clear_trace() { TraceBuffer::instance().clear(); }
+
+std::size_t trace_event_count() {
+  return TraceBuffer::instance().collect().size();
+}
+
+}  // namespace tcsa::obs

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstdint>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/contracts.hpp"
 #include "util/stats.hpp"
 
@@ -17,6 +19,31 @@ struct PhasedRequest {
   double phase = 0.0;
   std::uint32_t index = 0;
 };
+
+#if TCSA_OBS_COMPILED
+struct SimMetrics {
+  obs::MetricId requests;
+  obs::MetricId misses;
+  obs::MetricId wait_hist;
+  obs::MetricId batch_hist;
+};
+
+const SimMetrics& sim_metrics() {
+  static const SimMetrics metrics{
+      obs::register_counter("tcsa_sim_requests_total",
+                            "Client requests simulated"),
+      obs::register_counter("tcsa_sim_deadline_misses_total",
+                            "Simulated requests whose wait exceeded t_i"),
+      obs::register_histogram("tcsa_sim_wait_slots",
+                              "Request wait distribution (slots)",
+                              {1, 2, 4, 8, 16, 32, 64, 128, 256, 512}),
+      obs::register_histogram("tcsa_sim_batch_size",
+                              "Per-page request batch sizes in compute_waits",
+                              {1, 4, 16, 64, 256, 1024, 4096, 16384}),
+  };
+  return metrics;
+}
+#endif
 
 }  // namespace
 
@@ -32,6 +59,8 @@ void compute_waits(const AppearanceIndex& index, SlotCount page_count,
   const double cycle = static_cast<double>(index.cycle_length());
   TCSA_REQUIRE(count <= 0xffffffffu,
                "simulate_requests: request stream too large");
+  TCSA_TRACE_SPAN_VAR(span, "sim.compute_waits");
+  if (span.active()) span.set_arg("requests", count);
   waits.resize(count);
 
   // Counting sort by page, carrying the phase (the exact expression the
@@ -85,11 +114,19 @@ void compute_waits(const AppearanceIndex& index, SlotCount page_count,
     }
   }
 
+#if TCSA_OBS_COMPILED
+  const bool obs_on = obs::enabled();
+#endif
   for (PageId page = 0; static_cast<SlotCount>(page) < page_count; ++page) {
     const auto begin = static_cast<std::ptrdiff_t>(page_start[page]);
     const auto end = static_cast<std::ptrdiff_t>(
         page_start[static_cast<std::size_t>(page) + 1]);
     if (begin == end) continue;
+#if TCSA_OBS_COMPILED
+    if (obs_on)
+      obs::histogram_observe(sim_metrics().batch_hist,
+                             static_cast<double>(end - begin));
+#endif
     const std::span<const SlotCount> times = index.appearances(page);
     TCSA_REQUIRE(!times.empty(),
                  "AppearanceIndex: page never appears in the program");
@@ -131,6 +168,9 @@ SimResult simulate_requests(const AppearanceIndex& index,
       static_cast<std::size_t>(workload.group_count()), 0.0);
   if (requests.empty()) return result;
 
+  TCSA_TRACE_SPAN_VAR(span, "sim.simulate_requests");
+  if (span.active()) span.set_arg("requests", requests.size());
+
   std::vector<double> request_waits;
   compute_waits(index, workload.total_pages(), requests, request_waits);
 
@@ -141,6 +181,9 @@ SimResult simulate_requests(const AppearanceIndex& index,
       static_cast<std::size_t>(workload.group_count()));
   std::size_t misses = 0;
 
+#if TCSA_OBS_COMPILED
+  const bool obs_on = obs::enabled();
+#endif
   for (std::size_t i = 0; i < requests.size(); ++i) {
     const double wait = request_waits[i];
     const GroupId g = workload.group_of(requests[i].page);
@@ -150,7 +193,17 @@ SimResult simulate_requests(const AppearanceIndex& index,
     delays.add(delay);
     group_delays[static_cast<std::size_t>(g)].add(delay);
     if (wait > deadline) ++misses;
+#if TCSA_OBS_COMPILED
+    if (obs_on) obs::histogram_observe(sim_metrics().wait_hist, wait);
+#endif
   }
+#if TCSA_OBS_COMPILED
+  if (obs_on) {
+    const SimMetrics& sm = sim_metrics();
+    obs::counter_add(sm.requests, requests.size());
+    obs::counter_add(sm.misses, misses);
+  }
+#endif
 
   result.avg_wait = waits.mean();
   result.avg_delay = delays.mean();

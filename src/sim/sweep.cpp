@@ -3,15 +3,28 @@
 #include <utility>
 
 #include "core/channel_bound.hpp"
+#include "obs/trace.hpp"
 #include "util/contracts.hpp"
 #include "util/parallel.hpp"
 
 namespace tcsa {
 namespace {
 
+#if TCSA_OBS_COMPILED
+obs::MetricId sweep_points_metric() {
+  static const obs::MetricId id = obs::register_counter(
+      "tcsa_sweep_points_total", "(channels, method) sweep points measured");
+  return id;
+}
+#endif
+
 /// One (channels, method) measurement — the shared kernel of both drivers.
 SweepPoint measure_point(const Workload& workload, const SweepConfig& config,
                          SlotCount channels, Method method) {
+  TCSA_TRACE_SPAN_VAR(span, "sweep.point");
+  if (span.active())
+    span.set_arg("channels", static_cast<std::uint64_t>(channels));
+  TCSA_METRIC_ADD(sweep_points_metric(), 1);
   const ScheduleOutcome outcome = make_schedule(method, workload, channels);
 
   SimConfig sim = config.sim;
@@ -83,6 +96,21 @@ std::vector<SweepPoint> run_sweep_parallel(const Workload& workload,
                                            const SweepConfig& config,
                                            unsigned threads) {
   return run_sweep_impl(workload, config, threads);
+}
+
+SweepReport run_sweep_with_metrics(const Workload& workload,
+                                   const SweepConfig& config,
+                                   unsigned threads) {
+  // Forcing the flag on (instead of requiring callers to pre-enable) keeps
+  // the one-call contract: a report always carries a meaningful snapshot.
+  const bool was_enabled = obs::enabled();
+  obs::set_enabled(true);
+  const obs::MetricsSnapshot before = obs::snapshot();
+  SweepReport report;
+  report.points = run_sweep_impl(workload, config, threads);
+  report.metrics = obs::snapshot().minus(before);
+  obs::set_enabled(was_enabled);
+  return report;
 }
 
 }  // namespace tcsa

@@ -12,6 +12,7 @@
 
 #include "core/api.hpp"
 #include "model/workload.hpp"
+#include "obs/metrics.hpp"
 #include "sim/broadcast_sim.hpp"
 
 namespace tcsa {
@@ -50,5 +51,20 @@ std::vector<SweepPoint> run_sweep(const Workload& workload,
 std::vector<SweepPoint> run_sweep_parallel(const Workload& workload,
                                            const SweepConfig& config,
                                            unsigned threads = 0);
+
+/// A sweep plus the observability record of producing it: the metrics delta
+/// attributable to this sweep (search nodes, placements, simulated requests,
+/// wait histogram, pool activity, ...), exportable as JSON or Prometheus
+/// text. Points are identical to run_sweep_parallel with the same arguments.
+struct SweepReport {
+  std::vector<SweepPoint> points;
+  obs::MetricsSnapshot metrics;
+};
+
+/// Runs the sweep with metric recording forced on (the previous enable state
+/// is restored afterwards) and captures the sweep's own registry delta.
+SweepReport run_sweep_with_metrics(const Workload& workload,
+                                   const SweepConfig& config,
+                                   unsigned threads = 1);
 
 }  // namespace tcsa

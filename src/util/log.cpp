@@ -34,10 +34,21 @@ namespace detail {
 
 void emit(LogLevel level, const std::string& message) {
   if (level < g_level.load()) return;
+  // Assemble the whole line before touching the sink: one write() under the
+  // lock means a line can never interleave piecewise, even on unit-buffered
+  // sinks like std::cerr where every operator<< flushes on its own.
+  std::string line;
+  line.reserve(message.size() + 16);
+  line += "[tcsa ";
+  line += level_name(level);
+  line += "] ";
+  line += message;
+  line += '\n';
   std::ostream* sink = g_sink.load();
   if (sink == nullptr) sink = &std::cerr;
   const std::lock_guard<std::mutex> lock(g_emit_mutex);
-  (*sink) << "[tcsa " << level_name(level) << "] " << message << '\n';
+  sink->write(line.data(), static_cast<std::streamsize>(line.size()));
+  sink->flush();
 }
 
 }  // namespace detail

@@ -25,7 +25,44 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace tcsa {
+
+namespace detail {
+#if TCSA_OBS_COMPILED
+/// Work-pool metrics, registered once per process on first use.
+struct PoolMetrics {
+  obs::MetricId runs;
+  obs::MetricId tasks;
+  obs::MetricId queue_depth;
+  obs::MetricId workers;
+  obs::MetricId task_us;
+  obs::MetricId idle_us;
+};
+
+inline const PoolMetrics& pool_metrics() {
+  static const PoolMetrics metrics{
+      obs::register_counter("tcsa_pool_runs_total",
+                            "parallel_for invocations"),
+      obs::register_counter("tcsa_pool_tasks_total",
+                            "Tasks executed across all parallel_for runs"),
+      obs::register_gauge("tcsa_pool_queue_depth",
+                          "Task count of the most recent parallel_for"),
+      obs::register_counter("tcsa_pool_workers_total",
+                            "Worker threads spawned (caller excluded)"),
+      obs::register_histogram("tcsa_pool_task_us",
+                              "Per-task wall time (microseconds)",
+                              {1, 10, 100, 1000, 10000, 100000, 1000000}),
+      obs::register_counter(
+          "tcsa_pool_idle_us_total",
+          "Worker wall time not spent inside tasks (microseconds)"),
+  };
+  return metrics;
+}
+#endif
+}  // namespace detail
 
 /// Resolves a requested thread count: 0 = hardware concurrency (at least 1).
 inline unsigned resolve_thread_count(unsigned requested) {
@@ -43,8 +80,38 @@ void parallel_for(std::size_t tasks, unsigned threads, Fn&& fn) {
   if (tasks == 0) return;
   const unsigned workers = std::min<std::size_t>(
       resolve_thread_count(threads), tasks);
+
+#if TCSA_OBS_COMPILED
+  // Hoisted once: the disabled path costs one relaxed load + branch per run
+  // and per task; values never depend on instrumentation, so determinism is
+  // untouched. Task latency / idle time use the shared trace clock.
+  const bool obs_on = obs::enabled();
+  if (obs_on) {
+    const detail::PoolMetrics& pm = detail::pool_metrics();
+    obs::counter_add(pm.runs, 1);
+    obs::counter_add(pm.tasks, tasks);
+    obs::gauge_set(pm.queue_depth, static_cast<double>(tasks));
+    if (workers > 1) obs::counter_add(pm.workers, workers - 1);
+  }
+  TCSA_TRACE_SPAN_VAR(pool_span, "pool.parallel_for");
+  if (pool_span.active()) pool_span.set_arg("tasks", tasks);
+  const auto run_task = [&](std::size_t i) {
+    if (!obs_on) {
+      fn(i);
+      return;
+    }
+    const std::uint64_t start = obs::trace_now_us();
+    fn(i);
+    obs::histogram_observe(
+        detail::pool_metrics().task_us,
+        static_cast<double>(obs::trace_now_us() - start));
+  };
+#else
+  const auto run_task = [&](std::size_t i) { fn(i); };
+#endif
+
   if (workers <= 1) {
-    for (std::size_t i = 0; i < tasks; ++i) fn(i);
+    for (std::size_t i = 0; i < tasks; ++i) run_task(i);
     return;
   }
 
@@ -56,7 +123,7 @@ void parallel_for(std::size_t tasks, unsigned threads, Fn&& fn) {
          i < tasks; i = next.fetch_add(1, std::memory_order_relaxed)) {
       if (failed.load(std::memory_order_acquire)) return;
       try {
-        fn(i);
+        run_task(i);
       } catch (...) {
         // First failure wins; `failed` orders the write to `error`.
         if (!failed.exchange(true, std::memory_order_acq_rel))
@@ -65,10 +132,46 @@ void parallel_for(std::size_t tasks, unsigned threads, Fn&& fn) {
       }
     }
   };
+#if TCSA_OBS_COMPILED
+  // Spawned workers additionally report idle time (wall time in the worker
+  // loop minus wall time inside tasks) and show as tracks in the trace.
+  auto instrumented_worker = [&]() {
+    if (!obs_on && !obs::tracing_enabled()) {
+      worker();
+      return;
+    }
+    TCSA_TRACE_SPAN("pool.worker");
+    const std::uint64_t entered = obs::trace_now_us();
+    std::uint64_t busy = 0;
+    for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+         i < tasks; i = next.fetch_add(1, std::memory_order_relaxed)) {
+      if (failed.load(std::memory_order_acquire)) break;
+      const std::uint64_t start = obs::trace_now_us();
+      try {
+        fn(i);
+      } catch (...) {
+        if (!failed.exchange(true, std::memory_order_acq_rel))
+          error = std::current_exception();
+        break;
+      }
+      const std::uint64_t took = obs::trace_now_us() - start;
+      busy += took;
+      if (obs_on)
+        obs::histogram_observe(detail::pool_metrics().task_us,
+                               static_cast<double>(took));
+    }
+    if (obs_on)
+      obs::counter_add(detail::pool_metrics().idle_us,
+                       obs::trace_now_us() - entered - busy);
+  };
+#else
+  auto& instrumented_worker = worker;
+#endif
 
   std::vector<std::thread> pool;
   pool.reserve(workers - 1);
-  for (unsigned t = 0; t + 1 < workers; ++t) pool.emplace_back(worker);
+  for (unsigned t = 0; t + 1 < workers; ++t)
+    pool.emplace_back(instrumented_worker);
   worker();  // the calling thread is the last worker
   for (std::thread& t : pool) t.join();
   if (failed.load(std::memory_order_acquire) && error)

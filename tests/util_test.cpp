@@ -3,9 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
 #include <set>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
+#include <vector>
 
 #include "util/cli.hpp"
 #include "util/contracts.hpp"
@@ -275,6 +278,55 @@ TEST(OnlineStats, MergeWithEmptyIsIdentity) {
   EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
 }
 
+TEST(OnlineStats, MergeEmptyIntoEmptyStaysEmpty) {
+  OnlineStats a, b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(a.sum(), 0.0);
+}
+
+TEST(OnlineStats, MergeNonEmptyIntoEmptyCopiesExtremes) {
+  // The Chan update divides by the combined count; an empty left side must
+  // adopt the right side's min/max rather than its zero-initialised fields.
+  OnlineStats empty, s;
+  s.add(-7.0);
+  s.add(13.0);
+  empty.merge(s);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(empty.min(), -7.0);
+  EXPECT_DOUBLE_EQ(empty.max(), 13.0);
+  EXPECT_NEAR(empty.variance(), 200.0, 1e-12);  // ((-10)^2 + 10^2) / (2-1)
+}
+
+TEST(OnlineStats, SingleSampleVarianceIsZero) {
+  OnlineStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);  // unbiased: undefined below 2 samples
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(OnlineStats, MergeTwoSingletonsMatchesSequential) {
+  // Edge of the Chan update: both sides have m2 == 0, so the whole variance
+  // comes from the cross term.
+  OnlineStats a, b, all;
+  a.add(2.0);
+  b.add(6.0);
+  all.add(2.0);
+  all.add(6.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), all.mean());
+  EXPECT_DOUBLE_EQ(a.variance(), all.variance());
+  EXPECT_DOUBLE_EQ(a.variance(), 8.0);  // ((2-4)^2 + (6-4)^2) / 1
+}
+
 TEST(SampleSet, QuantilesExact) {
   SampleSet s;
   for (double v : {5.0, 1.0, 3.0, 2.0, 4.0}) s.add(v);
@@ -496,6 +548,51 @@ TEST(Log, OffSilencesEverything) {
   set_log_sink(nullptr);
   set_log_level(LogLevel::kWarn);
   EXPECT_TRUE(sink.str().empty());
+}
+
+TEST(Log, ConcurrentEmittersNeverInterleaveLines) {
+  // Regression: emit() used to stream the prefix and message as separate
+  // operator<< calls, so lines from work-pool threads could interleave
+  // piecewise. Hammer the sink from 8 threads and assert every emitted
+  // line survives whole.
+  std::ostringstream sink;
+  set_log_sink(&sink);
+  set_log_level(LogLevel::kInfo);
+  constexpr int kThreads = 8;
+  constexpr int kLines = 200;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kLines; ++i)
+        TCSA_LOG(kInfo) << "thread " << t << " line " << i << " end";
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  set_log_sink(nullptr);
+  set_log_level(LogLevel::kWarn);
+
+  std::istringstream lines(sink.str());
+  std::string line;
+  int total = 0;
+  std::vector<int> per_thread(kThreads, 0);
+  while (std::getline(lines, line)) {
+    int t = -1, i = -1;
+    // Every line must match "[tcsa INFO] thread <t> line <i> end" exactly;
+    // any torn or merged write breaks the parse or the trailing check.
+    ASSERT_EQ(std::sscanf(line.c_str(), "[tcsa INFO] thread %d line %d end",
+                          &t, &i),
+              2)
+        << "torn line: " << line;
+    ASSERT_TRUE(t >= 0 && t < kThreads) << line;
+    ASSERT_TRUE(i >= 0 && i < kLines) << line;
+    ASSERT_TRUE(line.size() >= 4 && line.compare(line.size() - 4, 4, " end") == 0)
+        << "trailing garbage: " << line;
+    ++per_thread[static_cast<std::size_t>(t)];
+    ++total;
+  }
+  EXPECT_EQ(total, kThreads * kLines);
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(per_thread[t], kLines);
 }
 
 }  // namespace
