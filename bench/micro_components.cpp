@@ -11,6 +11,7 @@
 #include "core/theory.hpp"
 #include "model/serialize.hpp"
 #include "model/validate.hpp"
+#include "obs/artifact.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sim/lossy.hpp"
@@ -161,6 +162,33 @@ void BM_ObsSnapshot(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ObsSnapshot);
+
+void BM_SnapshotImport(benchmark::State& state) {
+  // Artifact ingestion cost: JSON text of the full live registry back to a
+  // MetricsSnapshot, the inner loop of `tcsactl obs merge/diff`.
+  const std::string json = tcsa::obs::snapshot().to_json();
+  for (auto _ : state) {
+    const tcsa::obs::MetricsSnapshot snap = tcsa::obs::snapshot_from_json(json);
+    benchmark::DoNotOptimize(snap.counters.size());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(json.size()));
+}
+BENCHMARK(BM_SnapshotImport);
+
+void BM_SnapshotMerge(benchmark::State& state) {
+  // K-shard merge cost: merging K copies of the live registry simulates
+  // collecting a K-process sweep (same names and bucket layouts per shard).
+  const tcsa::obs::MetricsSnapshot shard = tcsa::obs::snapshot();
+  const int shards = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    tcsa::obs::MetricsSnapshot merged = shard;
+    for (int i = 1; i < shards; ++i) merged.merge(shard);
+    benchmark::DoNotOptimize(merged.counters.size());
+  }
+  state.SetLabel(std::to_string(shards) + " shards");
+}
+BENCHMARK(BM_SnapshotMerge)->Arg(2)->Arg(8);
 #endif
 
 }  // namespace

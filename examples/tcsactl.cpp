@@ -9,8 +9,22 @@
 //   tcsactl --cmd validate --workload workload.tcsa < prog.tcsa
 //   tcsactl --cmd simulate --workload workload.tcsa --requests 3000 < prog.tcsa
 //   tcsactl --cmd demo     (prints a sample workload document)
+//
+// Cross-process observability (DESIGN.md §6): a sweep can shard across
+// forked child processes, each writing a manifest + metrics + trace +
+// points artifact set, and the `obs` subcommand family post-processes them:
+//
+//   tcsactl --cmd sweep --workload w.tcsa --shards 4 --jobs 4 --out-dir run/
+//   tcsactl obs merge  --dir run/                  (one trace, one snapshot)
+//   tcsactl obs diff   --base a.json --current b.json --rel-tol 0.05
+//   tcsactl obs report --dir run/                  (markdown summary)
+#include <unistd.h>
+
+#include <algorithm>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 
 #include "core/api.hpp"
 #include "core/channel_bound.hpp"
@@ -18,11 +32,13 @@
 #include "model/inspect.hpp"
 #include "model/serialize.hpp"
 #include "model/validate.hpp"
+#include "obs/artifact.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sim/broadcast_sim.hpp"
 #include "sim/sweep.hpp"
 #include "util/cli.hpp"
+#include "util/subprocess.hpp"
 #include "workload/trace.hpp"
 
 using namespace tcsa;
@@ -51,6 +67,242 @@ void write_trace_file(const std::string& path) {
   std::ofstream out(path);
   if (!out) throw std::invalid_argument("cannot write trace file: " + path);
   obs::write_chrome_trace(out);
+}
+
+std::string slurp_file(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) throw std::invalid_argument("cannot open file: " + path);
+  std::ostringstream os;
+  os << file.rdbuf();
+  return os.str();
+}
+
+void write_text_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path);
+  if (!out) throw std::invalid_argument("cannot write file: " + path);
+  out << text;
+}
+
+/// Unique-enough id shared by every shard of one run: the parent mints it
+/// and passes it down via --run-id.
+std::string default_run_id() {
+  std::ostringstream os;
+  os << "run-" << std::hex << obs::trace_epoch_wall_us() << '-' << std::dec
+     << ::getpid();
+  return os.str();
+}
+
+// ------------------------------------------------- sharded sweep artifacts
+
+/// Everything one run directory holds, loaded and validated: a complete,
+/// config-consistent shard set plus its merged metrics and sorted points.
+struct RunArtifacts {
+  std::vector<obs::RunManifest> manifests;   ///< sorted by shard_index
+  obs::MetricsSnapshot metrics;              ///< merged across shards
+  std::vector<obs::TraceShard> traces;       ///< shards that wrote a trace
+  std::vector<obs::SweepPointRecord> points; ///< sorted (channels, method)
+};
+
+RunArtifacts collect_run(const std::string& dir) {
+  namespace fs = std::filesystem;
+  RunArtifacts run;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    constexpr const char* kSuffix = ".manifest.json";
+    if (name.size() < 14 ||
+        name.compare(name.size() - 14, 14, kSuffix) != 0)
+      continue;
+    run.manifests.push_back(
+        obs::manifest_from_json(slurp_file(entry.path().string())));
+  }
+  if (run.manifests.empty())
+    throw std::invalid_argument("no *.manifest.json artifacts in " + dir);
+  std::sort(run.manifests.begin(), run.manifests.end(),
+            [](const obs::RunManifest& a, const obs::RunManifest& b) {
+              return a.shard_index < b.shard_index;
+            });
+  const obs::RunManifest& first = run.manifests.front();
+  if (static_cast<int>(run.manifests.size()) != first.shard_count)
+    throw std::invalid_argument(
+        "incomplete run: " + std::to_string(run.manifests.size()) + " of " +
+        std::to_string(first.shard_count) + " shard manifests in " + dir);
+  for (std::size_t i = 0; i < run.manifests.size(); ++i) {
+    const obs::RunManifest& m = run.manifests[i];
+    if (m.run_id != first.run_id || m.config_digest != first.config_digest ||
+        m.shard_count != first.shard_count)
+      throw std::invalid_argument(
+          "shard manifests disagree on run_id/config_digest; " + dir +
+          " seems to hold artifacts from more than one run");
+    if (m.shard_index != static_cast<int>(i))
+      throw std::invalid_argument("duplicate or missing shard index " +
+                                  std::to_string(i) + " in " + dir);
+    if (!m.metrics_file.empty())
+      run.metrics.merge(obs::snapshot_from_json(
+          slurp_file((fs::path(dir) / m.metrics_file).string())));
+    if (!m.trace_file.empty())
+      run.traces.push_back(
+          {m, slurp_file((fs::path(dir) / m.trace_file).string())});
+    if (!m.points_file.empty()) {
+      const auto shard_points = obs::points_from_json(
+          slurp_file((fs::path(dir) / m.points_file).string()));
+      run.points.insert(run.points.end(), shard_points.begin(),
+                        shard_points.end());
+    }
+  }
+  std::sort(run.points.begin(), run.points.end(),
+            [](const obs::SweepPointRecord& a, const obs::SweepPointRecord& b) {
+              return a.channels != b.channels ? a.channels < b.channels
+                                              : a.method < b.method;
+            });
+  return run;
+}
+
+// ------------------------------------------------------ the sweep command
+
+/// Fork/exec parent: runs `shards` child sweeps, at most `jobs` at a time,
+/// each re-invoking this executable for one shard. Children inherit the
+/// grid-shaping flags verbatim, so every shard derives the identical grid
+/// and measures its disjoint round-robin slice of it.
+int run_sharded_parent(const Cli& cli, long long shards, long long jobs) {
+  const std::string workload = cli.get_string("workload");
+  const std::string out_dir = cli.get_string("out-dir");
+  if (workload.empty())
+    throw std::invalid_argument("--jobs needs --workload FILE (children "
+                                "cannot share the parent's stdin)");
+  if (out_dir.empty())
+    throw std::invalid_argument("--jobs needs --out-dir DIR to collect "
+                                "shard artifacts");
+  std::filesystem::create_directories(out_dir);
+  std::string run_id = cli.get_string("run-id");
+  if (run_id.empty()) run_id = default_run_id();
+
+  const std::string exe = self_executable_path("tcsactl");
+  std::vector<Subprocess> window;
+  std::vector<std::string> logs;
+  const auto reap_oldest = [&] {
+    const int rc = window.front().wait();
+    if (rc != 0)
+      throw std::runtime_error("shard child exited with code " +
+                               std::to_string(rc) + "; see " + logs.front());
+    window.erase(window.begin());
+    logs.erase(logs.begin());
+  };
+  for (long long shard = 0; shard < shards; ++shard) {
+    while (static_cast<long long>(window.size()) >= std::max(1LL, jobs))
+      reap_oldest();
+    const std::string tag = out_dir + "/shard-" + std::to_string(shard);
+    SpawnOptions io;
+    io.stdout_path = tag + ".stdout.txt";
+    io.stderr_path = tag + ".log";
+    window.push_back(Subprocess::spawn(
+        {exe, "--cmd", "sweep", "--workload", workload, "--shards",
+         std::to_string(shards), "--shard-index", std::to_string(shard),
+         "--out-dir", out_dir, "--run-id", run_id, "--requests",
+         std::to_string(cli.get_int("requests")), "--seed",
+         std::to_string(cli.get_int("seed")), "--channels",
+         std::to_string(cli.get_int("channels"))},
+        io));
+    logs.push_back(io.stderr_path);
+  }
+  while (!window.empty()) reap_oldest();
+
+  // Collect: a parse-validated, complete artifact set or an error.
+  const RunArtifacts run = collect_run(out_dir);
+  std::cerr << "collected " << run.manifests.size() << " shard artifact sets"
+            << " for run " << run_id << " in " << out_dir << "; merge with:\n"
+            << "  tcsactl obs merge --dir " << out_dir << '\n';
+  return 0;
+}
+
+/// One in-process sweep — the whole grid by default, one shard of it when
+/// --shards/--shard-index say so — with optional artifact emission.
+int run_sweep_command(const Cli& cli) {
+  const long long shards = cli.get_int("shards");
+  const long long shard_index = cli.get_int("shard-index");
+  const long long jobs = cli.get_int("jobs");
+  if (shards < 1) throw std::invalid_argument("--shards must be >= 1");
+  if (jobs > 0) return run_sharded_parent(cli, shards, jobs);
+  if (shards > 1 && shard_index < 0)
+    throw std::invalid_argument(
+        "--shards > 1 needs --shard-index I (run one shard) or --jobs J "
+        "(fork all shards)");
+  if (shard_index >= shards)
+    throw std::invalid_argument("--shard-index must be < --shards");
+
+  const Workload w = workload_from(cli.get_string("workload"));
+  SweepConfig config;
+  config.sim.requests.count = cli.get_int("requests");
+  config.sim.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  if (const SlotCount channels = cli.get_int("channels"); channels > 0)
+    config.max_channels = channels;
+  const SweepShard shard{
+      static_cast<unsigned>(shard_index < 0 ? 0 : shard_index),
+      static_cast<unsigned>(shards)};
+
+  const std::string out_dir = cli.get_string("out-dir");
+#if TCSA_OBS_COMPILED
+  // Artifact runs capture a trace alongside the metrics delta.
+  if (!out_dir.empty()) obs::set_tracing_enabled(true);
+#endif
+  const SweepReport report = run_sweep_shard(w, config, shard);
+
+  std::cout << "channels method    AvgD      predicted  miss%     p95\n";
+  for (const SweepPoint& p : report.points) {
+    std::cout << p.channels << '\t' << method_name(p.method) << '\t'
+              << p.avg_delay << '\t' << p.predicted_delay << '\t'
+              << 100.0 * p.miss_rate << '\t' << p.p95_delay << '\n';
+  }
+  std::cerr << "sweep observed "
+            << report.metrics.counter_value("tcsa_sweep_points_total")
+            << " points, "
+            << report.metrics.counter_value("tcsa_opt_nodes_total")
+            << " OPT search nodes, "
+            << report.metrics.counter_value("tcsa_sim_requests_total")
+            << " simulated requests\n";
+
+  if (!out_dir.empty()) {
+    std::filesystem::create_directories(out_dir);
+    std::string run_id = cli.get_string("run-id");
+    if (run_id.empty()) run_id = default_run_id();
+    const std::string stem = "shard-" + std::to_string(shard.index);
+    obs::RunManifest manifest = obs::make_manifest(
+        run_id, static_cast<int>(shard.index), static_cast<int>(shard.count),
+        sweep_config_digest(w, config), "sweep");
+#if TCSA_OBS_COMPILED
+    manifest.metrics_file = stem + ".metrics.json";
+    manifest.trace_file = stem + ".trace.json";
+    write_text_file(out_dir + "/" + manifest.metrics_file,
+                    report.metrics.to_json());
+    obs::set_tracing_enabled(false);
+    write_trace_file(out_dir + "/" + manifest.trace_file);
+#else
+    // Instrumentation is compiled out: the metrics delta and the trace
+    // would be empty documents, so they are skipped (manifest says so by
+    // leaving the fields empty); points stay fully usable.
+    std::cerr << "tcsactl: warning: built with TCSA_OBS=OFF — writing "
+                 "points + manifest only, no metrics/trace artifacts\n";
+#endif
+    manifest.points_file = stem + ".points.json";
+    std::vector<obs::SweepPointRecord> records;
+    records.reserve(report.points.size());
+    for (const SweepPoint& p : report.points) {
+      obs::SweepPointRecord r;
+      r.channels = static_cast<std::int64_t>(p.channels);
+      r.method = method_name(p.method);
+      r.avg_delay = p.avg_delay;
+      r.predicted_delay = p.predicted_delay;
+      r.miss_rate = p.miss_rate;
+      r.p95_delay = p.p95_delay;
+      r.t_major = static_cast<std::int64_t>(p.t_major);
+      r.window_overflows = static_cast<std::int64_t>(p.window_overflows);
+      records.push_back(std::move(r));
+    }
+    write_text_file(out_dir + "/" + manifest.points_file,
+                    obs::points_to_json(records));
+    write_text_file(out_dir + "/" + stem + ".manifest.json",
+                    obs::manifest_to_json(manifest));
+  }
+  return 0;
 }
 
 int dispatch(const Cli& cli) {
@@ -128,31 +380,7 @@ int dispatch(const Cli& cli) {
     return 0;
   }
 
-  if (cmd == "sweep") {
-    // The Figure-5 driver end to end: schedule + simulate every method at
-    // every channel count, with the sweep's own metrics delta attached.
-    const Workload w = workload_from(cli.get_string("workload"));
-    SweepConfig config;
-    config.sim.requests.count = cli.get_int("requests");
-    config.sim.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
-    if (const SlotCount channels = cli.get_int("channels"); channels > 0)
-      config.max_channels = channels;
-    const SweepReport report = run_sweep_with_metrics(w, config);
-    std::cout << "channels method    AvgD      predicted  miss%     p95\n";
-    for (const SweepPoint& p : report.points) {
-      std::cout << p.channels << '\t' << method_name(p.method) << '\t'
-                << p.avg_delay << '\t' << p.predicted_delay << '\t'
-                << 100.0 * p.miss_rate << '\t' << p.p95_delay << '\n';
-    }
-    std::cerr << "sweep observed "
-              << report.metrics.counter_value("tcsa_sweep_points_total")
-              << " points, "
-              << report.metrics.counter_value("tcsa_opt_nodes_total")
-              << " OPT search nodes, "
-              << report.metrics.counter_value("tcsa_sim_requests_total")
-              << " simulated requests\n";
-    return 0;
-  }
+  if (cmd == "sweep") return run_sweep_command(cli);
 
   if (cmd == "simulate") {
     const Workload w = workload_from(cli.get_string("workload"));
@@ -171,12 +399,122 @@ int dispatch(const Cli& cli) {
   throw std::invalid_argument("unknown --cmd: " + cmd);
 }
 
+// --------------------------------------------------- obs subcommand family
+
+/// `tcsactl obs merge --dir RUN/` → one Perfetto-loadable trace and one
+/// merged snapshot (plus merged points) from a complete shard set.
+int obs_merge(int argc, const char* const* argv) {
+  Cli cli("tcsactl obs merge",
+          "merge a sharded run's artifacts into one trace + one snapshot");
+  cli.add_string("dir", "", "run directory holding shard-*.manifest.json");
+  cli.add_string("out", "", "output prefix (default: DIR/merged)");
+  if (!cli.parse(argc, argv)) return 0;
+  const std::string dir = cli.get_string("dir");
+  if (dir.empty()) throw std::invalid_argument("obs merge needs --dir DIR");
+  std::string prefix = cli.get_string("out");
+  if (prefix.empty()) prefix = dir + "/merged";
+
+  const RunArtifacts run = collect_run(dir);
+  write_text_file(prefix + ".metrics.json", run.metrics.to_json());
+  if (!run.traces.empty())
+    write_text_file(prefix + ".trace.json",
+                    obs::merge_chrome_traces(run.traces));
+  if (!run.points.empty())
+    write_text_file(prefix + ".points.json", obs::points_to_json(run.points));
+  std::cerr << "merged " << run.manifests.size() << " shards (run "
+            << run.manifests.front().run_id << ", config "
+            << run.manifests.front().config_digest << ") -> " << prefix
+            << ".{metrics,trace,points}.json\n";
+  if (run.metrics.counter_value("tcsa_trace_spans_dropped_total") > 0)
+    std::cerr << "warning: "
+              << run.metrics.counter_value("tcsa_trace_spans_dropped_total")
+              << " spans were dropped by ring overflow; the merged trace "
+                 "is incomplete\n";
+  return 0;
+}
+
+/// `tcsactl obs diff --base A --current B` → nonzero exit on drift beyond
+/// tolerance. Accepts snapshot exports and merged bench documents.
+int obs_diff(int argc, const char* const* argv) {
+  Cli cli("tcsactl obs diff",
+          "compare two metrics documents; exit 1 on out-of-tolerance drift");
+  cli.add_string("base", "", "baseline snapshot or bench JSON");
+  cli.add_string("current", "", "candidate snapshot or bench JSON");
+  cli.add_double("rel-tol", 0.0, "allowed relative drift per counter");
+  cli.add_double("abs-tol", 0.0, "allowed absolute drift per counter");
+  cli.add_flag("verbose", "print unchanged counters too");
+  if (!cli.parse(argc, argv)) return 0;
+  const std::string base = cli.get_string("base");
+  const std::string current = cli.get_string("current");
+  if (base.empty() || current.empty())
+    throw std::invalid_argument("obs diff needs --base and --current");
+
+  obs::DiffOptions options;
+  options.rel_tol = cli.get_double("rel-tol");
+  options.abs_tol = cli.get_double("abs-tol");
+  const obs::DiffResult result =
+      obs::diff_snapshots(obs::counters_from_json_document(slurp_file(base)),
+                          obs::counters_from_json_document(slurp_file(current)),
+                          options);
+  std::cout << result.to_markdown(cli.get_flag("verbose"));
+  if (!result.clean()) {
+    std::cerr << "obs diff: " << result.regressions
+              << " metric(s) regressed beyond tolerance\n";
+    return 1;
+  }
+  std::cerr << "obs diff: clean (" << result.entries.size()
+            << " metrics compared)\n";
+  return 0;
+}
+
+/// `tcsactl obs report --dir RUN/` (or --metrics FILE [--points FILE]) →
+/// markdown summary on stdout.
+int obs_report(int argc, const char* const* argv) {
+  Cli cli("tcsactl obs report", "render a markdown run summary");
+  cli.add_string("dir", "", "run directory (reads manifests + artifacts)");
+  cli.add_string("metrics", "", "metrics snapshot JSON (without --dir)");
+  cli.add_string("points", "", "points JSON to tabulate (without --dir)");
+  if (!cli.parse(argc, argv)) return 0;
+  const std::string dir = cli.get_string("dir");
+  if (!dir.empty()) {
+    const RunArtifacts run = collect_run(dir);
+    std::cout << obs::report_markdown(run.metrics, run.manifests, run.points);
+    return 0;
+  }
+  const std::string metrics_path = cli.get_string("metrics");
+  if (metrics_path.empty())
+    throw std::invalid_argument("obs report needs --dir or --metrics");
+  std::vector<obs::SweepPointRecord> points;
+  if (const std::string p = cli.get_string("points"); !p.empty())
+    points = obs::points_from_json(slurp_file(p));
+  std::cout << obs::report_markdown(
+      obs::snapshot_from_json(slurp_file(metrics_path)), {}, points);
+  return 0;
+}
+
+int obs_main(int argc, const char* const* argv) {
+  // argv[0] is the subcommand ("merge" | "diff" | "report"); hand the rest
+  // to the subcommand's own Cli (which skips its argv[0] like any main).
+  if (argc < 1)
+    throw std::invalid_argument("usage: tcsactl obs <merge|diff|report> ...");
+  const std::string sub = argv[0];
+  if (sub == "merge") return obs_merge(argc, argv);
+  if (sub == "diff") return obs_diff(argc, argv);
+  if (sub == "report") return obs_report(argc, argv);
+  throw std::invalid_argument("unknown obs subcommand: " + sub +
+                              " (expected merge | diff | report)");
+}
+
 int run(int argc, const char* const* argv) {
+  if (argc >= 2 && std::string(argv[1]) == "obs")
+    return obs_main(argc - 2, argv + 2);
+
   Cli cli("tcsactl", "plan, schedule, validate and simulate "
                      "time-constrained broadcast programs");
   cli.add_string("cmd", "bound",
                  "bound | schedule | validate | simulate | sweep | inspect | "
-                 "plan | demo");
+                 "plan | demo (artifact tooling: tcsactl obs "
+                 "merge|diff|report --help)");
   cli.add_string("method", "pamad", "scheduler for --cmd schedule "
                                     "(susc|pamad|mpb|opt|rr)");
   cli.add_int("channels", 0, "channel count (0 = Theorem 3.1 minimum)");
@@ -193,10 +531,37 @@ int run(int argc, const char* const* argv) {
   cli.add_string("trace-out", "",
                  "write a Chrome trace_event JSON timeline of this run to "
                  "FILE (load in chrome://tracing or Perfetto)");
+  cli.add_int("shards", 1,
+              "with --cmd sweep: partition the sweep grid into this many "
+              "round-robin shards");
+  cli.add_int("shard-index", -1,
+              "with --cmd sweep --shards K: run only this shard (0-based) "
+              "in-process");
+  cli.add_int("jobs", 0,
+              "with --cmd sweep --shards K: fork/exec the shards as child "
+              "processes, at most JOBS at a time");
+  cli.add_string("out-dir", "",
+                 "with --cmd sweep: write manifest + metrics + trace + "
+                 "points artifacts for each shard into DIR");
+  cli.add_string("run-id", "",
+                 "artifact run id (shared across shards; default: minted "
+                 "from clock + pid)");
   if (!cli.parse(argc, argv)) return 0;
 
-  const std::string metrics_out = cli.get_string("metrics-out");
-  const std::string trace_out = cli.get_string("trace-out");
+  std::string metrics_out = cli.get_string("metrics-out");
+  std::string trace_out = cli.get_string("trace-out");
+#if !TCSA_OBS_COMPILED
+  // Instrumentation was compiled out (-DTCSA_OBS=OFF): recording is
+  // impossible, so exports would be empty shells. Refuse quietly writing
+  // lies — warn once and skip the files entirely.
+  if (!metrics_out.empty() || !trace_out.empty()) {
+    std::cerr << "tcsactl: warning: this binary was built with TCSA_OBS=OFF; "
+                 "--metrics-out/--trace-out would export empty documents and "
+                 "are ignored (rebuild with -DTCSA_OBS=ON)\n";
+    metrics_out.clear();
+    trace_out.clear();
+  }
+#endif
   if (!metrics_out.empty()) obs::set_enabled(true);
   if (!trace_out.empty()) obs::set_tracing_enabled(true);
 

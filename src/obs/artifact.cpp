@@ -1,0 +1,543 @@
+#include "obs/artifact.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <map>
+#include <sstream>
+
+#include "obs/json.hpp"
+#include "obs/trace.hpp"
+#include "util/contracts.hpp"
+
+// Build provenance: the CMake configure step captures `git describe` into
+// this definition; a tarball build falls back to "unknown".
+#ifndef TCSA_GIT_DESCRIBE
+#define TCSA_GIT_DESCRIBE "unknown"
+#endif
+
+namespace tcsa::obs {
+namespace {
+
+constexpr const char* kManifestSchema = "tcsa-run-manifest/v1";
+
+std::string format_double(double value) {
+  std::ostringstream os;
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << value;
+  return os.str();
+}
+
+/// Fixed-width helper for report tables (3 significant decimals).
+std::string format_fixed(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3f", value);
+  return buf;
+}
+
+void append_kv(std::string& out, const char* key, const std::string& value,
+               bool last = false) {
+  out += "  \"";
+  out += key;
+  out += "\": \"";
+  out += json_escape(value);
+  out += last ? "\"\n" : "\",\n";
+}
+
+void append_kv_int(std::string& out, const char* key, std::int64_t value,
+                   bool last = false) {
+  out += "  \"";
+  out += key;
+  out += "\": ";
+  out += std::to_string(value);
+  out += last ? "\n" : ",\n";
+}
+
+}  // namespace
+
+// --------------------------------------------------------------- manifest
+
+RunManifest make_manifest(const std::string& run_id, int shard_index,
+                          int shard_count, const std::string& config_digest,
+                          const std::string& command) {
+  TCSA_REQUIRE(shard_count >= 1, "manifest: shard_count must be >= 1");
+  TCSA_REQUIRE(shard_index >= 0 && shard_index < shard_count,
+               "manifest: shard_index out of range");
+  RunManifest manifest;
+  manifest.run_id = run_id;
+  manifest.shard_index = shard_index;
+  manifest.shard_count = shard_count;
+  manifest.config_digest = config_digest;
+  manifest.command = command;
+  char host[256] = {};
+  if (::gethostname(host, sizeof host - 1) == 0) manifest.hostname = host;
+  manifest.git_describe = TCSA_GIT_DESCRIBE;
+  manifest.os_pid = static_cast<std::int64_t>(::getpid());
+  manifest.wall_epoch_us = trace_epoch_wall_us();
+  return manifest;
+}
+
+std::string manifest_to_json(const RunManifest& manifest) {
+  std::string out = "{\n";
+  append_kv(out, "schema", kManifestSchema);
+  append_kv(out, "run_id", manifest.run_id);
+  append_kv_int(out, "shard_index", manifest.shard_index);
+  append_kv_int(out, "shard_count", manifest.shard_count);
+  append_kv(out, "config_digest", manifest.config_digest);
+  append_kv(out, "command", manifest.command);
+  append_kv(out, "hostname", manifest.hostname);
+  append_kv(out, "git_describe", manifest.git_describe);
+  append_kv_int(out, "os_pid", manifest.os_pid);
+  append_kv_int(out, "wall_epoch_us",
+                static_cast<std::int64_t>(manifest.wall_epoch_us));
+  append_kv(out, "metrics_file", manifest.metrics_file);
+  append_kv(out, "trace_file", manifest.trace_file);
+  append_kv(out, "points_file", manifest.points_file, /*last=*/true);
+  out += "}\n";
+  return out;
+}
+
+RunManifest manifest_from_json(const std::string& json) {
+  const JsonValue doc = json_parse(json).expect_object("manifest");
+  TCSA_REQUIRE(doc.at("schema").expect_string("schema") == kManifestSchema,
+               "manifest: unknown schema tag");
+  RunManifest manifest;
+  manifest.run_id = doc.at("run_id").expect_string("run_id");
+  manifest.shard_index =
+      static_cast<int>(doc.at("shard_index").expect_int("shard_index"));
+  manifest.shard_count =
+      static_cast<int>(doc.at("shard_count").expect_int("shard_count"));
+  TCSA_REQUIRE(manifest.shard_count >= 1 && manifest.shard_index >= 0 &&
+                   manifest.shard_index < manifest.shard_count,
+               "manifest: shard coordinates out of range");
+  manifest.config_digest =
+      doc.at("config_digest").expect_string("config_digest");
+  manifest.command = doc.at("command").expect_string("command");
+  manifest.hostname = doc.at("hostname").expect_string("hostname");
+  manifest.git_describe =
+      doc.at("git_describe").expect_string("git_describe");
+  manifest.os_pid = doc.at("os_pid").expect_int("os_pid");
+  manifest.wall_epoch_us = doc.at("wall_epoch_us").expect_uint("wall_epoch_us");
+  manifest.metrics_file = doc.at("metrics_file").expect_string("metrics_file");
+  manifest.trace_file = doc.at("trace_file").expect_string("trace_file");
+  manifest.points_file = doc.at("points_file").expect_string("points_file");
+  return manifest;
+}
+
+// -------------------------------------------------------- snapshot import
+
+MetricsSnapshot snapshot_from_json(const std::string& json) {
+  const JsonValue doc = json_parse(json).expect_object("snapshot");
+  // Exactly the exporter's three sections: an unknown section means the
+  // document is not a snapshot (or a future schema this build predates).
+  TCSA_REQUIRE(doc.object.size() == 3,
+               "snapshot: expected exactly counters/gauges/histograms");
+  MetricsSnapshot snap;
+  for (const auto& [name, value] :
+       doc.at("counters").expect_object("counters").object) {
+    CounterSnapshot c;
+    c.name = name;
+    c.value = value.expect_uint("counter " + name);
+    snap.counters.push_back(std::move(c));
+  }
+  for (const auto& [name, value] :
+       doc.at("gauges").expect_object("gauges").object) {
+    GaugeSnapshot g;
+    g.name = name;
+    g.value = value.expect_number("gauge " + name);
+    snap.gauges.push_back(std::move(g));
+  }
+  for (const auto& [name, value] :
+       doc.at("histograms").expect_object("histograms").object) {
+    const JsonValue& obj = value.expect_object("histogram " + name);
+    HistogramSnapshot h;
+    h.name = name;
+    h.sum = obj.at("sum").expect_number(name + ".sum");
+    const std::uint64_t count = obj.at("count").expect_uint(name + ".count");
+    const JsonValue& buckets =
+        obj.at("buckets").expect_array(name + ".buckets");
+    TCSA_REQUIRE(!buckets.array.empty(), "snapshot: histogram needs buckets");
+    std::uint64_t total = 0;
+    for (std::size_t b = 0; b < buckets.array.size(); ++b) {
+      const JsonValue& bucket =
+          buckets.array[b].expect_object(name + ".buckets[i]");
+      const JsonValue& le = bucket.at("le");
+      const bool last = b + 1 == buckets.array.size();
+      if (last) {
+        TCSA_REQUIRE(le.is(JsonValue::Kind::kString) && le.string == "+Inf",
+                     "snapshot: final bucket le must be \"+Inf\"");
+      } else {
+        const double bound = le.expect_number(name + ".buckets[].le");
+        TCSA_REQUIRE(h.upper_bounds.empty() || bound > h.upper_bounds.back(),
+                     "snapshot: bucket bounds must ascend");
+        h.upper_bounds.push_back(bound);
+      }
+      const std::uint64_t c =
+          bucket.at("count").expect_uint(name + ".buckets[].count");
+      h.counts.push_back(c);
+      total += c;
+    }
+    TCSA_REQUIRE(total == count,
+                 "snapshot: bucket counts disagree with count");
+    snap.histograms.push_back(std::move(h));
+  }
+  return snap;
+}
+
+bool snapshots_equal(const MetricsSnapshot& a, const MetricsSnapshot& b,
+                     double sum_eps) {
+  if (a.counters.size() != b.counters.size() ||
+      a.gauges.size() != b.gauges.size() ||
+      a.histograms.size() != b.histograms.size())
+    return false;
+  std::map<std::string, std::uint64_t> counters;
+  for (const CounterSnapshot& c : a.counters) counters[c.name] = c.value;
+  for (const CounterSnapshot& c : b.counters) {
+    const auto it = counters.find(c.name);
+    if (it == counters.end() || it->second != c.value) return false;
+  }
+  std::map<std::string, double> gauges;
+  for (const GaugeSnapshot& g : a.gauges) gauges[g.name] = g.value;
+  for (const GaugeSnapshot& g : b.gauges) {
+    const auto it = gauges.find(g.name);
+    if (it == gauges.end() || it->second != g.value) return false;
+  }
+  std::map<std::string, const HistogramSnapshot*> hists;
+  for (const HistogramSnapshot& h : a.histograms) hists[h.name] = &h;
+  for (const HistogramSnapshot& h : b.histograms) {
+    const auto it = hists.find(h.name);
+    if (it == hists.end()) return false;
+    const HistogramSnapshot& mine = *it->second;
+    if (mine.upper_bounds != h.upper_bounds || mine.counts != h.counts)
+      return false;
+    if (std::abs(mine.sum - h.sum) > sum_eps) return false;
+  }
+  return true;
+}
+
+double histogram_quantile(const HistogramSnapshot& hist, double q) {
+  TCSA_REQUIRE(q >= 0.0 && q <= 1.0, "histogram_quantile: q outside [0, 1]");
+  const std::uint64_t total = hist.total();
+  if (total == 0) return std::numeric_limits<double>::quiet_NaN();
+  const double target = q * static_cast<double>(total);
+  double cumulative = 0.0;
+  for (std::size_t b = 0; b < hist.counts.size(); ++b) {
+    const double next = cumulative + static_cast<double>(hist.counts[b]);
+    if (next >= target && hist.counts[b] > 0) {
+      // +Inf bucket: no finite upper edge to interpolate toward.
+      if (b >= hist.upper_bounds.size())
+        return hist.upper_bounds.empty() ? std::numeric_limits<double>::quiet_NaN()
+                                         : hist.upper_bounds.back();
+      const double lower = b == 0 ? 0.0 : hist.upper_bounds[b - 1];
+      const double upper = hist.upper_bounds[b];
+      const double fraction =
+          (target - cumulative) / static_cast<double>(hist.counts[b]);
+      return lower + (upper - lower) * std::min(1.0, std::max(0.0, fraction));
+    }
+    cumulative = next;
+  }
+  return hist.upper_bounds.empty() ? std::numeric_limits<double>::quiet_NaN()
+                                   : hist.upper_bounds.back();
+}
+
+// ------------------------------------------------------------ trace merge
+
+std::string merge_chrome_traces(const std::vector<TraceShard>& shards) {
+  TCSA_REQUIRE(!shards.empty(), "merge_chrome_traces: no shards");
+  std::uint64_t base_wall = shards.front().manifest.wall_epoch_us;
+  for (const TraceShard& shard : shards) {
+    TCSA_REQUIRE(shard.manifest.run_id == shards.front().manifest.run_id,
+                 "merge_chrome_traces: shards from different runs");
+    TCSA_REQUIRE(
+        shard.manifest.config_digest == shards.front().manifest.config_digest,
+        "merge_chrome_traces: shards from different configs");
+    base_wall = std::min(base_wall, shard.manifest.wall_epoch_us);
+  }
+
+  struct MergedEvent {
+    std::uint64_t ts = 0;
+    std::string json;
+  };
+  std::vector<MergedEvent> events;
+  std::string metadata;
+  for (const TraceShard& shard : shards) {
+    const RunManifest& m = shard.manifest;
+    const std::uint64_t shift = m.wall_epoch_us - base_wall;
+    const std::int64_t pid = m.shard_index + 1;  // re-keyed, collision-free
+
+    // Perfetto/chrome://tracing shows this as the process title.
+    metadata += "  {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": " +
+                std::to_string(pid) +
+                ", \"tid\": 0, \"args\": {\"name\": \"shard " +
+                std::to_string(m.shard_index) + "/" +
+                std::to_string(m.shard_count) + " · " +
+                json_escape(m.hostname) + " pid " + std::to_string(m.os_pid) +
+                "\"}},\n";
+
+    const JsonValue doc =
+        json_parse(shard.trace_json).expect_object("trace document");
+    for (const JsonValue& raw :
+         doc.at("traceEvents").expect_array("traceEvents").array) {
+      JsonValue event = raw.expect_object("trace event");
+      const std::uint64_t ts = event.at("ts").expect_uint("event ts") + shift;
+      bool saw_pid = false;
+      for (auto& [key, member] : event.object) {
+        if (key == "ts") {
+          member.is_uint = true;
+          member.uint_value = ts;
+          member.number = static_cast<double>(ts);
+        } else if (key == "pid") {
+          member.is_uint = true;
+          member.uint_value = static_cast<std::uint64_t>(pid);
+          member.number = static_cast<double>(pid);
+          saw_pid = true;
+        }
+      }
+      TCSA_REQUIRE(saw_pid, "merge_chrome_traces: event without pid");
+      events.push_back({ts, "  " + json_serialize(event)});
+    }
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const MergedEvent& a, const MergedEvent& b) {
+                     return a.ts < b.ts;
+                   });
+
+  std::string out = "{\"traceEvents\": [\n";
+  out += metadata;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    out += events[i].json;
+    out += i + 1 == events.size() ? "\n" : ",\n";
+  }
+  if (events.empty() && !metadata.empty()) {
+    // Trim the trailing ",\n" the metadata loop appended.
+    out.erase(out.size() - 2);
+    out += "\n";
+  }
+  out += "], \"displayTimeUnit\": \"ms\"}\n";
+  return out;
+}
+
+// ------------------------------------------------------------------- diff
+
+namespace {
+
+/// Counters plus histogram count/sum series, flattened to comparable
+/// doubles. Gauges are excluded by design (point-in-time values).
+std::map<std::string, double> comparable_series(const MetricsSnapshot& snap) {
+  std::map<std::string, double> series;
+  for (const CounterSnapshot& c : snap.counters)
+    series[c.name] = static_cast<double>(c.value);
+  for (const HistogramSnapshot& h : snap.histograms) {
+    series[h.name + "_count"] = static_cast<double>(h.total());
+    series[h.name + "_sum"] = h.sum;
+  }
+  return series;
+}
+
+}  // namespace
+
+DiffResult diff_snapshots(const MetricsSnapshot& base,
+                          const MetricsSnapshot& current,
+                          const DiffOptions& options) {
+  const std::map<std::string, double> before = comparable_series(base);
+  const std::map<std::string, double> after = comparable_series(current);
+  DiffResult result;
+  for (const auto& [name, value] : before) {
+    DiffEntry entry;
+    entry.name = name;
+    entry.base = value;
+    const auto it = after.find(name);
+    if (it == after.end()) {
+      entry.current_missing = true;
+      ++result.regressions;  // a vanished metric can hide a regression
+    } else {
+      entry.current = it->second;
+      const double tolerance =
+          options.abs_tol + options.rel_tol * std::abs(entry.base);
+      if (std::abs(entry.current - entry.base) > tolerance) {
+        entry.out_of_tolerance = true;
+        ++result.regressions;
+      }
+    }
+    result.entries.push_back(std::move(entry));
+  }
+  for (const auto& [name, value] : after) {
+    if (before.find(name) != before.end()) continue;
+    DiffEntry entry;  // new metric: reported, never a failure
+    entry.name = name;
+    entry.current = value;
+    entry.base_missing = true;
+    result.entries.push_back(std::move(entry));
+  }
+  return result;
+}
+
+std::string DiffResult::to_markdown(bool verbose) const {
+  std::string out =
+      "| metric | base | current | delta | status |\n"
+      "|---|---:|---:|---:|---|\n";
+  for (const DiffEntry& e : entries) {
+    const bool changed = e.base_missing || e.current_missing ||
+                         e.current != e.base;
+    if (!verbose && !changed && !e.out_of_tolerance) continue;
+    std::string status = "ok";
+    if (e.current_missing) status = "REMOVED";
+    else if (e.base_missing) status = "added";
+    else if (e.out_of_tolerance) status = "REGRESSION";
+    else if (changed) status = "within tolerance";
+    out += "| " + e.name + " | " +
+           (e.base_missing ? std::string("—") : format_double(e.base)) +
+           " | " +
+           (e.current_missing ? std::string("—") : format_double(e.current)) +
+           " | " +
+           (e.base_missing || e.current_missing
+                ? std::string("—")
+                : format_double(e.current - e.base)) +
+           " | " + status + " |\n";
+  }
+  return out;
+}
+
+MetricsSnapshot counters_from_json_document(const std::string& json) {
+  const JsonValue doc = json_parse(json).expect_object("document");
+  if (doc.find("counters") != nullptr) return snapshot_from_json(json);
+  const JsonValue* suites = doc.find("suites");
+  TCSA_REQUIRE(suites != nullptr,
+               "diff: document is neither a snapshot nor a bench report");
+  MetricsSnapshot snap;
+  for (const auto& [suite_name, suite] :
+       suites->expect_object("suites").object) {
+    for (const JsonValue& bench :
+         suite.at("benchmarks").expect_array("benchmarks").array) {
+      const JsonValue& obj = bench.expect_object("benchmark");
+      const std::string& name = obj.at("name").expect_string("name");
+      for (const auto& [key, value] : obj.object) {
+        if (key.size() < 6 || key.compare(key.size() - 6, 6, "_total") != 0)
+          continue;
+        if (!value.is(JsonValue::Kind::kNumber)) continue;
+        CounterSnapshot c;
+        c.name = suite_name + "/" + name + "/" + key;
+        c.value = value.is_uint
+                      ? value.uint_value
+                      : static_cast<std::uint64_t>(value.number);
+        snap.counters.push_back(std::move(c));
+      }
+    }
+  }
+  return snap;
+}
+
+// ----------------------------------------------------------------- points
+
+std::string points_to_json(const std::vector<SweepPointRecord>& points) {
+  std::string out = "{\n  \"points\": [";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const SweepPointRecord& p = points[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"channels\": " + std::to_string(p.channels) +
+           ", \"method\": \"" + json_escape(p.method) +
+           "\", \"avg_delay\": " + format_double(p.avg_delay) +
+           ", \"predicted_delay\": " + format_double(p.predicted_delay) +
+           ", \"miss_rate\": " + format_double(p.miss_rate) +
+           ", \"p95_delay\": " + format_double(p.p95_delay) +
+           ", \"t_major\": " + std::to_string(p.t_major) +
+           ", \"window_overflows\": " + std::to_string(p.window_overflows) +
+           "}";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+std::vector<SweepPointRecord> points_from_json(const std::string& json) {
+  const JsonValue doc = json_parse(json).expect_object("points document");
+  std::vector<SweepPointRecord> points;
+  for (const JsonValue& raw : doc.at("points").expect_array("points").array) {
+    const JsonValue& obj = raw.expect_object("point");
+    SweepPointRecord p;
+    p.channels = obj.at("channels").expect_int("channels");
+    p.method = obj.at("method").expect_string("method");
+    p.avg_delay = obj.at("avg_delay").expect_number("avg_delay");
+    p.predicted_delay =
+        obj.at("predicted_delay").expect_number("predicted_delay");
+    p.miss_rate = obj.at("miss_rate").expect_number("miss_rate");
+    p.p95_delay = obj.at("p95_delay").expect_number("p95_delay");
+    p.t_major = obj.at("t_major").expect_int("t_major");
+    p.window_overflows =
+        obj.at("window_overflows").expect_int("window_overflows");
+    points.push_back(std::move(p));
+  }
+  return points;
+}
+
+// ----------------------------------------------------------------- report
+
+std::string report_markdown(const MetricsSnapshot& metrics,
+                            const std::vector<RunManifest>& shards,
+                            const std::vector<SweepPointRecord>& points) {
+  std::string out = "# TCSA run report\n";
+
+  if (!shards.empty()) {
+    const RunManifest& first = shards.front();
+    out += "\nRun `" + first.run_id + "` — command `" + first.command +
+           "`, config digest `" + first.config_digest + "`, build `" +
+           first.git_describe + "`, " + std::to_string(shards.size()) + "/" +
+           std::to_string(first.shard_count) + " shard(s).\n";
+    out += "\n| shard | host | pid | trace epoch (wall µs) |\n";
+    out += "|---:|---|---:|---:|\n";
+    for (const RunManifest& m : shards)
+      out += "| " + std::to_string(m.shard_index) + " | " + m.hostname +
+             " | " + std::to_string(m.os_pid) + " | " +
+             std::to_string(m.wall_epoch_us) + " |\n";
+  }
+
+  const std::uint64_t requests =
+      metrics.counter_value("tcsa_sim_requests_total");
+  const std::uint64_t misses =
+      metrics.counter_value("tcsa_sim_deadline_misses_total");
+  if (requests > 0)
+    out += "\nOverall deadline-miss rate: **" +
+           format_fixed(100.0 * static_cast<double>(misses) /
+                        static_cast<double>(requests)) +
+           "%** (" + std::to_string(misses) + " of " +
+           std::to_string(requests) + " simulated requests).\n";
+
+  if (!points.empty()) {
+    out += "\n## Sweep points\n\n";
+    out += "| channels | method | AvgD | predicted | miss % | p95 |\n";
+    out += "|---:|---|---:|---:|---:|---:|\n";
+    for (const SweepPointRecord& p : points)
+      out += "| " + std::to_string(p.channels) + " | " + p.method + " | " +
+             format_fixed(p.avg_delay) + " | " +
+             format_fixed(p.predicted_delay) + " | " +
+             format_fixed(100.0 * p.miss_rate) + " | " +
+             format_fixed(p.p95_delay) + " |\n";
+  }
+
+  if (!metrics.counters.empty()) {
+    out += "\n## Counters\n\n| counter | value |\n|---|---:|\n";
+    for (const CounterSnapshot& c : metrics.counters)
+      out += "| " + c.name + " | " + std::to_string(c.value) + " |\n";
+  }
+
+  if (!metrics.histograms.empty()) {
+    out += "\n## Histograms\n\n";
+    out += "| histogram | count | mean | p50 | p90 | p99 |\n";
+    out += "|---|---:|---:|---:|---:|---:|\n";
+    for (const HistogramSnapshot& h : metrics.histograms) {
+      const std::uint64_t total = h.total();
+      const double mean =
+          total == 0 ? 0.0 : h.sum / static_cast<double>(total);
+      out += "| " + h.name + " | " + std::to_string(total) + " | " +
+             format_fixed(mean) + " | " +
+             format_fixed(histogram_quantile(h, 0.50)) + " | " +
+             format_fixed(histogram_quantile(h, 0.90)) + " | " +
+             format_fixed(histogram_quantile(h, 0.99)) + " |\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace tcsa::obs

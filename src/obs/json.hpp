@@ -1,0 +1,68 @@
+// json.hpp — a minimal, strict JSON reader for observability artifacts.
+//
+// The cross-process pipeline (manifest loading, snapshot import, trace
+// merging, diffing bench reports) must parse documents that other processes
+// — or a hostile filesystem — wrote. This is a small recursive-descent
+// parser over the full JSON grammar with a hard nesting-depth cap, so
+// malformed or adversarial inputs fail with std::invalid_argument instead
+// of crashing or recursing off the stack. It is a *reader*: artifact
+// writers assemble their documents by hand (the formats are flat), so no
+// serializer lives here beyond a string-escape helper.
+//
+// Numbers keep their exact unsigned-integer value when the token is a plain
+// digit run that fits in 64 bits, so counter values round-trip losslessly
+// past the 2^53 double cliff.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tcsa::obs {
+
+/// One parsed JSON value. Object members preserve document order (exports
+/// are written in registration order and round-trip tests rely on it).
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::uint64_t uint_value = 0;  ///< exact when is_uint
+  bool is_uint = false;          ///< token was a plain digit run <= 2^64-1
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is(Kind k) const noexcept { return kind == k; }
+
+  /// Object member by key; nullptr when absent or not an object.
+  const JsonValue* find(const std::string& key) const noexcept;
+
+  /// Checked accessors: throw std::invalid_argument on a kind mismatch,
+  /// naming `what` (the field being read) in the message.
+  const JsonValue& expect_object(const std::string& what) const;
+  const JsonValue& expect_array(const std::string& what) const;
+  const std::string& expect_string(const std::string& what) const;
+  double expect_number(const std::string& what) const;
+  std::uint64_t expect_uint(const std::string& what) const;
+  std::int64_t expect_int(const std::string& what) const;
+
+  /// Required object member (throws naming the key when missing).
+  const JsonValue& at(const std::string& key) const;
+};
+
+/// Parses one JSON document; trailing non-whitespace is an error.
+/// Throws std::invalid_argument with a byte offset on malformed input.
+JsonValue json_parse(const std::string& text);
+
+/// `text` with JSON string escaping applied (no surrounding quotes).
+std::string json_escape(const std::string& text);
+
+/// Compact one-line serialization of a parsed value (object order kept).
+/// Used by the trace merger to re-emit events it did not fully model.
+std::string json_serialize(const JsonValue& value);
+
+}  // namespace tcsa::obs

@@ -8,10 +8,30 @@
 #include <ostream>
 #include <vector>
 
+#include "obs/metrics.hpp"
+
 namespace tcsa::obs {
 namespace {
 
 std::atomic<bool> g_tracing{false};
+
+/// Spans lost to ring overwrites. Mirrored into the registry as
+/// tcsa_trace_spans_dropped_total via the always-counted path, so the loss
+/// is visible both in-process (merge validation) and in exported snapshots
+/// even when metrics recording is off.
+std::atomic<std::uint64_t> g_spans_dropped{0};
+
+MetricId spans_dropped_metric() {
+  static const MetricId id = register_counter(
+      "tcsa_trace_spans_dropped_total",
+      "Trace spans overwritten by per-thread ring overflow (always counted)");
+  return id;
+}
+
+void note_span_dropped() noexcept {
+  g_spans_dropped.fetch_add(1, std::memory_order_relaxed);
+  counter_add_always(spans_dropped_metric(), 1);
+}
 
 /// One buffered event. Name/arg_name point at string literals (see header).
 struct Event {
@@ -43,6 +63,7 @@ struct Ring {
     }
     events[head] = event;  // overwrite oldest
     head = (head + 1) % kRingCapacity;
+    note_span_dropped();
   }
 };
 
@@ -135,14 +156,44 @@ void set_tracing_enabled(bool on) noexcept {
   g_tracing.store(on, std::memory_order_relaxed);
 }
 
+namespace {
+
+/// One process-wide epoch so timestamps from every thread share an origin.
+/// The wall-clock reading taken at the same instant anchors this process's
+/// steady timeline to an absolute axis for cross-process merges.
+struct TraceEpoch {
+  std::chrono::steady_clock::time_point steady;
+  std::uint64_t wall_us;
+};
+
+const TraceEpoch& trace_epoch() noexcept {
+  static const TraceEpoch epoch = [] {
+    TraceEpoch e;
+    e.steady = std::chrono::steady_clock::now();
+    e.wall_us = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+    return e;
+  }();
+  return epoch;
+}
+
+}  // namespace
+
 std::uint64_t trace_now_us() noexcept {
-  // One process-wide epoch so timestamps from every thread share an origin.
-  static const std::chrono::steady_clock::time_point epoch =
-      std::chrono::steady_clock::now();
   return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(
-          std::chrono::steady_clock::now() - epoch)
+          std::chrono::steady_clock::now() - trace_epoch().steady)
           .count());
+}
+
+std::uint64_t trace_epoch_wall_us() noexcept { return trace_epoch().wall_us; }
+
+std::size_t trace_ring_capacity() noexcept { return kRingCapacity; }
+
+std::uint64_t trace_spans_dropped() noexcept {
+  return g_spans_dropped.load(std::memory_order_relaxed);
 }
 
 void record_span(const char* name, std::uint64_t start_us,
@@ -177,7 +228,12 @@ void write_chrome_trace(std::ostream& out) {
   out << "\n], \"displayTimeUnit\": \"ms\"}\n";
 }
 
-void clear_trace() { TraceBuffer::instance().clear(); }
+void clear_trace() {
+  TraceBuffer::instance().clear();
+  // The in-process drop count scopes to the buffered timeline being
+  // discarded; the registry counter stays cumulative like every counter.
+  g_spans_dropped.store(0, std::memory_order_relaxed);
+}
 
 std::size_t trace_event_count() {
   return TraceBuffer::instance().collect().size();

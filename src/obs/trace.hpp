@@ -31,6 +31,22 @@ void set_tracing_enabled(bool on) noexcept;
 /// Microseconds since the process-wide trace epoch (first clock use).
 std::uint64_t trace_now_us() noexcept;
 
+/// Wall-clock time (microseconds since the Unix epoch) of the moment the
+/// trace epoch was captured. Cross-process trace merges align each shard's
+/// steady-clock timeline onto a shared axis by offsetting with this value
+/// (recorded in the shard's run manifest).
+std::uint64_t trace_epoch_wall_us() noexcept;
+
+/// Per-thread ring capacity in events: recording more spans than this on one
+/// thread overwrites the oldest (counted by tcsa_trace_spans_dropped_total).
+std::size_t trace_ring_capacity() noexcept;
+
+/// Spans lost to ring overwrites since process start (or clear_trace()).
+/// Also exported as the tcsa_trace_spans_dropped_total counter, recorded
+/// even while metrics are disabled, so a merged trace advertises whether
+/// any shard's timeline is incomplete.
+std::uint64_t trace_spans_dropped() noexcept;
+
 /// Records one complete span ("ph":"X"). `arg_name` may be nullptr for a
 /// span without arguments; when set, both it and `name` must outlive the
 /// trace buffer (string literals in practice).

@@ -1,0 +1,456 @@
+// artifact_test.cpp — the cross-process artifact model: JSON parsing,
+// snapshot import round-trips, merge algebra, trace merging and diffing.
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/artifact.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "util/rng.hpp"
+
+using namespace tcsa;
+
+namespace {
+
+// ------------------------------------------------------------ JSON parser
+
+TEST(Json, ParsesScalarsExactly) {
+  EXPECT_EQ(obs::json_parse("null").kind, obs::JsonValue::Kind::kNull);
+  EXPECT_TRUE(obs::json_parse("true").boolean);
+  EXPECT_FALSE(obs::json_parse("false").boolean);
+  EXPECT_DOUBLE_EQ(obs::json_parse("-2.5e2").number, -250.0);
+  EXPECT_EQ(obs::json_parse("\"a\\u00e9b\"").string, "a\xc3\xa9"
+                                                     "b");
+}
+
+TEST(Json, PreservesLargeCountersExactly) {
+  // 2^63 + 3 is not representable as a double; the importer must keep the
+  // exact integer so counter round-trips never lose precision.
+  const std::uint64_t big = (1ULL << 63) + 3;
+  const obs::JsonValue v = obs::json_parse("9223372036854775811");
+  ASSERT_TRUE(v.is_uint);
+  EXPECT_EQ(v.uint_value, big);
+  EXPECT_EQ(obs::json_serialize(v), "9223372036854775811");
+}
+
+TEST(Json, ParsesNestedDocuments) {
+  const obs::JsonValue v =
+      obs::json_parse(R"({"a": [1, {"b": "x"}, null], "c": {}})");
+  ASSERT_EQ(v.kind, obs::JsonValue::Kind::kObject);
+  const obs::JsonValue& a = v.at("a");
+  ASSERT_EQ(a.array.size(), 3u);
+  EXPECT_EQ(a.array[1].at("b").string, "x");
+  EXPECT_EQ(v.at("c").object.size(), 0u);
+}
+
+TEST(Json, RejectsMalformedInput) {
+  const char* bad[] = {
+      "",          "{",        "[1,",     "{\"a\":}",   "tru",
+      "\"unterminated", "01",  "1.2.3",   "{\"a\" 1}",  "[1 2]",
+      "\"\\q\"",   "nan",      "+1",      "{\"a\":1,}", "[]extra",
+  };
+  for (const char* text : bad)
+    EXPECT_THROW(obs::json_parse(text), std::invalid_argument) << text;
+}
+
+TEST(Json, RejectsRunawayNesting) {
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  EXPECT_THROW(obs::json_parse(deep), std::invalid_argument);
+}
+
+TEST(Json, EscapesControlCharacters) {
+  EXPECT_EQ(obs::json_escape("a\"b\\c\nd\te\x01"), "a\\\"b\\\\c\\nd\\te\\u0001");
+}
+
+// ----------------------------------------------------------- manifest
+
+TEST(Manifest, RoundTripsThroughJson) {
+  obs::RunManifest m = obs::make_manifest("run-1", 2, 4, "fnv1a-abc", "sweep");
+  m.metrics_file = "shard-2.metrics.json";
+  m.trace_file = "shard-2.trace.json";
+  m.points_file = "shard-2.points.json";
+  const obs::RunManifest back = obs::manifest_from_json(obs::manifest_to_json(m));
+  EXPECT_EQ(back.run_id, "run-1");
+  EXPECT_EQ(back.shard_index, 2);
+  EXPECT_EQ(back.shard_count, 4);
+  EXPECT_EQ(back.config_digest, "fnv1a-abc");
+  EXPECT_EQ(back.command, "sweep");
+  EXPECT_EQ(back.hostname, m.hostname);
+  EXPECT_EQ(back.git_describe, m.git_describe);
+  EXPECT_EQ(back.os_pid, m.os_pid);
+  EXPECT_EQ(back.wall_epoch_us, m.wall_epoch_us);
+  EXPECT_EQ(back.metrics_file, m.metrics_file);
+  EXPECT_EQ(back.trace_file, m.trace_file);
+  EXPECT_EQ(back.points_file, m.points_file);
+}
+
+TEST(Manifest, RejectsWrongSchemaAndMissingFields) {
+  EXPECT_THROW(obs::manifest_from_json("{\"schema\":\"bogus/v9\"}"),
+               std::invalid_argument);
+  EXPECT_THROW(obs::manifest_from_json("{}"), std::invalid_argument);
+  EXPECT_THROW(obs::manifest_from_json("[]"), std::invalid_argument);
+}
+
+// ----------------------------------------------- snapshot import/export
+
+/// A randomized snapshot: a handful of counters, gauges and histograms with
+/// structurally valid buckets. `name_salt` keeps two generations disjoint.
+obs::MetricsSnapshot random_snapshot(Rng& rng, const std::string& name_salt) {
+  obs::MetricsSnapshot s;
+  const int n_counters = static_cast<int>(rng.uniform_int(0, 5));
+  for (int i = 0; i < n_counters; ++i) {
+    obs::CounterSnapshot c;
+    c.name = "tcsa_" + name_salt + "_c" + std::to_string(i) + "_total";
+    c.value = rng();  // full 64-bit range: exercises the exact-u64 path
+    s.counters.push_back(c);
+  }
+  const int n_gauges = static_cast<int>(rng.uniform_int(0, 3));
+  for (int i = 0; i < n_gauges; ++i) {
+    obs::GaugeSnapshot g;
+    g.name = "tcsa_" + name_salt + "_g" + std::to_string(i);
+    g.value = rng.uniform_real(-1e6, 1e6);
+    s.gauges.push_back(g);
+  }
+  const int n_hists = static_cast<int>(rng.uniform_int(0, 3));
+  for (int i = 0; i < n_hists; ++i) {
+    obs::HistogramSnapshot h;
+    h.name = "tcsa_" + name_salt + "_h" + std::to_string(i);
+    // Bounds are a function of the name: merge requires same-name
+    // histograms to share bucket layouts, exactly like the live registry.
+    const int n_buckets = 2 + i;
+    for (int b = 0; b < n_buckets; ++b)
+      h.upper_bounds.push_back(std::pow(2.0, b));
+    for (int b = 0; b <= n_buckets; ++b)
+      h.counts.push_back(static_cast<std::uint64_t>(rng.uniform_int(0, 1000)));
+    h.sum = rng.uniform_real(0.0, 1e6);
+    s.histograms.push_back(h);
+  }
+  return s;
+}
+
+TEST(SnapshotImport, RoundTripIsIdentityFuzzed) {
+  Rng rng(20260805);
+  for (int trial = 0; trial < 200; ++trial) {
+    const obs::MetricsSnapshot s = random_snapshot(rng, "rt");
+    const obs::MetricsSnapshot back = obs::snapshot_from_json(s.to_json());
+    EXPECT_TRUE(obs::snapshots_equal(s, back)) << "trial " << trial;
+    // Double export must be byte-stable, not just value-stable.
+    EXPECT_EQ(back.to_json(), obs::snapshot_from_json(back.to_json()).to_json());
+  }
+}
+
+TEST(SnapshotImport, ImportsLiveRegistryExport) {
+  const obs::MetricsSnapshot live = obs::snapshot();
+  const obs::MetricsSnapshot back = obs::snapshot_from_json(live.to_json());
+  EXPECT_TRUE(obs::snapshots_equal(live, back));
+}
+
+TEST(SnapshotImport, RejectsMalformedSnapshots) {
+  const char* bad[] = {
+      "{}",                                   // missing sections
+      "{\"counters\":{},\"gauges\":{}}",      // missing histograms
+      "{\"counters\":[],\"gauges\":{},\"histograms\":{}}",  // wrong type
+      "{\"counters\":{\"x\":-1},\"gauges\":{},\"histograms\":{}}",  // negative
+      "{\"counters\":{\"x\":1.5},\"gauges\":{},\"histograms\":{}}",  // fraction
+      // bucket counts don't sum to count:
+      R"({"counters":{},"gauges":{},"histograms":{"h":{"sum":1,"count":5,
+          "buckets":[{"le":1,"count":1},{"le":"+Inf","count":1}]}}})",
+      // non-ascending bounds:
+      R"({"counters":{},"gauges":{},"histograms":{"h":{"sum":1,"count":2,
+          "buckets":[{"le":5,"count":1},{"le":2,"count":0},
+                     {"le":"+Inf","count":1}]}}})",
+      // missing +Inf bucket:
+      R"({"counters":{},"gauges":{},"histograms":{"h":{"sum":1,"count":1,
+          "buckets":[{"le":5,"count":1}]}}})",
+  };
+  for (const char* text : bad)
+    EXPECT_THROW(obs::snapshot_from_json(text), std::invalid_argument) << text;
+}
+
+TEST(SnapshotImport, FuzzedGarbageNeverCrashes) {
+  // Mutate a valid export with random splices; every outcome must be either
+  // a clean parse or std::invalid_argument — never a crash or hang.
+  Rng rng(77);
+  const std::string good = random_snapshot(rng, "fz").to_json();
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string text = good;
+    const int edits = static_cast<int>(rng.uniform_int(1, 4));
+    for (int e = 0; e < edits && !text.empty(); ++e) {
+      const std::size_t pos =
+          static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(text.size()) - 1));
+      switch (rng.uniform_int(0, 2)) {
+        case 0: text[pos] = static_cast<char>(rng.uniform_int(32, 126)); break;
+        case 1: text.erase(pos, 1); break;
+        default: text.insert(pos, 1, static_cast<char>(rng.uniform_int(32, 126)));
+      }
+    }
+    try {
+      (void)obs::snapshot_from_json(text);
+    } catch (const std::invalid_argument&) {
+      // expected for most mutations
+    }
+  }
+}
+
+// ------------------------------------------------------- merge algebra
+
+TEST(MergeAlgebra, AssociativeOnDisjointAndOverlappingNames) {
+  Rng rng(11);
+  for (int trial = 0; trial < 50; ++trial) {
+    // Overlap is the interesting case: b and c share the "ab" salt with a.
+    obs::MetricsSnapshot a = random_snapshot(rng, "ab");
+    obs::MetricsSnapshot b = random_snapshot(rng, "ab");
+    obs::MetricsSnapshot c = random_snapshot(rng, "cd");
+
+    obs::MetricsSnapshot left = a;   // (a ⊕ b) ⊕ c
+    left.merge(b);
+    left.merge(c);
+    obs::MetricsSnapshot bc = b;     // a ⊕ (b ⊕ c)
+    bc.merge(c);
+    obs::MetricsSnapshot right = a;
+    right.merge(bc);
+    EXPECT_TRUE(obs::snapshots_equal(left, right, 1e-9)) << "trial " << trial;
+  }
+}
+
+TEST(MergeAlgebra, CommutativeUpToGaugeSemantics) {
+  // Gauges are last-writer-wins, so commutativity is only promised for
+  // counter/histogram content; generate gauge-free snapshots.
+  Rng rng(12);
+  for (int trial = 0; trial < 50; ++trial) {
+    obs::MetricsSnapshot a = random_snapshot(rng, "ab");
+    obs::MetricsSnapshot b = random_snapshot(rng, "ab");
+    a.gauges.clear();
+    b.gauges.clear();
+    obs::MetricsSnapshot ab = a;
+    ab.merge(b);
+    obs::MetricsSnapshot ba = b;
+    ba.merge(a);
+    EXPECT_TRUE(obs::snapshots_equal(ab, ba, 1e-9)) << "trial " << trial;
+  }
+}
+
+TEST(MergeAlgebra, MinusThenMergeRestoresWhole) {
+  // a.minus(b).merge(b) == a whenever b is a sub-snapshot of a — the exact
+  // shape produced by run_sweep_shard's before/after delta.
+  Rng rng(13);
+  for (int trial = 0; trial < 50; ++trial) {
+    obs::MetricsSnapshot a = random_snapshot(rng, "w");
+    obs::MetricsSnapshot b = a;  // same names and bounds, scaled-down values
+    for (auto& c : b.counters) c.value /= 2;
+    for (auto& h : b.histograms) {
+      for (auto& count : h.counts) count /= 2;
+      h.sum /= 2;
+    }
+    obs::MetricsSnapshot restored = a.minus(b);
+    restored.merge(b);
+    EXPECT_TRUE(obs::snapshots_equal(restored, a, 1e-6)) << "trial " << trial;
+  }
+}
+
+// ---------------------------------------------------------------- diff
+
+obs::MetricsSnapshot counters_only(
+    std::initializer_list<std::pair<const char*, std::uint64_t>> kv) {
+  obs::MetricsSnapshot s;
+  for (const auto& [name, value] : kv) {
+    obs::CounterSnapshot c;
+    c.name = name;
+    c.value = value;
+    s.counters.push_back(c);
+  }
+  return s;
+}
+
+TEST(Diff, IdenticalSnapshotsAreClean) {
+  const obs::MetricsSnapshot s = counters_only({{"a_total", 10}, {"b_total", 0}});
+  const obs::DiffResult r = obs::diff_snapshots(s, s, {});
+  EXPECT_TRUE(r.clean());
+  EXPECT_EQ(r.regressions, 0u);
+  EXPECT_EQ(r.entries.size(), 2u);
+}
+
+TEST(Diff, FlagsDriftBeyondTolerance) {
+  const obs::MetricsSnapshot base = counters_only({{"a_total", 100}});
+  const obs::MetricsSnapshot current = counters_only({{"a_total", 104}});
+  obs::DiffOptions tight;  // zero tolerance
+  EXPECT_FALSE(obs::diff_snapshots(base, current, tight).clean());
+
+  obs::DiffOptions loose;
+  loose.rel_tol = 0.05;  // 4% drift within 5%
+  EXPECT_TRUE(obs::diff_snapshots(base, current, loose).clean());
+
+  obs::DiffOptions abs_only;
+  abs_only.abs_tol = 4.0;
+  EXPECT_TRUE(obs::diff_snapshots(base, current, abs_only).clean());
+  abs_only.abs_tol = 3.0;
+  EXPECT_FALSE(obs::diff_snapshots(base, current, abs_only).clean());
+}
+
+TEST(Diff, MissingMetricIsRegressionNewMetricIsAdvisory) {
+  const obs::MetricsSnapshot base = counters_only({{"a_total", 1}, {"b_total", 2}});
+  const obs::MetricsSnapshot current = counters_only({{"a_total", 1}, {"c_total", 3}});
+  const obs::DiffResult r = obs::diff_snapshots(base, current, {});
+  EXPECT_FALSE(r.clean());  // b_total vanished
+  bool saw_missing = false, saw_new = false;
+  for (const auto& e : r.entries) {
+    if (e.name == "b_total") {
+      EXPECT_TRUE(e.current_missing);
+      saw_missing = true;
+    }
+    if (e.name == "c_total") {
+      EXPECT_TRUE(e.base_missing);
+      EXPECT_FALSE(e.out_of_tolerance);  // new metrics never fail the gate
+      saw_new = true;
+    }
+  }
+  EXPECT_TRUE(saw_missing);
+  EXPECT_TRUE(saw_new);
+}
+
+TEST(Diff, ComparesHistogramCountAndSumButNotGauges) {
+  obs::MetricsSnapshot base;
+  obs::HistogramSnapshot h;
+  h.name = "tcsa_wait";
+  h.upper_bounds = {1.0};
+  h.counts = {3, 1};
+  h.sum = 2.5;
+  base.histograms.push_back(h);
+  obs::GaugeSnapshot g;
+  g.name = "tcsa_load";
+  g.value = 0.5;
+  base.gauges.push_back(g);
+
+  obs::MetricsSnapshot current = base;
+  current.gauges[0].value = 99.0;  // gauges are excluded: still clean
+  EXPECT_TRUE(obs::diff_snapshots(base, current, {}).clean());
+
+  current.histograms[0].counts[1] = 2;  // count series changed
+  EXPECT_FALSE(obs::diff_snapshots(base, current, {}).clean());
+}
+
+TEST(Diff, MarkdownNamesRegressedMetric) {
+  const obs::MetricsSnapshot base = counters_only({{"a_total", 10}});
+  const obs::MetricsSnapshot current = counters_only({{"a_total", 5}});
+  const std::string md = obs::diff_snapshots(base, current, {}).to_markdown();
+  EXPECT_NE(md.find("a_total"), std::string::npos);
+  EXPECT_NE(md.find("REGRESSION"), std::string::npos);
+}
+
+// ------------------------------------------------------------ quantiles
+
+TEST(HistogramQuantile, InterpolatesWithinBuckets) {
+  obs::HistogramSnapshot h;
+  h.upper_bounds = {1.0, 2.0, 4.0};
+  h.counts = {10, 10, 10, 0};  // 30 observations, none above 4
+  h.sum = 60.0;
+  EXPECT_NEAR(obs::histogram_quantile(h, 0.5), 1.5, 1e-9);
+  EXPECT_NEAR(obs::histogram_quantile(h, 1.0 / 3.0), 1.0, 1e-9);
+  EXPECT_NEAR(obs::histogram_quantile(h, 0.95), 3.7, 1e-9);
+  // Mass in +Inf clamps to the last finite bound.
+  h.counts = {0, 0, 0, 5};
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(h, 0.9), 4.0);
+}
+
+// -------------------------------------------------------- trace merging
+
+obs::TraceShard fake_shard(int index, int count, std::uint64_t wall_us,
+                           const std::string& events) {
+  obs::TraceShard shard;
+  shard.manifest = obs::make_manifest("run-x", index, count, "fnv1a-1", "sweep");
+  shard.manifest.wall_epoch_us = wall_us;
+  shard.trace_json = "{\"traceEvents\":[" + events + "]}";
+  return shard;
+}
+
+TEST(TraceMerge, RekeysPidsAndAlignsClocks) {
+  const std::vector<obs::TraceShard> shards = {
+      fake_shard(0, 2, 1000,
+                 R"({"name":"a","ph":"X","ts":5,"dur":2,"pid":4242,"tid":1})"),
+      fake_shard(1, 2, 1300,
+                 R"({"name":"b","ph":"X","ts":5,"dur":2,"pid":4242,"tid":1})"),
+  };
+  const obs::JsonValue doc = obs::json_parse(obs::merge_chrome_traces(shards));
+  const obs::JsonValue& events = doc.at("traceEvents");
+
+  std::vector<std::uint64_t> span_ts;
+  std::vector<std::uint64_t> span_pids;
+  int metadata = 0;
+  for (const obs::JsonValue& e : events.array) {
+    if (e.at("ph").string == "M") {
+      ++metadata;
+      continue;
+    }
+    span_pids.push_back(e.at("pid").uint_value);
+    span_ts.push_back(e.at("ts").uint_value);
+  }
+  ASSERT_EQ(span_pids.size(), 2u);
+  EXPECT_EQ(metadata, 2);  // one process_name record per shard
+  // Shard 0 keeps ts=5; shard 1 started 300 µs later so its span shifts.
+  EXPECT_EQ(span_ts[0], 5u);
+  EXPECT_EQ(span_ts[1], 305u);
+  EXPECT_EQ(span_pids[0], 1u);  // re-keyed to shard_index + 1
+  EXPECT_EQ(span_pids[1], 2u);
+}
+
+TEST(TraceMerge, RefusesMixedRuns) {
+  std::vector<obs::TraceShard> shards = {
+      fake_shard(0, 2, 0, ""), fake_shard(1, 2, 0, "")};
+  shards[1].manifest.run_id = "other-run";
+  EXPECT_THROW(obs::merge_chrome_traces(shards), std::invalid_argument);
+  shards[1].manifest.run_id = "run-x";
+  shards[1].manifest.config_digest = "fnv1a-2";
+  EXPECT_THROW(obs::merge_chrome_traces(shards), std::invalid_argument);
+}
+
+// ------------------------------------------------ bench-document import
+
+TEST(BenchImport, ExtractsPerBenchmarkCounters) {
+  const std::string doc = R"({
+    "suites": {
+      "micro": {
+        "benchmarks": [
+          {"name": "BM_Opt/8", "real_time": 1.5, "opt_nodes_total": 120,
+           "items_per_second": 9.0},
+          {"name": "BM_Place/4", "placement_runs_total": 7}
+        ]
+      }
+    }
+  })";
+  const obs::MetricsSnapshot s = obs::counters_from_json_document(doc);
+  EXPECT_EQ(s.counter_value("micro/BM_Opt/8/opt_nodes_total"), 120u);
+  EXPECT_EQ(s.counter_value("micro/BM_Place/4/placement_runs_total"), 7u);
+  EXPECT_EQ(s.counters.size(), 2u);  // non-_total fields are not counters
+}
+
+TEST(BenchImport, FallsBackToSnapshotGrammar) {
+  const obs::MetricsSnapshot orig = counters_only({{"tcsa_x_total", 9}});
+  const obs::MetricsSnapshot s = obs::counters_from_json_document(orig.to_json());
+  EXPECT_EQ(s.counter_value("tcsa_x_total"), 9u);
+  EXPECT_THROW(obs::counters_from_json_document("{\"neither\":1}"),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------------- sweep points
+
+TEST(SweepPoints, RoundTripThroughJson) {
+  std::vector<obs::SweepPointRecord> points(2);
+  points[0] = {3, "pamad", 1.5, 1.25, 0.01, 4.0, 96, 0};
+  points[1] = {4, "opt", 0.5, 0.5, 0.0, 1.0, 96, 2};
+  const std::vector<obs::SweepPointRecord> back =
+      obs::points_from_json(obs::points_to_json(points));
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0].channels, 3);
+  EXPECT_EQ(back[0].method, "pamad");
+  EXPECT_DOUBLE_EQ(back[0].avg_delay, 1.5);
+  EXPECT_DOUBLE_EQ(back[0].miss_rate, 0.01);
+  EXPECT_EQ(back[1].window_overflows, 2);
+}
+
+}  // namespace

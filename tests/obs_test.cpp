@@ -335,6 +335,40 @@ TEST_F(ObsTest, ParallelSearchTracesSubtreeSpans) {
   obs::clear_trace();
 }
 
+TEST_F(ObsTest, RingOverflowCountsDroppedSpans) {
+  obs::clear_trace();
+  obs::set_tracing_enabled(true);
+  const obs::MetricsSnapshot before = obs::snapshot();
+  ASSERT_EQ(obs::trace_spans_dropped(), 0u);
+
+  // One thread fills its ring past capacity; every overwrite must be counted
+  // so merged traces can be flagged as incomplete instead of silently short.
+  const std::size_t capacity = obs::trace_ring_capacity();
+  const std::size_t extra = 100;
+  for (std::size_t i = 0; i < capacity + extra; ++i) {
+    TCSA_TRACE_SPAN("test.overflow");
+  }
+  obs::set_tracing_enabled(false);
+
+  EXPECT_GE(obs::trace_spans_dropped(), extra);
+  const obs::MetricsSnapshot delta = obs::snapshot().minus(before);
+  EXPECT_EQ(delta.counter_value("tcsa_trace_spans_dropped_total"),
+            obs::trace_spans_dropped());
+
+  // The retained window still holds exactly `capacity` newest spans.
+  std::ostringstream out;
+  obs::write_chrome_trace(out);
+  obs::clear_trace();
+  EXPECT_EQ(obs::trace_spans_dropped(), 0u);  // reset with the buffer
+}
+
+TEST_F(ObsTest, TraceEpochWallClockIsSane) {
+  // The wall anchor pairs with the steady epoch for cross-process alignment;
+  // it must be a plausible microsecond UNIX timestamp (after 2020-01-01).
+  EXPECT_GT(obs::trace_epoch_wall_us(), 1577836800000000ULL);
+  EXPECT_EQ(obs::trace_epoch_wall_us(), obs::trace_epoch_wall_us());
+}
+
 #endif  // TCSA_OBS_COMPILED
 
 }  // namespace
