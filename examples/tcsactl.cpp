@@ -18,6 +18,17 @@
 //   tcsactl obs merge  --dir run/                  (one trace, one snapshot)
 //   tcsactl obs diff   --base a.json --current b.json --rel-tol 0.05
 //   tcsactl obs report --dir run/                  (markdown summary)
+//
+// And the live side (DESIGN.md §7) — put a program on air, listen to it,
+// swap it without taking it off air:
+//
+//   tcsactl serve --workload w.tcsa --slot-us 2000 --port-file port.txt
+//   tcsactl tune  --port $(cat port.txt) --slots 200 --json
+//   tcsactl swap  --port $(cat port.txt) --workload w2.tcsa
+//
+// Exit codes: 0 success, 1 operational failure (connection refused, invalid
+// program, metric drift), 2 usage error (unknown subcommand/flag, missing
+// required flag) with a usage hint on stderr.
 #include <unistd.h>
 
 #include <algorithm>
@@ -32,9 +43,12 @@
 #include "model/inspect.hpp"
 #include "model/serialize.hpp"
 #include "model/validate.hpp"
+#include "net/framing.hpp"
 #include "obs/artifact.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "server/air_server.hpp"
+#include "server/tune_client.hpp"
 #include "sim/broadcast_sim.hpp"
 #include "sim/sweep.hpp"
 #include "util/cli.hpp"
@@ -305,6 +319,239 @@ int run_sweep_command(const Cli& cli) {
   return 0;
 }
 
+// ------------------------------------------- serve / tune / swap commands
+
+/// FNV-1a 64 over a canonical description — the serve run's config_digest
+/// (same scheme sweep_config_digest uses).
+std::string fnv_digest(const std::string& canon) {
+  std::uint64_t hash = 1469598103934665603ULL;
+  for (const char c : canon) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ULL;
+  }
+  std::ostringstream os;
+  os << std::hex << hash;
+  return os.str();
+}
+
+/// `tcsactl serve` — put a scheduled program on air over TCP.
+int serve_main(int argc, const char* const* argv) {
+  Cli cli("tcsactl serve",
+          "schedule a workload and broadcast the program over TCP");
+  cli.add_string("workload", "", "workload file (default: stdin)");
+  cli.add_int("channels", 0, "channel count (0 = Theorem 3.1 minimum)");
+  cli.add_string("method", "auto",
+                 "scheduler: auto (SUSC when the bound allows, else PAMAD) "
+                 "or susc|pamad|mpb|opt|rr");
+  cli.add_string("bind", "127.0.0.1", "listen address");
+  cli.add_int("port", 0, "listen port (0 = kernel-assigned ephemeral)");
+  cli.add_string("port-file", "",
+                 "write the bound port here once listening (lets scripts "
+                 "use --port 0)");
+  cli.add_int("slot-us", 1000, "real-time length of one slot, microseconds");
+  cli.add_int("slots", 0, "go off air after N slots (0 = until killed)");
+  cli.add_int("max-buffer-kb", 256,
+              "evict a session whose write buffer exceeds this");
+  cli.add_int("send-buffer", 0,
+              "SO_SNDBUF per session, bytes (0 = kernel default; tests "
+              "shrink it to provoke eviction)");
+  cli.add_string("metrics-out", "",
+                 "write a metrics snapshot to FILE when going off air "
+                 "(JSON; Prometheus text if FILE ends in .prom)");
+  cli.add_string("trace-out", "", "write a Chrome trace to FILE");
+  cli.add_string("out-dir", "",
+                 "write a manifest + metrics + trace artifact set into DIR "
+                 "(mergeable with 'tcsactl obs merge')");
+  cli.add_string("run-id", "", "artifact run id (default: clock + pid)");
+  if (!cli.parse(argc, argv)) return 0;
+
+  Workload workload = workload_from(cli.get_string("workload"));
+  AirServerConfig config;
+  config.bind_address = cli.get_string("bind");
+  const long long port = cli.get_int("port");
+  if (port < 0 || port > 65535)
+    throw std::invalid_argument("serve: --port must be in [0, 65535]");
+  config.port = static_cast<std::uint16_t>(port);
+  config.channels = cli.get_int("channels");
+  if (const std::string method = cli.get_string("method"); method != "auto") {
+    config.auto_method = false;
+    config.method = parse_method(method);
+  }
+  if (cli.get_int("slot-us") < 1)
+    throw std::invalid_argument("serve: --slot-us must be >= 1");
+  config.slot_us = static_cast<std::uint32_t>(cli.get_int("slot-us"));
+  config.max_slots = static_cast<std::uint64_t>(cli.get_int("slots"));
+  config.max_session_buffer =
+      static_cast<std::size_t>(cli.get_int("max-buffer-kb")) * 1024;
+  config.session_send_buffer = static_cast<int>(cli.get_int("send-buffer"));
+
+  std::string metrics_out = cli.get_string("metrics-out");
+  std::string trace_out = cli.get_string("trace-out");
+  std::string out_dir = cli.get_string("out-dir");
+#if TCSA_OBS_COMPILED
+  if (!metrics_out.empty() || !out_dir.empty()) obs::set_enabled(true);
+  if (!trace_out.empty() || !out_dir.empty()) obs::set_tracing_enabled(true);
+#else
+  if (!metrics_out.empty() || !trace_out.empty() || !out_dir.empty()) {
+    std::cerr << "tcsactl serve: warning: built with TCSA_OBS=OFF; "
+                 "metrics/trace exports are ignored\n";
+    metrics_out.clear();
+    trace_out.clear();
+  }
+#endif
+  const std::string digest =
+      fnv_digest(workload_to_string(workload) +
+                 "|channels=" + std::to_string(config.channels) +
+                 "|method=" + cli.get_string("method") +
+                 "|slot_us=" + std::to_string(config.slot_us));
+
+  AirServer server(std::move(workload), config);
+  if (const std::string port_file = cli.get_string("port-file");
+      !port_file.empty())
+    write_text_file(port_file, std::to_string(server.port()) + "\n");
+  std::cerr << "tcsactl serve: on air at " << config.bind_address << ':'
+            << server.port() << " (" << server.channels()
+            << " channels, slot " << config.slot_us << "us";
+  if (config.max_slots)
+    std::cerr << ", stopping after " << config.max_slots << " slots";
+  std::cerr << ")\n";
+  server.run();
+  std::cerr << "tcsactl serve: off air after " << server.slots_aired()
+            << " slots (generation " << server.generation() << ", "
+            << server.sessions_evicted() << " evictions)\n";
+
+  if (!metrics_out.empty()) write_metrics_file(metrics_out);
+#if TCSA_OBS_COMPILED
+  if (!trace_out.empty()) {
+    obs::set_tracing_enabled(false);
+    write_trace_file(trace_out);
+  }
+  if (!out_dir.empty()) {
+    std::filesystem::create_directories(out_dir);
+    std::string run_id = cli.get_string("run-id");
+    if (run_id.empty()) run_id = default_run_id();
+    obs::RunManifest manifest =
+        obs::make_manifest(run_id, 0, 1, digest, "serve");
+    manifest.metrics_file = "serve.metrics.json";
+    manifest.trace_file = "serve.trace.json";
+    write_metrics_file(out_dir + "/" + manifest.metrics_file);
+    obs::set_tracing_enabled(false);
+    write_trace_file(out_dir + "/" + manifest.trace_file);
+    write_text_file(out_dir + "/serve.manifest.json",
+                    obs::manifest_to_json(manifest));
+  }
+#endif
+  return 0;
+}
+
+/// Shared by tune/swap: --port is the one flag with no usable default.
+std::uint16_t required_port(const Cli& cli, const char* who) {
+  const long long port = cli.get_int("port");
+  if (port < 1 || port > 65535)
+    throw std::invalid_argument(
+        std::string(who) +
+        ": --port PORT is required (the server prints it, or use its "
+        "--port-file)");
+  return static_cast<std::uint16_t>(port);
+}
+
+/// `tcsactl tune` — listen to a broadcast and measure observed access time
+/// against each group's expected time t_i.
+int tune_main(int argc, const char* const* argv) {
+  Cli cli("tcsactl tune",
+          "tune into a broadcast server and measure what it delivers");
+  cli.add_string("host", "127.0.0.1", "server address");
+  cli.add_int("port", 0, "server port (required)");
+  cli.add_int("channel", -1, "subscribe one channel (-1 = all channels; "
+                             "deadline guarantees need all)");
+  cli.add_int("slots", 0,
+              "stop after observing N slots (0 = until the server closes)");
+  cli.add_int("timeout-ms", 10000, "per-read timeout");
+  cli.add_flag("json", "print the summary as one JSON object on stdout");
+  if (!cli.parse(argc, argv)) return 0;
+
+  TuneClient::Options options;
+  options.host = cli.get_string("host");
+  options.port = required_port(cli, "tune");
+  const long long channel = cli.get_int("channel");
+  if (channel >= 64)
+    throw std::invalid_argument("tune: --channel must be < 64");
+  options.channel_mask =
+      channel < 0 ? net::kAllChannels : (1ull << channel);
+  options.io_timeout_ms = static_cast<int>(cli.get_int("timeout-ms"));
+
+  TuneClient client(options);
+  std::cerr << "tcsactl tune: generation " << client.generation() << ", "
+            << client.channels() << " channels, cycle "
+            << client.cycle_length() << ", slot " << client.slot_us()
+            << "us, tuned in at slot " << client.tune_in_slot() << '\n';
+  client.run(static_cast<std::uint64_t>(cli.get_int("slots")));
+  const TuneSummary summary = client.summary();
+  if (cli.get_flag("json")) {
+    std::cout << summary.to_json() << '\n';
+  } else {
+    std::cout << "slots observed: " << summary.slots_seen
+              << "\nframes: " << summary.frames << " (" << summary.bytes
+              << " bytes)\ngeneration: " << summary.generation
+              << "\nswaps observed: " << summary.swaps_observed
+              << "\ndeadline misses: " << summary.deadline_misses
+              << "\nmean access time: " << summary.mean_access_time
+              << " slots\n";
+    for (std::size_t g = 0; g < summary.groups.size(); ++g) {
+      const TuneGroupStats& s = summary.groups[g];
+      std::cout << "group " << g + 1 << ": t=" << s.expected_time
+                << " receptions=" << s.receptions << " max_gap=" << s.max_gap
+                << " mean_gap=" << s.mean_gap
+                << " access_time=" << s.access_time
+                << " misses=" << s.misses << '\n';
+    }
+  }
+  return 0;
+}
+
+/// `tcsactl swap` — hot-swap the program on a running server.
+int swap_main(int argc, const char* const* argv) {
+  Cli cli("tcsactl swap",
+          "reschedule a running server onto a new workload without taking "
+          "it off air");
+  cli.add_string("host", "127.0.0.1", "server address");
+  cli.add_int("port", 0, "server port (required)");
+  cli.add_string("workload", "", "new workload file (default: stdin)");
+  cli.add_int("channels", 0, "channel count for the new program (0 = keep "
+                             "the server's)");
+  cli.add_string("method", "auto", "scheduler for the new program");
+  cli.add_int("timeout-ms", 10000, "per-read timeout");
+  if (!cli.parse(argc, argv)) return 0;
+
+  // Flag problems must surface before the workload read touches stdin.
+  const std::uint16_t port = required_port(cli, "swap");
+  int method = -1;
+  if (const std::string name = cli.get_string("method"); name != "auto")
+    method = static_cast<int>(parse_method(name));
+  const Workload next = workload_from(cli.get_string("workload"));
+
+  TuneClient::Options options;
+  options.host = cli.get_string("host");
+  options.port = port;
+  options.channel_mask = 0;  // control session: no page traffic
+  options.io_timeout_ms = static_cast<int>(cli.get_int("timeout-ms"));
+  TuneClient client(options);
+  const SwapReply reply =
+      client.request_swap(next, cli.get_int("channels"), method);
+  if (!reply.accepted) {
+    std::cerr << "tcsactl swap: rejected: " << reply.error << '\n';
+    return 1;
+  }
+  std::cout << "swap accepted: generation " << reply.generation
+            << " activates at slot " << reply.activation_slot
+            << " (seam lateness " << reply.seam_lateness << " slots"
+            << (reply.seam_lateness <= 0 ? "; all outstanding deadline "
+                                           "promises preserved"
+                                         : "")
+            << ")\n";
+  return 0;
+}
+
 int dispatch(const Cli& cli) {
   const std::string cmd = cli.get_string("cmd");
 
@@ -506,15 +753,26 @@ int obs_main(int argc, const char* const* argv) {
 }
 
 int run(int argc, const char* const* argv) {
-  if (argc >= 2 && std::string(argv[1]) == "obs")
-    return obs_main(argc - 2, argv + 2);
+  // Word-style subcommands first; everything else falls through to the
+  // legacy --cmd dispatcher. An unrecognized word is a usage error (exit 2),
+  // never silently reinterpreted.
+  if (argc >= 2 && argv[1][0] != '-') {
+    const std::string sub = argv[1];
+    if (sub == "obs") return obs_main(argc - 2, argv + 2);
+    if (sub == "serve") return serve_main(argc - 1, argv + 1);
+    if (sub == "tune") return tune_main(argc - 1, argv + 1);
+    if (sub == "swap") return swap_main(argc - 1, argv + 1);
+    throw std::invalid_argument(
+        "unknown subcommand: " + sub +
+        " (expected serve | tune | swap | obs, or --cmd ...)");
+  }
 
   Cli cli("tcsactl", "plan, schedule, validate and simulate "
                      "time-constrained broadcast programs");
   cli.add_string("cmd", "bound",
                  "bound | schedule | validate | simulate | sweep | inspect | "
-                 "plan | demo (artifact tooling: tcsactl obs "
-                 "merge|diff|report --help)");
+                 "plan | demo (live serving: tcsactl serve|tune|swap --help; "
+                 "artifact tooling: tcsactl obs merge|diff|report --help)");
   cli.add_string("method", "pamad", "scheduler for --cmd schedule "
                                     "(susc|pamad|mpb|opt|rr)");
   cli.add_int("channels", 0, "channel count (0 = Theorem 3.1 minimum)");
@@ -576,8 +834,17 @@ int run(int argc, const char* const* argv) {
 int main(int argc, char** argv) {
   try {
     return run(argc, argv);
-  } catch (const std::exception& e) {
-    std::cerr << "tcsactl: " << e.what() << '\n';
+  } catch (const std::invalid_argument& e) {
+    // Usage errors: the caller asked for something this tool does not
+    // offer. Point at --help so the usage text is one step away.
+    std::cerr << "tcsactl: " << e.what() << '\n'
+              << "usage: run 'tcsactl --help' or 'tcsactl <subcommand> "
+                 "--help'\n";
     return 2;
+  } catch (const std::exception& e) {
+    // Operational failures: the request was well-formed but the world did
+    // not cooperate (connection refused, unreadable file, invalid program).
+    std::cerr << "tcsactl: " << e.what() << '\n';
+    return 1;
   }
 }

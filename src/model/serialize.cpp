@@ -1,11 +1,14 @@
 #include "model/serialize.hpp"
 
+#include <cstdint>
 #include <istream>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
 #include <string>
 #include <vector>
+
+#include "util/wire.hpp"
 
 namespace tcsa {
 namespace {
@@ -166,6 +169,129 @@ std::string program_to_string(const BroadcastProgram& program) {
 BroadcastProgram program_from_string(const std::string& text) {
   std::istringstream is(text);
   return load_program(is);
+}
+
+// ------------------------------------------------------- binary encodings
+
+namespace {
+
+constexpr std::uint32_t kWorkloadMagic = 0x42574354;  // "TCWB" LE
+constexpr std::uint32_t kProgramMagic = 0x42504354;   // "TCPB" LE
+constexpr std::uint8_t kBinaryVersion = 1;
+
+/// Hostile-input allocation caps: a swap frame will never legitimately
+/// carry more, and a corrupt length must not become a multi-GiB resize.
+constexpr std::uint32_t kMaxBinaryGroups = 1u << 16;
+constexpr std::uint64_t kMaxBinaryCells = 1ull << 26;
+
+void check_header(WireReader& reader, std::uint32_t magic,
+                  const char* what) {
+  if (reader.read_u32() != magic)
+    throw std::invalid_argument(std::string("binary ") + what +
+                                ": bad magic");
+  const std::uint8_t version = reader.read_u8();
+  if (version != kBinaryVersion)
+    throw std::invalid_argument(std::string("binary ") + what +
+                                ": unsupported version " +
+                                std::to_string(version));
+}
+
+void finish(const WireReader& reader, std::size_t* consumed) {
+  if (consumed == nullptr) {
+    reader.expect_done();
+  } else {
+    *consumed = reader.consumed();
+  }
+}
+
+}  // namespace
+
+void append_workload_binary(std::string& out, const Workload& workload) {
+  wire_put_u32(out, kWorkloadMagic);
+  wire_put_u8(out, kBinaryVersion);
+  wire_put_u32(out, static_cast<std::uint32_t>(workload.group_count()));
+  for (GroupId g = 0; g < workload.group_count(); ++g) {
+    wire_put_i64(out, workload.expected_time(g));
+    wire_put_i64(out, workload.pages_in_group(g));
+  }
+}
+
+std::string workload_to_binary(const Workload& workload) {
+  std::string out;
+  append_workload_binary(out, workload);
+  return out;
+}
+
+Workload workload_from_binary(std::string_view bytes, std::size_t* consumed) {
+  WireReader reader(bytes);
+  check_header(reader, kWorkloadMagic, "workload");
+  const std::uint32_t h = reader.read_u32();
+  if (h < 1 || h > kMaxBinaryGroups)
+    throw std::invalid_argument("binary workload: group count " +
+                                std::to_string(h) + " out of range");
+  std::vector<GroupSpec> groups;
+  groups.reserve(h);
+  for (std::uint32_t g = 0; g < h; ++g) {
+    const SlotCount expected_time = reader.read_i64();
+    const SlotCount pages = reader.read_i64();
+    groups.push_back(GroupSpec{expected_time, pages});
+  }
+  finish(reader, consumed);
+  try {
+    return Workload(std::move(groups));
+  } catch (const std::invalid_argument& e) {
+    throw std::invalid_argument(std::string("binary workload: invalid: ") +
+                                e.what());
+  }
+}
+
+void append_program_binary(std::string& out,
+                           const BroadcastProgram& program) {
+  wire_put_u32(out, kProgramMagic);
+  wire_put_u8(out, kBinaryVersion);
+  wire_put_i64(out, program.channels());
+  wire_put_i64(out, program.cycle_length());
+  for (SlotCount ch = 0; ch < program.channels(); ++ch)
+    for (SlotCount s = 0; s < program.cycle_length(); ++s)
+      wire_put_u32(out, program.at(ch, s));
+}
+
+std::string program_to_binary(const BroadcastProgram& program) {
+  std::string out;
+  append_program_binary(out, program);
+  return out;
+}
+
+BroadcastProgram program_from_binary(std::string_view bytes,
+                                     std::size_t* consumed) {
+  WireReader reader(bytes);
+  check_header(reader, kProgramMagic, "program");
+  const SlotCount channels = reader.read_i64();
+  const SlotCount cycle = reader.read_i64();
+  if (channels < 1 || cycle < 1)
+    throw std::invalid_argument("binary program: degenerate shape");
+  // Bound each dimension before multiplying: a hostile 2^40 x 2^40 shape
+  // would wrap the 64-bit product right past the cell cap.
+  if (static_cast<std::uint64_t>(channels) > kMaxBinaryCells ||
+      static_cast<std::uint64_t>(cycle) > kMaxBinaryCells ||
+      static_cast<std::uint64_t>(channels) *
+              static_cast<std::uint64_t>(cycle) >
+          kMaxBinaryCells)
+    throw std::invalid_argument("binary program: shape exceeds cell cap");
+  // Reject truncation before building the (possibly large) grid.
+  if (reader.remaining() <
+      static_cast<std::uint64_t>(channels) *
+          static_cast<std::uint64_t>(cycle) * sizeof(std::uint32_t))
+    throw std::invalid_argument("binary program: truncated grid");
+  BroadcastProgram program(channels, cycle);
+  for (SlotCount ch = 0; ch < channels; ++ch) {
+    for (SlotCount s = 0; s < cycle; ++s) {
+      const std::uint32_t cell = reader.read_u32();
+      if (cell != kNoPage) program.place(ch, s, cell);
+    }
+  }
+  finish(reader, consumed);
+  return program;
 }
 
 }  // namespace tcsa

@@ -15,10 +15,27 @@
 //   tcsa-program v1
 //   shape <channels> <cycle_length>
 //   row <channel> <cell> <cell> ...    (one line per channel; '.' = empty)
+//
+// A compact *binary* encoding of both types also lives here — the wire
+// protocol's swap frame ships whole workloads (and optionally programs)
+// inside length-delimited network frames where the text format's tokenizing
+// would be pure overhead. Layout (little-endian, util/wire.hpp):
+//
+//   workload: magic "TCWB" (u32) | version u8 | group_count u32
+//             | group_count x { expected_time i64, pages i64 }
+//   program:  magic "TCPB" (u32) | version u8 | channels i64 | cycle i64
+//             | channels*cycle x page u32 (kNoPage = empty), row-major
+//
+// Binary loads enforce the same invariants as the text loaders (the
+// Workload/BroadcastProgram constructors validate), reject truncated input
+// with std::invalid_argument, and cap the declared shape so a hostile
+// length cannot trigger an absurd allocation.
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
 #include <string>
+#include <string_view>
 
 #include "model/program.hpp"
 #include "model/workload.hpp"
@@ -44,5 +61,27 @@ std::string workload_to_string(const Workload& workload);
 Workload workload_from_string(const std::string& text);
 std::string program_to_string(const BroadcastProgram& program);
 BroadcastProgram program_from_string(const std::string& text);
+
+/// Appends the binary encoding of `workload` to `out`.
+void append_workload_binary(std::string& out, const Workload& workload);
+std::string workload_to_binary(const Workload& workload);
+
+/// Parses a binary workload. With `consumed == nullptr` the document must
+/// span the whole buffer (trailing bytes are an error); otherwise the number
+/// of bytes read is returned through `consumed` so documents can be
+/// concatenated. Throws std::invalid_argument on truncation, bad magic /
+/// version, or any workload invariant violation.
+Workload workload_from_binary(std::string_view bytes,
+                              std::size_t* consumed = nullptr);
+
+/// Appends the binary encoding of `program` to `out`.
+void append_program_binary(std::string& out, const BroadcastProgram& program);
+std::string program_to_binary(const BroadcastProgram& program);
+
+/// Parses a binary program; same consumption contract as
+/// workload_from_binary. Rejects shapes above an internal cell cap before
+/// allocating.
+BroadcastProgram program_from_binary(std::string_view bytes,
+                                     std::size_t* consumed = nullptr);
 
 }  // namespace tcsa

@@ -1,0 +1,140 @@
+#include "net/event_loop.hpp"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/timerfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "util/contracts.hpp"
+
+namespace tcsa::net {
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+EventLoop::EventLoop()
+    : epoll_fd_(::epoll_create1(EPOLL_CLOEXEC)),
+      wake_fd_(::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC)) {
+  if (!epoll_fd_) fail("epoll_create1");
+  if (!wake_fd_) fail("eventfd");
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = wake_fd_.get();
+  if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, wake_fd_.get(), &ev) < 0)
+    fail("epoll_ctl(ADD wakeup)");
+}
+
+EventLoop::~EventLoop() = default;
+
+void EventLoop::add(int fd, std::uint32_t events, IoCallback callback) {
+  TCSA_REQUIRE(fd >= 0, "EventLoop::add: invalid fd");
+  TCSA_REQUIRE(callbacks_.find(fd) == callbacks_.end(),
+               "EventLoop::add: fd already registered");
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, fd, &ev) < 0)
+    fail("epoll_ctl(ADD)");
+  callbacks_.emplace(fd,
+                     std::make_shared<IoCallback>(std::move(callback)));
+}
+
+void EventLoop::modify(int fd, std::uint32_t events) {
+  TCSA_REQUIRE(callbacks_.find(fd) != callbacks_.end(),
+               "EventLoop::modify: fd not registered");
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_MOD, fd, &ev) < 0)
+    fail("epoll_ctl(MOD)");
+}
+
+void EventLoop::remove(int fd) {
+  const auto it = callbacks_.find(fd);
+  if (it == callbacks_.end()) return;
+  callbacks_.erase(it);
+  // The fd may already be closed by the owner; ignore ENOENT/EBADF.
+  (void)::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_DEL, fd, nullptr);
+}
+
+int EventLoop::poll(std::int64_t timeout_us) {
+  epoll_event events[64];
+  // epoll_wait rounds to milliseconds; round *up* so a 500us slot timeout
+  // does not busy-spin at timeout 0.
+  int timeout_ms = -1;
+  if (timeout_us >= 0)
+    timeout_ms = static_cast<int>((timeout_us + 999) / 1000);
+  int ready;
+  do {
+    ready = ::epoll_wait(epoll_fd_.get(), events,
+                         static_cast<int>(std::size(events)), timeout_ms);
+  } while (ready < 0 && errno == EINTR);
+  if (ready < 0) fail("epoll_wait");
+
+  int dispatched = 0;
+  for (int i = 0; i < ready; ++i) {
+    const int fd = events[i].data.fd;
+    if (fd == wake_fd_.get()) {
+      std::uint64_t counter = 0;
+      (void)!::read(wake_fd_.get(), &counter, sizeof(counter));
+      continue;  // posted functions drain below, after io dispatch
+    }
+    // Look up per event and pin: an earlier callback in this batch may have
+    // removed this fd (stale event) or a handler may remove itself.
+    const auto it = callbacks_.find(fd);
+    if (it == callbacks_.end()) continue;
+    const std::shared_ptr<IoCallback> pinned = it->second;
+    (*pinned)(events[i].events);
+    ++dispatched;
+  }
+  drain_posted();
+  return dispatched;
+}
+
+void EventLoop::post(std::function<void()> fn) {
+  {
+    const std::lock_guard<std::mutex> lock(posted_mutex_);
+    posted_.push_back(std::move(fn));
+  }
+  const std::uint64_t one = 1;
+  (void)!::write(wake_fd_.get(), &one, sizeof(one));
+}
+
+void EventLoop::drain_posted() {
+  std::vector<std::function<void()>> batch;
+  {
+    const std::lock_guard<std::mutex> lock(posted_mutex_);
+    batch.swap(posted_);
+  }
+  for (const std::function<void()>& fn : batch) fn();
+}
+
+TimerFd::TimerFd()
+    : fd_(::timerfd_create(CLOCK_MONOTONIC, TFD_NONBLOCK | TFD_CLOEXEC)) {
+  if (!fd_) fail("timerfd_create");
+}
+
+void TimerFd::arm_after_us(std::uint64_t delay_us) {
+  itimerspec spec{};
+  // it_value == 0 would *disarm*; clamp to 1ns so "now" still fires.
+  spec.it_value.tv_sec = static_cast<time_t>(delay_us / 1000000);
+  spec.it_value.tv_nsec = static_cast<long>((delay_us % 1000000) * 1000);
+  if (delay_us == 0) spec.it_value.tv_nsec = 1;
+  if (::timerfd_settime(fd_.get(), 0, &spec, nullptr) < 0)
+    fail("timerfd_settime");
+}
+
+void TimerFd::acknowledge() {
+  std::uint64_t expirations = 0;
+  (void)!::read(fd_.get(), &expirations, sizeof(expirations));
+}
+
+}  // namespace tcsa::net

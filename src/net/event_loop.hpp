@@ -1,0 +1,86 @@
+// event_loop.hpp — single-threaded epoll event loop with cross-thread post.
+//
+// The broadcast server is one thread multiplexing a listener, client
+// sessions, and a slot timer through epoll; heavyweight work (rescheduling a
+// swapped workload) runs on a helper thread and re-enters the loop through
+// post(), which is the only thread-safe entry point (an eventfd wakes the
+// sleeping epoll_wait).
+//
+// Dispatch is re-entrancy-safe: callbacks are held by shared_ptr, looked up
+// per event, and pinned for the duration of the call, so a handler may
+// remove any fd — including its own — mid-dispatch without leaving a
+// dangling callback behind.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "net/socket.hpp"
+
+namespace tcsa::net {
+
+class EventLoop {
+ public:
+  /// Called with the ready epoll event bits (EPOLLIN | EPOLLOUT | ...).
+  using IoCallback = std::function<void(std::uint32_t events)>;
+
+  EventLoop();
+  ~EventLoop();
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Registers `fd` for `events` (EPOLLIN etc.). The loop never owns the fd.
+  void add(int fd, std::uint32_t events, IoCallback callback);
+
+  /// Changes the interest set of a registered fd.
+  void modify(int fd, std::uint32_t events);
+
+  /// Deregisters a fd. Safe to call from within any callback.
+  void remove(int fd);
+
+  /// Waits for events for at most `timeout_us` (-1 = indefinitely, 0 =
+  /// poll) and dispatches callbacks plus any posted functions. Returns the
+  /// number of io events dispatched. Loop-thread only.
+  int poll(std::int64_t timeout_us);
+
+  /// Enqueues `fn` to run on the loop thread and wakes the loop.
+  /// The one thread-safe method.
+  void post(std::function<void()> fn);
+
+  /// Number of registered fds (excluding the internal wakeup fd).
+  std::size_t watched() const noexcept { return callbacks_.size(); }
+
+ private:
+  void drain_posted();
+
+  Fd epoll_fd_;
+  Fd wake_fd_;  // eventfd, armed by post()
+  std::unordered_map<int, std::shared_ptr<IoCallback>> callbacks_;
+  std::mutex posted_mutex_;
+  std::vector<std::function<void()>> posted_;
+};
+
+/// Drift-free periodic deadline source: a CLOCK_MONOTONIC timerfd the owner
+/// registers in an EventLoop and re-arms with absolute-style relative
+/// deadlines ("fire in N microseconds"). Reading acknowledges expiry.
+class TimerFd {
+ public:
+  TimerFd();
+
+  int fd() const noexcept { return fd_.get(); }
+
+  /// Arms a one-shot expiry `delay_us` from now (0 fires immediately).
+  void arm_after_us(std::uint64_t delay_us);
+
+  /// Consumes the expiry counter so epoll stops reporting readability.
+  void acknowledge();
+
+ private:
+  Fd fd_;
+};
+
+}  // namespace tcsa::net

@@ -1,0 +1,95 @@
+// framing.hpp — length-prefixed binary framing for the broadcast wire.
+//
+// Every message on a tcsa-air TCP connection is one frame:
+//
+//   offset size  field
+//   0      4     magic "TCSA" (0x54 0x43 0x53 0x41 on the wire)
+//   4      1     protocol version (kWireVersion)
+//   5      1     frame type (FrameType)
+//   6      2     flags (reserved, must be 0)
+//   8      4     payload length in bytes (little-endian, <= kMaxPayload)
+//   12     n     payload
+//
+// The header is versioned so a future protocol can change payloads without
+// ambiguity; a decoder seeing a wrong magic, an unknown version, or an
+// oversized length fails the whole connection (framing is unrecoverable —
+// there is no way to resynchronise a byte stream with a corrupt prefix).
+//
+// Payload layouts (all little-endian, built on util/wire.hpp):
+//   kHello / kAnnounce (server -> client): u32 generation, u32 slot_us,
+//       u32 channels, u32 cycle_length, u64 next_slot, then the workload in
+//       the model/serialize binary format to the end of the payload.
+//   kTune (client -> server): u64 channel mask (bit c = channel c;
+//       all-ones = full receiver). Replaces the previous subscription.
+//   kPage (server -> client): u64 slot, u32 generation, u32 channel,
+//       u32 page. Sent once per occupied (channel, slot) cell to every
+//       session whose mask covers the channel; empty cells send nothing.
+//   kSwap (client -> server): u32 channels (0 = keep current), u8 method
+//       (kSwapMethodAuto or a core Method value), then the new workload in
+//       binary format. Asks the server to reschedule and hot-swap.
+//   kSwapReply (server -> client): u8 accepted, u32 generation,
+//       u64 activation_slot, i64 seam_lateness, then an error string (empty
+//       when accepted).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace tcsa::net {
+
+inline constexpr std::uint32_t kWireMagic = 0x41534354;  // "TCSA" LE
+inline constexpr std::uint8_t kWireVersion = 1;
+inline constexpr std::size_t kFrameHeaderSize = 12;
+inline constexpr std::uint32_t kMaxPayload = 1u << 24;  // 16 MiB
+
+/// Subscription mask covering every channel.
+inline constexpr std::uint64_t kAllChannels = ~0ull;
+
+/// kSwap method byte asking the server to pick SUSC/PAMAD itself.
+inline constexpr std::uint8_t kSwapMethodAuto = 0xff;
+
+enum class FrameType : std::uint8_t {
+  kHello = 1,      ///< server -> client greeting with the on-air program info
+  kTune = 2,       ///< client -> server channel subscription
+  kPage = 3,       ///< server -> client one page airing
+  kSwap = 4,       ///< client -> server hot program swap request
+  kSwapReply = 5,  ///< server -> client swap verdict
+  kAnnounce = 6,   ///< server -> client new generation activated
+};
+
+/// One decoded frame. `payload` aliases the decoder's internal buffer and
+/// is valid until the next decoder call.
+struct Frame {
+  FrameType type = FrameType::kHello;
+  std::string_view payload;
+};
+
+/// Appends one encoded frame (header + payload) to `out`.
+/// Precondition: payload.size() <= kMaxPayload.
+void append_frame(std::string& out, FrameType type, std::string_view payload);
+
+/// Incremental frame decoder over an arbitrary byte stream. feed() bytes as
+/// they arrive, then drain complete frames with next(). A malformed header
+/// throws std::invalid_argument and poisons the decoder (the connection
+/// must be dropped).
+class FrameDecoder {
+ public:
+  /// Appends raw bytes from the stream.
+  void feed(std::string_view bytes);
+
+  /// Pops the next complete frame into `frame`. Returns false when more
+  /// bytes are needed. The frame's payload view stays valid until the next
+  /// feed()/next() call.
+  bool next(Frame& frame);
+
+  /// Bytes buffered but not yet consumed (for tests / introspection).
+  std::size_t buffered() const noexcept { return buffer_.size() - consumed_; }
+
+ private:
+  std::string buffer_;
+  std::size_t consumed_ = 0;  // prefix of buffer_ already handed out
+};
+
+}  // namespace tcsa::net

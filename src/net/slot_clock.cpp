@@ -1,0 +1,31 @@
+#include "net/slot_clock.hpp"
+
+#include "util/contracts.hpp"
+
+namespace tcsa::net {
+
+SlotClock::SlotClock(std::uint32_t slot_us)
+    : epoch_(std::chrono::steady_clock::now()), slot_us_(slot_us) {
+  TCSA_REQUIRE(slot_us >= 1, "SlotClock: slot duration must be >= 1us");
+}
+
+std::uint64_t SlotClock::now_us() const noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+std::uint64_t SlotClock::until_due_us(std::uint64_t slot) const noexcept {
+  const std::uint64_t now = now_us();
+  const std::uint64_t deadline = deadline_us(slot);
+  return deadline > now ? deadline - now : 0;
+}
+
+std::uint64_t SlotClock::lag_us(std::uint64_t slot) const noexcept {
+  const std::uint64_t now = now_us();
+  const std::uint64_t deadline = deadline_us(slot);
+  return now > deadline ? now - deadline : 0;
+}
+
+}  // namespace tcsa::net

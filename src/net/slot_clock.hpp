@@ -1,0 +1,42 @@
+// slot_clock.hpp — drift-free monotonic slot timing.
+//
+// The on-air timeline maps slot s to the fixed deadline epoch + s * slot_us
+// on the steady clock: deadlines are computed from the epoch, never from
+// "last tick + period", so scheduling jitter in one slot can never
+// accumulate into drift over a run (a server that falls behind airs late
+// slots back-to-back and the timeline snaps back into phase).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace tcsa::net {
+
+class SlotClock {
+ public:
+  /// Starts the timeline now. Precondition: slot_us >= 1.
+  explicit SlotClock(std::uint32_t slot_us);
+
+  std::uint32_t slot_us() const noexcept { return slot_us_; }
+
+  /// Microseconds since the epoch (monotonic).
+  std::uint64_t now_us() const noexcept;
+
+  /// Absolute deadline of `slot` on the now_us() timeline.
+  std::uint64_t deadline_us(std::uint64_t slot) const noexcept {
+    return slot * slot_us_;
+  }
+
+  /// Microseconds until `slot` is due; 0 when already due or overdue.
+  std::uint64_t until_due_us(std::uint64_t slot) const noexcept;
+
+  /// How late `slot` would be if aired right now (>= 0; 0 when on time or
+  /// early). The server feeds this into the slot-lag histogram.
+  std::uint64_t lag_us(std::uint64_t slot) const noexcept;
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+  std::uint32_t slot_us_;
+};
+
+}  // namespace tcsa::net

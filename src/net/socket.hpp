@@ -1,0 +1,72 @@
+// socket.hpp — RAII file descriptors and non-blocking TCP plumbing (POSIX).
+//
+// Small, explicit wrappers over the BSD socket calls the broadcast server
+// needs: an owning fd type, a non-blocking IPv4 listener on an ephemeral or
+// fixed port, non-blocking accept, and a blocking client-side connect (the
+// tune client is sequential; only the server multiplexes). All functions
+// throw std::runtime_error with errno context on failure — sockets are
+// environment, not caller preconditions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace tcsa::net {
+
+/// Owning file descriptor. Moves transfer ownership; destruction closes.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) noexcept : fd_(fd) {}
+  Fd(Fd&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = std::exchange(other.fd_, -1);
+    }
+    return *this;
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  ~Fd() { reset(); }
+
+  int get() const noexcept { return fd_; }
+  bool valid() const noexcept { return fd_ >= 0; }
+  explicit operator bool() const noexcept { return valid(); }
+
+  /// Relinquishes ownership without closing.
+  int release() noexcept { return std::exchange(fd_, -1); }
+
+  /// Closes the descriptor (idempotent).
+  void reset() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Sets or clears O_NONBLOCK.
+void set_nonblocking(int fd, bool on);
+
+/// Disables Nagle's algorithm — slot frames are latency-sensitive.
+void set_tcp_nodelay(int fd);
+
+/// Shrinks the kernel send buffer (tests use tiny buffers to provoke
+/// slow-client eviction quickly). `bytes` <= 0 keeps the kernel default.
+void set_send_buffer(int fd, int bytes);
+
+/// Opens a non-blocking IPv4 listener bound to `address:port` (port 0 =
+/// kernel-assigned ephemeral port) with SO_REUSEADDR and a listen backlog.
+Fd listen_tcp(const std::string& address, std::uint16_t port);
+
+/// Port a bound socket actually listens on (resolves ephemeral port 0).
+std::uint16_t local_port(int fd);
+
+/// Accepts one pending connection as a non-blocking fd. Returns an invalid
+/// Fd when no connection is pending (EAGAIN) — never blocks.
+Fd accept_connection(int listener_fd);
+
+/// Blocking IPv4 connect for clients; the returned fd stays blocking.
+Fd connect_tcp(const std::string& address, std::uint16_t port);
+
+}  // namespace tcsa::net

@@ -5,8 +5,6 @@
 #include <memory>
 
 #include "core/channel_bound.hpp"
-#include "core/pamad.hpp"
-#include "core/susc.hpp"
 #include "model/appearance_index.hpp"
 #include "online/estimator.hpp"
 #include "util/contracts.hpp"
@@ -41,14 +39,15 @@ Workload workload_from_estimates(const Workload& initial,
   return Workload(std::move(groups));
 }
 
-/// Schedules with SUSC when the bound allows, PAMAD otherwise.
-BroadcastProgram best_schedule(const Workload& workload, SlotCount channels) {
-  if (channels_sufficient(workload, channels))
-    return schedule_susc(workload, channels);
-  return schedule_pamad(workload, channels).program;
-}
-
 }  // namespace
+
+ScheduleOutcome choose_schedule(const Workload& workload,
+                                SlotCount channels) {
+  const Method method = channels_sufficient(workload, channels)
+                            ? Method::kSusc
+                            : Method::kPamad;
+  return make_schedule(method, workload, channels);
+}
 
 AdaptiveResult simulate_adaptive(const Workload& initial,
                                  const std::vector<DriftPhase>& phases,
@@ -77,7 +76,7 @@ AdaptiveResult simulate_adaptive(const Workload& initial,
 
   Workload current = initial;
   auto program = std::make_unique<BroadcastProgram>(
-      best_schedule(current, config.channels));
+      choose_schedule(current, config.channels).program);
   auto index = std::make_unique<AppearanceIndex>(*program,
                                                  current.total_pages());
   double program_epoch = 0.0;  // when the current program started airing
@@ -121,7 +120,7 @@ AdaptiveResult simulate_adaptive(const Workload& initial,
         current = workload_from_estimates(initial, estimates,
                                           config.ladder_ratio);
         program = std::make_unique<BroadcastProgram>(
-            best_schedule(current, config.channels));
+            choose_schedule(current, config.channels).program);
         index = std::make_unique<AppearanceIndex>(*program,
                                                   current.total_pages());
         program_epoch = next_reschedule;

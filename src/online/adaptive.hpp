@@ -13,9 +13,17 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/api.hpp"
 #include "model/workload.hpp"
 
 namespace tcsa {
+
+/// Schedules with SUSC when Theorem 3.1's bound allows, PAMAD otherwise —
+/// the one reschedule entry point every online component shares: the
+/// adaptive simulation below and the live AirServer's hot program swap both
+/// route through here, so "what airs after a workload change" has a single
+/// definition. Precondition: channels >= 1.
+ScheduleOutcome choose_schedule(const Workload& workload, SlotCount channels);
 
 /// One phase of the tolerance drift script: until `until` (exclusive, in
 /// slots), class c's clients draw tolerances around mean_tolerance[c].

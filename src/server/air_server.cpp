@@ -1,0 +1,583 @@
+#include "server/air_server.hpp"
+
+#include <sys/epoll.h>
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+#include "core/channel_bound.hpp"
+#include "model/appearance_index.hpp"
+#include "model/serialize.hpp"
+#include "model/validate.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "online/adaptive.hpp"
+#include "util/contracts.hpp"
+#include "util/log.hpp"
+#include "util/wire.hpp"
+
+namespace tcsa {
+namespace {
+
+#if TCSA_OBS_COMPILED
+struct ServerMetrics {
+  obs::MetricId sessions_opened;
+  obs::MetricId sessions_closed;
+  obs::MetricId frames_sent;
+  obs::MetricId bytes_sent;
+  obs::MetricId slots_aired;
+  obs::MetricId evictions;
+  obs::MetricId swaps;
+  obs::MetricId swaps_rejected;
+  obs::MetricId tunes;
+  obs::MetricId lag_hist;
+  obs::MetricId sessions_gauge;
+  obs::MetricId generation_gauge;
+};
+
+const ServerMetrics& server_metrics() {
+  static const ServerMetrics metrics{
+      obs::register_counter("tcsa_server_sessions_opened_total",
+                            "Client sessions accepted by the air server"),
+      obs::register_counter("tcsa_server_sessions_closed_total",
+                            "Client sessions closed (any reason)"),
+      obs::register_counter("tcsa_server_frames_sent_total",
+                            "Page/control frames queued to sessions"),
+      obs::register_counter("tcsa_server_bytes_sent_total",
+                            "Wire bytes queued to sessions"),
+      obs::register_counter("tcsa_server_slots_aired_total",
+                            "Broadcast slots aired"),
+      obs::register_counter("tcsa_server_evictions_total",
+                            "Sessions evicted for exceeding the write "
+                            "buffer cap (slow clients)"),
+      obs::register_counter("tcsa_server_swaps_total",
+                            "Hot program swaps activated"),
+      obs::register_counter("tcsa_server_swap_rejected_total",
+                            "Hot swap requests rejected"),
+      obs::register_counter("tcsa_server_tunes_total",
+                            "TUNE (subscription) frames processed"),
+      obs::register_histogram(
+          "tcsa_server_slot_lag_us",
+          "How late each slot aired vs its drift-free deadline (us)",
+          {50, 100, 250, 500, 1000, 2500, 5000, 10000, 25000, 100000}),
+      obs::register_gauge("tcsa_server_sessions",
+                          "Currently connected sessions"),
+      obs::register_gauge("tcsa_server_generation",
+                          "Id of the program generation on air"),
+  };
+  return metrics;
+}
+#endif
+
+void note_session_count(std::size_t n) {
+#if TCSA_OBS_COMPILED
+  obs::gauge_set(server_metrics().sessions_gauge, static_cast<double>(n));
+#else
+  (void)n;
+#endif
+}
+
+void note_generation(std::uint32_t id) {
+#if TCSA_OBS_COMPILED
+  obs::gauge_set(server_metrics().generation_gauge, static_cast<double>(id));
+#else
+  (void)id;
+#endif
+}
+
+/// Next completion of `page` strictly after cycle position `from`, as a
+/// wait in slots (integral: appearances live on integer completion times).
+SlotCount integral_wait_after(const AppearanceIndex& index, PageId page,
+                              SlotCount from) {
+  return static_cast<SlotCount>(
+      std::llround(index.wait_after(page, static_cast<double>(from))));
+}
+
+}  // namespace
+
+SwapPlan plan_swap_seam(const Workload& current_workload,
+                        const BroadcastProgram& current_program,
+                        SlotCount current_offset,
+                        const Workload& next_workload,
+                        const BroadcastProgram& next_program) {
+  const AppearanceIndex old_index(current_program,
+                                  current_workload.total_pages());
+  const AppearanceIndex new_index(next_program, next_workload.total_pages());
+  const PageId common = static_cast<PageId>(
+      std::min(current_workload.total_pages(), next_workload.total_pages()));
+
+  // Outstanding promise per common page: the wait the continued old cycle
+  // would have delivered from the boundary.
+  std::vector<PageId> pages;
+  std::vector<SlotCount> promised;
+  for (PageId p = 0; p < common; ++p) {
+    if (old_index.count(p) == 0 || new_index.count(p) == 0) continue;
+    pages.push_back(p);
+    promised.push_back(integral_wait_after(old_index, p, current_offset));
+  }
+  if (pages.empty()) return SwapPlan{0, 0};
+
+  const SlotCount cycle = next_program.cycle_length();
+  SwapPlan best{0, std::numeric_limits<SlotCount>::max()};
+  for (SlotCount r = 0; r < cycle; ++r) {
+    SlotCount lateness = std::numeric_limits<SlotCount>::min();
+    for (std::size_t i = 0; i < pages.size(); ++i) {
+      const SlotCount wait = integral_wait_after(new_index, pages[i], r);
+      lateness = std::max(lateness, wait - promised[i]);
+      if (lateness >= best.seam_lateness) break;  // cannot improve
+    }
+    if (lateness < best.seam_lateness) best = SwapPlan{r, lateness};
+    if (best.seam_lateness <= 0) break;  // smallest seam-clean rotation wins
+  }
+  return best;
+}
+
+AirServer::AirServer(Workload workload, AirServerConfig config)
+    : config_(std::move(config)) {
+  channels_ = config_.channels > 0 ? config_.channels
+                                   : min_channels(workload);
+  TCSA_REQUIRE(channels_ >= 1 && channels_ <= 64,
+               "AirServer: channel count must be in [1, 64] (subscription "
+               "masks are 64-bit)");
+  TCSA_REQUIRE(config_.slot_us >= 1, "AirServer: slot_us must be >= 1");
+
+  const ScheduleOutcome outcome =
+      config_.auto_method ? choose_schedule(workload, channels_)
+                          : make_schedule(config_.method, workload, channels_);
+  const ValidityReport report = validate_program(outcome.program, workload);
+  if (!report.valid) {
+    TCSA_LOG(kWarn) << "air server: initial program is invalid (worst "
+                       "lateness "
+                    << report.worst_lateness
+                    << " slots); clients will observe deadline misses";
+  }
+
+  current_ = std::make_unique<Generation>(Generation{
+      1, std::move(workload), outcome.program, 0, 0, std::string()});
+  current_->workload_binary = workload_to_binary(current_->workload);
+  generation_id_.store(1, std::memory_order_relaxed);
+  note_generation(1);
+
+  listener_ = net::listen_tcp(config_.bind_address, config_.port);
+  port_ = net::local_port(listener_.get());
+}
+
+AirServer::~AirServer() {
+  if (swap_worker_.joinable()) swap_worker_.join();
+}
+
+std::string AirServer::hello_payload(const Generation& gen) const {
+  std::string payload;
+  wire_put_u32(payload, gen.id);
+  wire_put_u32(payload, config_.slot_us);
+  wire_put_u32(payload, static_cast<std::uint32_t>(gen.program.channels()));
+  wire_put_u32(payload,
+               static_cast<std::uint32_t>(gen.program.cycle_length()));
+  wire_put_u64(payload, next_slot_);
+  payload.append(gen.workload_binary);
+  return payload;
+}
+
+void AirServer::run() {
+  clock_ = std::make_unique<net::SlotClock>(config_.slot_us);
+  loop_.add(listener_.get(), EPOLLIN, [this](std::uint32_t) { on_accept(); });
+  loop_.add(timer_.fd(), EPOLLIN, [this](std::uint32_t) { on_timer(); });
+  timer_.arm_after_us(0);
+  running_ = true;
+  while (running_) loop_.poll(-1);
+
+  // Bounded drain: give buffered frames one real chance to reach clients
+  // before the sockets close under them.
+  const std::uint64_t drain_deadline = clock_->now_us() + 200'000;
+  for (;;) {
+    bool pending = false;
+    for (auto& [fd, session] : sessions_)
+      if (!session.pending.empty()) pending = true;
+    if (!pending || clock_->now_us() >= drain_deadline) break;
+    loop_.poll(10'000);
+  }
+
+  std::vector<int> fds;
+  fds.reserve(sessions_.size());
+  for (const auto& [fd, session] : sessions_) fds.push_back(fd);
+  for (const int fd : fds) close_session(fd, "server shutdown");
+  loop_.remove(timer_.fd());
+  loop_.remove(listener_.get());
+  if (swap_worker_.joinable()) swap_worker_.join();
+}
+
+void AirServer::stop() {
+  stop_requested_.store(true, std::memory_order_relaxed);
+  loop_.post([this] { running_ = false; });
+}
+
+void AirServer::on_timer() {
+  timer_.acknowledge();
+  while (running_ && clock_->until_due_us(next_slot_) == 0) {
+    air_slot();
+    if (config_.max_slots != 0 &&
+        slots_aired_.load(std::memory_order_relaxed) >= config_.max_slots) {
+      running_ = false;
+      return;
+    }
+  }
+  if (running_) timer_.arm_after_us(clock_->until_due_us(next_slot_));
+}
+
+void AirServer::maybe_activate_swap() {
+  if (!pending_) return;
+  const SlotCount cycle = current_->program.cycle_length();
+  if (static_cast<SlotCount>(next_slot_ - current_->start_slot) % cycle != 0)
+    return;
+  TCSA_TRACE_SPAN("server.swap.apply");
+  pending_->start_slot = next_slot_;
+  current_ = std::move(pending_);
+  generation_id_.store(current_->id, std::memory_order_relaxed);
+  note_generation(current_->id);
+#if TCSA_OBS_COMPILED
+  TCSA_METRIC_ADD(server_metrics().swaps, 1);
+#endif
+  TCSA_LOG(kInfo) << "air server: generation " << current_->id
+                  << " on air at slot " << next_slot_ << " (offset "
+                  << current_->offset << ")";
+  const std::string announce = hello_payload(*current_);
+  for (auto& [fd, session] : sessions_)
+    queue_frame(session, net::FrameType::kAnnounce, announce);
+}
+
+void AirServer::air_slot() {
+  TCSA_TRACE_SPAN_VAR(span, "server.slot");
+  maybe_activate_swap();
+  const Generation& gen = *current_;
+  const SlotCount cycle = gen.program.cycle_length();
+  const SlotCount column =
+      (gen.offset + static_cast<SlotCount>(next_slot_ - gen.start_slot)) %
+      cycle;
+#if TCSA_OBS_COMPILED
+  TCSA_METRIC_OBSERVE(server_metrics().lag_hist,
+                      static_cast<double>(clock_->lag_us(next_slot_)));
+  TCSA_METRIC_ADD(server_metrics().slots_aired, 1);
+#endif
+
+  // Encode each occupied channel cell once; fan the bytes out per mask.
+  const SlotCount channel_count = gen.program.channels();
+  std::vector<std::string> frames(static_cast<std::size_t>(channel_count));
+  std::uint64_t occupied_mask = 0;
+  for (SlotCount ch = 0; ch < channel_count; ++ch) {
+    const PageId page = gen.program.at(ch, column);
+    if (page == kNoPage) continue;
+    std::string payload;
+    wire_put_u64(payload, next_slot_);
+    wire_put_u32(payload, gen.id);
+    wire_put_u32(payload, static_cast<std::uint32_t>(ch));
+    wire_put_u32(payload, page);
+    net::append_frame(frames[static_cast<std::size_t>(ch)],
+                      net::FrameType::kPage, payload);
+    occupied_mask |= 1ull << ch;
+  }
+  span.set_arg("channels", occupied_mask);
+
+  std::vector<int> fds;
+  fds.reserve(sessions_.size());
+  for (auto& [fd, session] : sessions_) {
+    const std::uint64_t hit = session.mask & occupied_mask;
+    if (hit == 0) continue;
+    for (SlotCount ch = 0; ch < channel_count; ++ch) {
+      if ((hit >> ch) & 1) {
+        const std::string& bytes = frames[static_cast<std::size_t>(ch)];
+        session.pending.append(bytes);
+#if TCSA_OBS_COMPILED
+        TCSA_METRIC_ADD(server_metrics().frames_sent, 1);
+        TCSA_METRIC_ADD(server_metrics().bytes_sent, bytes.size());
+#endif
+      }
+    }
+    fds.push_back(fd);
+  }
+  // Flush after the fan-out; flushing may evict, so walk by fd lookup.
+  for (const int fd : fds) {
+    const auto it = sessions_.find(fd);
+    if (it != sessions_.end()) flush_session(it->second);
+  }
+
+  slots_aired_.fetch_add(1, std::memory_order_relaxed);
+  ++next_slot_;
+}
+
+void AirServer::on_accept() {
+  for (;;) {
+    net::Fd conn = net::accept_connection(listener_.get());
+    if (!conn) return;
+    net::set_tcp_nodelay(conn.get());
+    net::set_send_buffer(conn.get(), config_.session_send_buffer);
+    const int fd = conn.get();
+    Session& session = sessions_[fd];
+    session.fd = std::move(conn);
+    loop_.add(fd, EPOLLIN, [this, fd](std::uint32_t events) {
+      on_session_event(fd, events);
+    });
+#if TCSA_OBS_COMPILED
+    TCSA_METRIC_ADD(server_metrics().sessions_opened, 1);
+#endif
+    note_session_count(sessions_.size());
+    queue_frame(session, net::FrameType::kHello, hello_payload(*current_));
+    flush_session(session);
+  }
+}
+
+void AirServer::on_session_event(int fd, std::uint32_t events) {
+  auto it = sessions_.find(fd);
+  if (it == sessions_.end()) return;
+  Session& session = it->second;
+
+  if (events & (EPOLLERR | EPOLLHUP)) {
+    close_session(fd, "peer hung up");
+    return;
+  }
+  if (events & EPOLLOUT) {
+    if (!flush_session(session)) return;  // session died while flushing
+  }
+  if ((events & EPOLLIN) == 0) return;
+
+  char buffer[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n > 0) {
+      session.decoder.feed(std::string_view(buffer,
+                                            static_cast<std::size_t>(n)));
+      continue;
+    }
+    if (n == 0) {
+      close_session(fd, "peer closed");
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    close_session(fd, "recv error");
+    return;
+  }
+
+  net::Frame frame;
+  try {
+    while (session.decoder.next(frame)) {
+      handle_frame(fd, frame);
+      if (sessions_.find(fd) == sessions_.end()) return;  // closed inside
+    }
+  } catch (const std::invalid_argument& e) {
+    TCSA_LOG(kWarn) << "air server: dropping session: " << e.what();
+    close_session(fd, "protocol error");
+  }
+}
+
+void AirServer::handle_frame(int fd, const net::Frame& frame) {
+  Session& session = sessions_.at(fd);
+  switch (frame.type) {
+    case net::FrameType::kTune: {
+      WireReader reader(frame.payload);
+      const std::uint64_t mask = reader.read_u64();
+      reader.expect_done();
+      session.mask = mask;
+#if TCSA_OBS_COMPILED
+      TCSA_METRIC_ADD(server_metrics().tunes, 1);
+#endif
+      return;
+    }
+    case net::FrameType::kSwap:
+      handle_swap_request(fd, frame.payload);
+      return;
+    default:
+      throw std::invalid_argument("unexpected frame type from client");
+  }
+}
+
+void AirServer::handle_swap_request(int fd, std::string_view payload) {
+  const auto reject = [&](const std::string& error) {
+#if TCSA_OBS_COMPILED
+    TCSA_METRIC_ADD(server_metrics().swaps_rejected, 1);
+#endif
+    const auto it = sessions_.find(fd);
+    if (it == sessions_.end()) return;
+    std::string reply;
+    wire_put_u8(reply, 0);
+    wire_put_u32(reply, 0);
+    wire_put_u64(reply, 0);
+    wire_put_i64(reply, 0);
+    reply.append(error);
+    queue_frame(it->second, net::FrameType::kSwapReply, reply);
+    flush_session(it->second);
+  };
+
+  if (swap_inflight_) {
+    reject("a swap is already in flight");
+    return;
+  }
+
+  SlotCount requested_channels = 0;
+  std::uint8_t method_byte = net::kSwapMethodAuto;
+  std::optional<Workload> workload;
+  try {
+    WireReader reader(payload);
+    requested_channels = static_cast<SlotCount>(reader.read_u32());
+    method_byte = reader.read_u8();
+    workload = workload_from_binary(reader.read_rest());
+  } catch (const std::invalid_argument& e) {
+    reject(std::string("malformed swap request: ") + e.what());
+    return;
+  }
+  const SlotCount channels =
+      requested_channels > 0 ? requested_channels : channels_;
+  if (channels > 64) {
+    reject("swap: channel count exceeds the 64-channel mask limit");
+    return;
+  }
+  const bool auto_method = method_byte == net::kSwapMethodAuto;
+  if (!auto_method &&
+      method_byte > static_cast<std::uint8_t>(Method::kRoundRobin)) {
+    reject("swap: unknown scheduling method");
+    return;
+  }
+
+  if (swap_worker_.joinable()) swap_worker_.join();
+  swap_inflight_ = true;
+  swap_requester_fd_ = fd;
+
+  // Snapshot what the worker needs; it must not touch loop-thread state.
+  auto next_id = current_->id + 1;
+  auto old_workload = current_->workload;
+  auto old_program = current_->program;
+  auto old_offset = current_->offset;
+  swap_worker_ = std::thread([this, next_id, channels, auto_method,
+                              method_byte, w = std::move(*workload),
+                              old_workload = std::move(old_workload),
+                              old_program = std::move(old_program),
+                              old_offset] {
+    TCSA_TRACE_SPAN("server.reschedule");
+    std::shared_ptr<Generation> gen;
+    SlotCount seam = 0;
+    std::string error;
+    try {
+      const ScheduleOutcome outcome =
+          auto_method
+              ? choose_schedule(w, channels)
+              : make_schedule(static_cast<Method>(method_byte), w, channels);
+      const ValidityReport report = validate_program(outcome.program, w);
+      if (!report.valid) {
+        error = "rescheduled program is invalid (worst lateness " +
+                std::to_string(report.worst_lateness) + " slots): " +
+                report.violations.front();
+      } else {
+        const SwapPlan plan = plan_swap_seam(old_workload, old_program,
+                                             old_offset, w, outcome.program);
+        seam = plan.seam_lateness;
+        gen = std::make_shared<Generation>(Generation{
+            next_id, w, outcome.program, plan.offset, 0,
+            workload_to_binary(w)});
+      }
+    } catch (const std::exception& e) {
+      error = e.what();
+    }
+    loop_.post([this, gen = std::move(gen), seam, error = std::move(error)] {
+      swap_inflight_ = false;
+      const int requester = swap_requester_fd_;
+      swap_requester_fd_ = -1;
+      if (gen) {
+        pending_ = std::make_unique<Generation>(std::move(*gen));
+      }
+#if TCSA_OBS_COMPILED
+      if (!error.empty())
+        TCSA_METRIC_ADD(server_metrics().swaps_rejected, 1);
+#endif
+      const auto it = sessions_.find(requester);
+      if (it == sessions_.end()) return;
+      // Activation lands on the next major-cycle boundary of the current
+      // generation — exact, because slots advance deterministically.
+      std::uint64_t activation = 0;
+      if (pending_) {
+        const SlotCount cycle = current_->program.cycle_length();
+        const SlotCount into =
+            static_cast<SlotCount>(next_slot_ - current_->start_slot) % cycle;
+        activation = into == 0 ? next_slot_ : next_slot_ + (cycle - into);
+      }
+      std::string reply;
+      wire_put_u8(reply, error.empty() ? 1 : 0);
+      wire_put_u32(reply, pending_ ? pending_->id : 0);
+      wire_put_u64(reply, activation);
+      wire_put_i64(reply, seam);
+      reply.append(error);
+      queue_frame(it->second, net::FrameType::kSwapReply, reply);
+      flush_session(it->second);
+    });
+  });
+}
+
+void AirServer::queue_frame(Session& session, net::FrameType type,
+                            std::string_view payload) {
+  const std::size_t before = session.pending.size();
+  net::append_frame(session.pending, type, payload);
+#if TCSA_OBS_COMPILED
+  TCSA_METRIC_ADD(server_metrics().frames_sent, 1);
+  TCSA_METRIC_ADD(server_metrics().bytes_sent,
+                  session.pending.size() - before);
+#else
+  (void)before;
+#endif
+}
+
+bool AirServer::flush_session(Session& session) {
+  const int fd = session.fd.get();
+  while (!session.pending.empty()) {
+    const ssize_t n = ::send(fd, session.pending.data(),
+                             session.pending.size(), MSG_NOSIGNAL);
+    if (n > 0) {
+      session.pending.erase(0, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    close_session(fd, "send error");
+    return false;
+  }
+  if (session.pending.size() > config_.max_session_buffer) {
+    evicted_.fetch_add(1, std::memory_order_relaxed);
+#if TCSA_OBS_COMPILED
+    TCSA_METRIC_ADD(server_metrics().evictions, 1);
+#endif
+    TCSA_LOG(kWarn) << "air server: evicting slow client (buffer "
+                    << session.pending.size() << " > cap "
+                    << config_.max_session_buffer << ")";
+    close_session(fd, "slow client evicted");
+    return false;
+  }
+  update_write_interest(session);
+  return true;
+}
+
+void AirServer::update_write_interest(Session& session) {
+  const bool want = !session.pending.empty();
+  if (want == session.want_write) return;
+  session.want_write = want;
+  loop_.modify(session.fd.get(), EPOLLIN | (want ? EPOLLOUT : 0u));
+}
+
+void AirServer::close_session(int fd, const char* reason) {
+  const auto it = sessions_.find(fd);
+  if (it == sessions_.end()) return;
+  TCSA_LOG(kDebug) << "air server: closing session fd=" << fd << " ("
+                   << reason << ")";
+  loop_.remove(fd);
+  sessions_.erase(it);  // Fd destructor closes the socket
+  if (fd == swap_requester_fd_) swap_requester_fd_ = -1;
+#if TCSA_OBS_COMPILED
+  TCSA_METRIC_ADD(server_metrics().sessions_closed, 1);
+#endif
+  note_session_count(sessions_.size());
+}
+
+}  // namespace tcsa

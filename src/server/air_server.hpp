@@ -1,0 +1,167 @@
+// air_server.hpp — the live broadcast server: a scheduled program on air.
+//
+// AirServer walks a BroadcastProgram cycle slot-by-slot on a drift-free
+// slot clock and multicasts each slot's per-channel page frames to every
+// subscribed TCP session (net/framing wire format). One epoll thread owns
+// all I/O; per-session write buffers absorb transient backpressure and a
+// session whose buffer outgrows the configured cap is evicted — one slow
+// client must never stall the broadcast (the whole point of the broadcast
+// model is that server load is independent of audience size).
+//
+// Hot program swap: any session may send a kSwap frame carrying a new
+// workload. Scheduling runs OFF the event loop thread (through the same
+// choose_schedule entry point the adaptive simulation uses), the resulting
+// program is validity-checked, and a seam plan picks the airing rotation
+// that best preserves outstanding deadline promises; the new generation
+// activates at the next major-cycle boundary and is announced to every
+// session (DESIGN.md §7 gives the seam argument).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/api.hpp"
+#include "model/program.hpp"
+#include "model/workload.hpp"
+#include "net/event_loop.hpp"
+#include "net/framing.hpp"
+#include "net/slot_clock.hpp"
+#include "net/socket.hpp"
+
+namespace tcsa {
+
+struct AirServerConfig {
+  std::string bind_address = "127.0.0.1";
+  std::uint16_t port = 0;       ///< 0 = kernel-assigned ephemeral port
+  SlotCount channels = 0;       ///< 0 = Theorem 3.1 minimum for the workload
+  bool auto_method = true;      ///< SUSC/PAMAD via choose_schedule
+  Method method = Method::kPamad;  ///< used only when !auto_method
+  std::uint32_t slot_us = 1000;    ///< real-time length of one slot
+  std::uint64_t max_slots = 0;     ///< stop after airing this many (0 = run)
+  std::size_t max_session_buffer = 256 * 1024;  ///< eviction threshold
+  int session_send_buffer = 0;  ///< SO_SNDBUF per session; 0 = default
+};
+
+/// Outcome of seam planning for a major-cycle-boundary swap: air the new
+/// program rotated by `offset` columns; `seam_lateness` is the worst
+/// remaining slack violation in slots (<= 0 means every outstanding
+/// deadline promise for pages common to both workloads is preserved).
+struct SwapPlan {
+  SlotCount offset = 0;
+  SlotCount seam_lateness = 0;
+};
+
+/// Picks the airing rotation of `next_program` minimizing the swap seam:
+/// for every page p common to both workloads, the promise outstanding at
+/// the boundary is "p completes within first_old(p) slots" (what the old
+/// program would have delivered had it kept cycling); the plan minimizes
+/// max_p(first_new(p) - first_old(p)). `current_offset` is the rotation the
+/// old program airs under. Rotation preserves validity condition (2) — the
+/// appearance gaps of a cyclic program are rotation-invariant.
+SwapPlan plan_swap_seam(const Workload& current_workload,
+                        const BroadcastProgram& current_program,
+                        SlotCount current_offset,
+                        const Workload& next_workload,
+                        const BroadcastProgram& next_program);
+
+/// The broadcast server. Construction schedules the initial program and
+/// binds the listener (so port() is valid before run()); run() airs slots
+/// until stop(), max_slots, or destruction.
+class AirServer {
+ public:
+  AirServer(Workload workload, AirServerConfig config);
+  ~AirServer();
+  AirServer(const AirServer&) = delete;
+  AirServer& operator=(const AirServer&) = delete;
+
+  /// Actual listening port (resolves an ephemeral bind).
+  std::uint16_t port() const noexcept { return port_; }
+
+  /// Channel count the program airs on.
+  SlotCount channels() const noexcept { return channels_; }
+
+  /// Airs the program. Blocks until stop() or max_slots; flushes and
+  /// closes every session before returning.
+  void run();
+
+  /// Requests shutdown. Safe from any thread.
+  void stop();
+
+  // --- cross-thread introspection (tests, health probes) ---
+  std::uint64_t slots_aired() const noexcept {
+    return slots_aired_.load(std::memory_order_relaxed);
+  }
+  std::uint32_t generation() const noexcept {
+    return generation_id_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t sessions_evicted() const noexcept {
+    return evicted_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Session {
+    net::Fd fd;
+    net::FrameDecoder decoder;
+    std::string pending;          // bytes queued behind a full socket
+    std::uint64_t mask = 0;       // subscribed channel mask (0 = none yet)
+    bool want_write = false;      // EPOLLOUT currently armed
+  };
+
+  /// One program generation: what is on air between two swaps.
+  struct Generation {
+    std::uint32_t id = 0;
+    Workload workload;
+    BroadcastProgram program;
+    SlotCount offset = 0;          // airing rotation (column of slot 0)
+    std::uint64_t start_slot = 0;  // global slot of its first aired column
+    std::string workload_binary;   // cached for hello/announce payloads
+  };
+
+  void on_timer();
+  void air_slot();
+  void maybe_activate_swap();
+  void on_accept();
+  void on_session_event(int fd, std::uint32_t events);
+  void handle_frame(int fd, const net::Frame& frame);
+  void handle_swap_request(int fd, std::string_view payload);
+  void queue_frame(Session& session, net::FrameType type,
+                   std::string_view payload);
+  /// Returns false when the session died (error or eviction) while flushing.
+  bool flush_session(Session& session);
+  void close_session(int fd, const char* reason);
+  void update_write_interest(Session& session);
+  std::string hello_payload(const Generation& gen) const;
+
+  AirServerConfig config_;
+  SlotCount channels_ = 0;
+  std::uint16_t port_ = 0;
+
+  net::EventLoop loop_;
+  net::Fd listener_;
+  net::TimerFd timer_;
+  std::unique_ptr<net::SlotClock> clock_;  // built in run(): epoch = on-air
+
+  std::unique_ptr<Generation> current_;
+  std::unique_ptr<Generation> pending_;   // activates at the next boundary
+  std::uint64_t next_slot_ = 0;           // next global slot to air
+  bool running_ = false;
+
+  std::unordered_map<int, Session> sessions_;
+
+  // Hot-swap worker: one reschedule in flight at a time.
+  std::thread swap_worker_;
+  bool swap_inflight_ = false;
+  int swap_requester_fd_ = -1;
+
+  std::atomic<std::uint64_t> slots_aired_{0};
+  std::atomic<std::uint32_t> generation_id_{0};
+  std::atomic<std::uint64_t> evicted_{0};
+  std::atomic<bool> stop_requested_{false};
+};
+
+}  // namespace tcsa

@@ -1,0 +1,295 @@
+#include "server/tune_client.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "model/serialize.hpp"
+#include "util/wire.hpp"
+
+namespace tcsa {
+namespace {
+
+[[noreturn]] void io_fail(const std::string& what) {
+  throw std::runtime_error("tune: " + what + ": " + std::strerror(errno));
+}
+
+std::string format_double(double value) {
+  std::ostringstream os;
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << value;
+  return os.str();
+}
+
+}  // namespace
+
+std::string TuneSummary::to_json() const {
+  std::string out = "{";
+  out += "\"slots\": " + std::to_string(slots_seen);
+  out += ", \"frames\": " + std::to_string(frames);
+  out += ", \"bytes\": " + std::to_string(bytes);
+  out += ", \"generation\": " + std::to_string(generation);
+  out += ", \"swaps_observed\": " + std::to_string(swaps_observed);
+  out += ", \"retunes\": " + std::to_string(retunes);
+  out += ", \"deadline_misses\": " + std::to_string(deadline_misses);
+  out += ", \"mean_access_time\": " + format_double(mean_access_time);
+  out += ", \"groups\": [";
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    const TuneGroupStats& s = groups[g];
+    if (g) out += ", ";
+    out += "{\"expected_time\": " + std::to_string(s.expected_time);
+    out += ", \"receptions\": " + std::to_string(s.receptions);
+    out += ", \"chains\": " + std::to_string(s.chains);
+    out += ", \"gaps\": " + std::to_string(s.gaps);
+    out += ", \"max_gap\": " + std::to_string(s.max_gap);
+    out += ", \"mean_gap\": " + format_double(s.mean_gap);
+    out += ", \"access_time\": " + format_double(s.access_time);
+    out += ", \"misses\": " + std::to_string(s.misses);
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+TuneClient::TuneClient(const Options& options) : options_(options) {
+  fd_ = net::connect_tcp(options.host, options.port);
+  net::set_tcp_nodelay(fd_.get());
+  net::Frame frame;
+  if (!read_frame(frame))
+    throw std::runtime_error("tune: server closed before HELLO");
+  if (frame.type != net::FrameType::kHello)
+    throw std::invalid_argument("tune: expected a HELLO frame first");
+  apply_announcement(frame.payload, /*initial=*/true);
+  send_tune(options.channel_mask);
+}
+
+void TuneClient::send_tune(std::uint64_t mask) {
+  std::string payload;
+  wire_put_u64(payload, mask);
+  std::string bytes;
+  net::append_frame(bytes, net::FrameType::kTune, payload);
+  send_all(bytes);
+}
+
+void TuneClient::retune(std::uint64_t mask) {
+  send_tune(mask);
+  ++retunes_;
+  // Switching stations forfeits in-flight promises: a gap spanning the
+  // retune says nothing about the program's validity.
+  for (Chain& chain : chains_) chain = Chain{};
+}
+
+void TuneClient::send_all(std::string_view bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd_.get(), bytes.data() + sent,
+                             bytes.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      io_fail("send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+bool TuneClient::read_frame(net::Frame& frame) {
+  while (!decoder_.next(frame)) {
+    pollfd pfd{fd_.get(), POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, options_.io_timeout_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      io_fail("poll");
+    }
+    if (ready == 0)
+      throw std::runtime_error("tune: timed out waiting for the server");
+    char buffer[16384];
+    const ssize_t n = ::recv(fd_.get(), buffer, sizeof(buffer), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      io_fail("recv");
+    }
+    if (n == 0) return false;  // orderly server shutdown
+    decoder_.feed(std::string_view(buffer, static_cast<std::size_t>(n)));
+    bytes_ += static_cast<std::uint64_t>(n);
+  }
+  return true;
+}
+
+void TuneClient::handle_frame(const net::Frame& frame) {
+  switch (frame.type) {
+    case net::FrameType::kPage:
+      on_page(frame);
+      return;
+    case net::FrameType::kAnnounce:
+      apply_announcement(frame.payload, /*initial=*/false);
+      return;
+    case net::FrameType::kSwapReply: {
+      WireReader reader(frame.payload);
+      SwapReply reply;
+      reply.accepted = reader.read_u8() != 0;
+      reply.generation = reader.read_u32();
+      reply.activation_slot = reader.read_u64();
+      reply.seam_lateness = reader.read_i64();
+      reply.error = std::string(reader.read_rest());
+      last_swap_reply_ = std::move(reply);
+      return;
+    }
+    default:
+      throw std::invalid_argument("tune: unexpected frame type from server");
+  }
+}
+
+void TuneClient::apply_announcement(std::string_view payload, bool initial) {
+  WireReader reader(payload);
+  generation_ = reader.read_u32();
+  slot_us_ = reader.read_u32();
+  channels_ = static_cast<SlotCount>(reader.read_u32());
+  cycle_length_ = static_cast<SlotCount>(reader.read_u32());
+  const std::uint64_t next_slot = reader.read_u64();
+  Workload next = workload_from_binary(reader.read_rest());
+  if (initial) {
+    tune_in_slot_ = next_slot;
+  } else {
+    ++swaps_observed_;
+  }
+  workload_ = std::move(next);
+  // Chains of pages common to both workloads carry over — their promises
+  // were made under the old generation and the seam plan keeps them.
+  // Pages beyond the new n (workload shrank) drop out, stats and all.
+  const auto n = static_cast<std::size_t>(workload_->total_pages());
+  chains_.resize(n);
+  stats_.resize(n);
+}
+
+void TuneClient::on_page(const net::Frame& frame) {
+  WireReader reader(frame.payload);
+  const std::uint64_t slot = reader.read_u64();
+  const std::uint32_t generation = reader.read_u32();
+  const std::uint32_t channel = reader.read_u32();
+  const PageId page = reader.read_u32();
+  reader.expect_done();
+
+  ++frames_;
+  if (static_cast<std::int64_t>(slot) != last_slot_seen_) {
+    ++slots_seen_;
+    last_slot_seen_ = static_cast<std::int64_t>(slot);
+  }
+  if (options_.record_pages)
+    pages_.push_back(ReceivedPage{slot, generation, channel, page});
+
+  if (static_cast<std::size_t>(page) >= chains_.size()) return;
+  Chain& chain = chains_[page];
+  PageStats& stats = stats_[page];
+  ++stats.receptions;
+  if (chain.last_slot >= 0) {
+    const auto gap = static_cast<SlotCount>(
+        static_cast<std::int64_t>(slot) - chain.last_slot);
+    ++stats.gaps;
+    stats.gap_sum += static_cast<double>(gap);
+    stats.gap_sq_sum += static_cast<double>(gap) * static_cast<double>(gap);
+    stats.max_gap = std::max(stats.max_gap, gap);
+    if (gap > chain.promise) {
+      ++stats.misses;
+      ++misses_;
+    }
+  } else {
+    ++stats.chains;
+  }
+  chain.last_slot = static_cast<std::int64_t>(slot);
+  chain.promise = workload_->expected_time_of(page);
+}
+
+bool TuneClient::run(std::uint64_t slots) {
+  const std::uint64_t target = slots == 0 ? 0 : slots_seen_ + slots;
+  net::Frame frame;
+  while (target == 0 || slots_seen_ < target) {
+    if (!read_frame(frame)) return true;
+    handle_frame(frame);
+  }
+  return false;
+}
+
+SwapReply TuneClient::request_swap(const Workload& next, SlotCount channels,
+                                   int method) {
+  std::string payload;
+  wire_put_u32(payload, static_cast<std::uint32_t>(channels));
+  wire_put_u8(payload, method < 0 ? net::kSwapMethodAuto
+                                  : static_cast<std::uint8_t>(method));
+  append_workload_binary(payload, next);
+  std::string bytes;
+  net::append_frame(bytes, net::FrameType::kSwap, payload);
+  send_all(bytes);
+
+  last_swap_reply_.reset();
+  net::Frame frame;
+  while (!last_swap_reply_) {
+    if (!read_frame(frame))
+      throw std::runtime_error("tune: server closed before the swap reply");
+    handle_frame(frame);
+  }
+  return *last_swap_reply_;
+}
+
+TuneSummary TuneClient::summary() const {
+  TuneSummary out;
+  out.frames = frames_;
+  out.bytes = bytes_;
+  out.slots_seen = slots_seen_;
+  out.generation = generation_;
+  out.swaps_observed = swaps_observed_;
+  out.retunes = retunes_;
+  out.deadline_misses = misses_;
+
+  const Workload& w = *workload_;
+  out.groups.resize(static_cast<std::size_t>(w.group_count()));
+  for (GroupId g = 0; g < w.group_count(); ++g)
+    out.groups[static_cast<std::size_t>(g)].expected_time = w.expected_time(g);
+
+  // Per-page E[wait] for a uniform-random tune-in over the observed span:
+  // sum(gap^2) / (2 * sum(gap)) — the length-biased mean residual of the
+  // observed gap sequence (matches the analytic S_i/2-style prediction).
+  double access_sum = 0.0;
+  std::uint64_t access_pages = 0;
+  std::vector<double> group_access(out.groups.size(), 0.0);
+  std::vector<std::uint64_t> group_access_pages(out.groups.size(), 0);
+  for (std::size_t p = 0; p < stats_.size(); ++p) {
+    const PageStats& stats = stats_[p];
+    const auto g =
+        static_cast<std::size_t>(w.group_of(static_cast<PageId>(p)));
+    TuneGroupStats& group = out.groups[g];
+    group.receptions += stats.receptions;
+    group.chains += stats.chains;
+    group.gaps += stats.gaps;
+    group.max_gap = std::max(group.max_gap, stats.max_gap);
+    group.mean_gap += stats.gap_sum;  // finalized to a mean below
+    group.misses += stats.misses;
+    if (stats.gap_sum > 0.0) {
+      const double access = stats.gap_sq_sum / (2.0 * stats.gap_sum);
+      group_access[g] += access;
+      ++group_access_pages[g];
+      access_sum += access;
+      ++access_pages;
+    }
+  }
+  for (std::size_t g = 0; g < out.groups.size(); ++g) {
+    TuneGroupStats& group = out.groups[g];
+    group.mean_gap =
+        group.gaps ? group.mean_gap / static_cast<double>(group.gaps) : 0.0;
+    group.access_time = group_access_pages[g]
+                            ? group_access[g] /
+                                  static_cast<double>(group_access_pages[g])
+                            : 0.0;
+  }
+  out.mean_access_time =
+      access_pages ? access_sum / static_cast<double>(access_pages) : 0.0;
+  return out;
+}
+
+}  // namespace tcsa

@@ -1,0 +1,172 @@
+// tune_client.hpp — the receiving side of the broadcast: tune in, listen,
+// and measure what the air actually delivered.
+//
+// TuneClient connects to an AirServer, reads the HELLO (program generation,
+// slot length, channel count, cycle length, tune-in slot, and the workload
+// itself in binary form), subscribes with a channel mask, and then
+// reconstructs per-page reception chains from the kPage stream. For every
+// consecutive pair of receptions of the same page it records the gap and
+// checks it against the deadline *promised at the previous reception* (the
+// page's expected time t_i in the generation then on air) — exactly the
+// client-side reading of validity condition (2). The first reception of a
+// chain opens it without a gap (condition (1) is covered by the server's
+// pre-air validation; a client cannot distinguish "tuned in mid-cycle" from
+// "page late" without airing-start context).
+//
+// Chains survive hot swaps (an outstanding promise made under the old
+// generation must still be kept — that is the point of the seam plan) but
+// reset on retune: changing the subscription mask forfeits in-flight
+// promises, like switching stations mid-song.
+//
+// The full deadline guarantee only holds for a full-mask subscription:
+// SUSC/PAMAD may place a page's appearances on different channels, so a
+// partial subscriber legitimately misses some completions.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "model/workload.hpp"
+#include "net/framing.hpp"
+#include "net/socket.hpp"
+
+namespace tcsa {
+
+/// One received page frame (recorded only when Options::record_pages).
+struct ReceivedPage {
+  std::uint64_t slot = 0;
+  std::uint32_t generation = 0;
+  std::uint32_t channel = 0;
+  PageId page = 0;
+};
+
+/// Server's answer to a hot-swap request.
+struct SwapReply {
+  bool accepted = false;
+  std::uint32_t generation = 0;        ///< id the new program will air as
+  std::uint64_t activation_slot = 0;   ///< major-cycle boundary it lands on
+  std::int64_t seam_lateness = 0;      ///< <= 0: all promises preserved
+  std::string error;                   ///< non-empty when rejected
+};
+
+/// Per-group reception statistics.
+struct TuneGroupStats {
+  SlotCount expected_time = 0;  ///< t_i of the group (current generation)
+  std::uint64_t receptions = 0; ///< page frames received
+  std::uint64_t chains = 0;     ///< reception chains opened
+  std::uint64_t gaps = 0;       ///< consecutive-reception gaps measured
+  SlotCount max_gap = 0;        ///< worst observed gap, in slots
+  double mean_gap = 0.0;        ///< average observed gap
+  double access_time = 0.0;     ///< E[wait] for a uniform-random tune-in
+  std::uint64_t misses = 0;     ///< gaps exceeding the promised deadline
+};
+
+/// Whole-session summary.
+struct TuneSummary {
+  std::uint64_t frames = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t slots_seen = 0;       ///< distinct slot indices observed
+  std::uint32_t generation = 0;       ///< generation on air at the end
+  std::uint64_t swaps_observed = 0;
+  std::uint64_t retunes = 0;
+  std::uint64_t deadline_misses = 0;  ///< total over all groups
+  double mean_access_time = 0.0;      ///< page-averaged E[wait]
+  std::vector<TuneGroupStats> groups;
+
+  /// Single-line JSON object (parsable by obs/json): the tcsactl tune
+  /// --json contract.
+  std::string to_json() const;
+};
+
+/// Sequential (blocking-socket) broadcast listener.
+class TuneClient {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;
+    std::uint64_t channel_mask = net::kAllChannels;
+    bool record_pages = false;  ///< keep every frame for offline validation
+    int io_timeout_ms = 10000;  ///< poll timeout for one read
+  };
+
+  /// Connects, reads the HELLO, and sends the initial subscription.
+  explicit TuneClient(const Options& options);
+
+  // --- what the HELLO / latest ANNOUNCE said ---
+  const Workload& workload() const { return *workload_; }
+  std::uint32_t generation() const noexcept { return generation_; }
+  std::uint32_t slot_us() const noexcept { return slot_us_; }
+  SlotCount channels() const noexcept { return channels_; }
+  SlotCount cycle_length() const noexcept { return cycle_length_; }
+  std::uint64_t tune_in_slot() const noexcept { return tune_in_slot_; }
+
+  /// Changes the subscription mask; resets all reception chains.
+  void retune(std::uint64_t mask);
+
+  /// Receives until `slots` distinct slot indices have been observed
+  /// (0 = until the server closes). Returns true on server EOF.
+  bool run(std::uint64_t slots);
+
+  /// Sends a hot-swap request and pumps frames until the reply arrives.
+  /// `channels` 0 keeps the server's count; `method` < 0 lets the server
+  /// choose (SUSC when the bound allows, else PAMAD).
+  SwapReply request_swap(const Workload& next, SlotCount channels = 0,
+                         int method = -1);
+
+  /// Aggregates everything received so far.
+  TuneSummary summary() const;
+
+  /// Recorded frames (empty unless Options::record_pages).
+  const std::vector<ReceivedPage>& pages() const noexcept { return pages_; }
+
+ private:
+  struct Chain {
+    std::int64_t last_slot = -1;  ///< -1: no reception yet
+    SlotCount promise = 0;        ///< deadline granted at the last reception
+  };
+  struct PageStats {
+    std::uint64_t receptions = 0;
+    std::uint64_t chains = 0;
+    std::uint64_t gaps = 0;
+    double gap_sum = 0.0;
+    double gap_sq_sum = 0.0;
+    SlotCount max_gap = 0;
+    std::uint64_t misses = 0;
+  };
+
+  bool read_frame(net::Frame& frame);   ///< false on orderly EOF
+  void handle_frame(const net::Frame& frame);
+  void apply_announcement(std::string_view payload, bool initial);
+  void on_page(const net::Frame& frame);
+  void send_tune(std::uint64_t mask);
+  void send_all(std::string_view bytes);
+
+  Options options_;
+  net::Fd fd_;
+  net::FrameDecoder decoder_;
+
+  std::optional<Workload> workload_;
+  std::uint32_t generation_ = 0;
+  std::uint32_t slot_us_ = 0;
+  SlotCount channels_ = 0;
+  SlotCount cycle_length_ = 0;
+  std::uint64_t tune_in_slot_ = 0;
+
+  std::vector<Chain> chains_;      // one per page of the current workload
+  std::vector<PageStats> stats_;   // parallel to chains_
+  std::vector<ReceivedPage> pages_;
+
+  std::uint64_t frames_ = 0;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t slots_seen_ = 0;
+  std::int64_t last_slot_seen_ = -1;
+  std::uint64_t swaps_observed_ = 0;
+  std::uint64_t retunes_ = 0;
+  std::uint64_t misses_ = 0;
+
+  std::optional<SwapReply> last_swap_reply_;
+};
+
+}  // namespace tcsa

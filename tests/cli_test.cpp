@@ -1,0 +1,107 @@
+// cli_test.cpp — pins the tcsactl exit-code contract through fork/exec:
+// 0 on success, 1 on operational failure (e.g. connection refused), 2 on
+// usage errors — with a usage hint on stderr for every usage error.
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/subprocess.hpp"
+
+#ifndef TCSACTL_PATH
+#error "cli_test requires -DTCSACTL_PATH=\"...\" from CMake"
+#endif
+
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream file(path);
+  EXPECT_TRUE(file.is_open()) << path;
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return buffer.str();
+}
+
+class CliContract : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::path(testing::TempDir()) /
+           ("tcsa_cli_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  /// Runs tcsactl with `args`; captures stderr for the usage assertions.
+  int run(std::vector<std::string> args) {
+    std::vector<std::string> argv = {TCSACTL_PATH};
+    argv.insert(argv.end(), args.begin(), args.end());
+    tcsa::SpawnOptions options;
+    options.stdout_path = (dir_ / "stdout.txt").string();
+    options.stderr_path = (dir_ / "stderr.txt").string();
+    return tcsa::run_command(argv, options);
+  }
+
+  std::string stderr_text() { return slurp((dir_ / "stderr.txt").string()); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(CliContract, HelpAndSuccessExitZero) {
+  EXPECT_EQ(run({"--help"}), 0);
+  EXPECT_EQ(run({"serve", "--help"}), 0);
+  EXPECT_EQ(run({"tune", "--help"}), 0);
+  EXPECT_EQ(run({"swap", "--help"}), 0);
+  EXPECT_EQ(run({"--cmd", "demo"}), 0);
+}
+
+TEST_F(CliContract, UnknownSubcommandExitsTwoWithUsageOnStderr) {
+  EXPECT_EQ(run({"frobnicate"}), 2);
+  const std::string err = stderr_text();
+  EXPECT_NE(err.find("unknown subcommand: frobnicate"), std::string::npos);
+  EXPECT_NE(err.find("usage:"), std::string::npos);
+}
+
+TEST_F(CliContract, UnknownCmdExitsTwoWithUsageOnStderr) {
+  EXPECT_EQ(run({"--cmd", "frobnicate"}), 2);
+  EXPECT_NE(stderr_text().find("usage:"), std::string::npos);
+}
+
+TEST_F(CliContract, MissingRequiredPortExitsTwoWithUsageOnStderr) {
+  EXPECT_EQ(run({"tune"}), 2);
+  std::string err = stderr_text();
+  EXPECT_NE(err.find("--port PORT is required"), std::string::npos);
+  EXPECT_NE(err.find("usage:"), std::string::npos);
+
+  EXPECT_EQ(run({"swap"}), 2);
+  err = stderr_text();
+  EXPECT_NE(err.find("--port PORT is required"), std::string::npos);
+  EXPECT_NE(err.find("usage:"), std::string::npos);
+}
+
+TEST_F(CliContract, UnknownFlagExitsTwoWithUsageOnStderr) {
+  EXPECT_EQ(run({"serve", "--frobnicate", "1"}), 2);
+  EXPECT_NE(stderr_text().find("usage:"), std::string::npos);
+  EXPECT_EQ(run({"--cmd", "bound", "--frobnicate", "1"}), 2);
+}
+
+TEST_F(CliContract, InvalidFlagValuesExitTwo) {
+  EXPECT_EQ(run({"serve", "--port", "70000"}), 2);       // out of range
+  EXPECT_EQ(run({"tune", "--port", "1", "--channel", "64"}), 2);
+}
+
+TEST_F(CliContract, OperationalFailureExitsOne) {
+  // Nothing listens on port 1: connection refused is an operational
+  // failure (exit 1), not a usage error — the command line was fine.
+  EXPECT_EQ(run({"tune", "--port", "1", "--timeout-ms", "2000"}), 1);
+  EXPECT_EQ(stderr_text().find("usage:"), std::string::npos);
+}
+
+}  // namespace

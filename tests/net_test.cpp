@@ -1,0 +1,199 @@
+// net_test.cpp — wire codec, frame (de)coder, slot clock, and event loop.
+#include <sys/epoll.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/event_loop.hpp"
+#include "net/framing.hpp"
+#include "net/slot_clock.hpp"
+#include "net/socket.hpp"
+#include "util/wire.hpp"
+
+using namespace tcsa;
+
+namespace {
+
+// ------------------------------------------------------------ wire codec
+
+TEST(Wire, RoundTripsEveryWidth) {
+  std::string bytes;
+  wire_put_u8(bytes, 0xab);
+  wire_put_u16(bytes, 0x1234);
+  wire_put_u32(bytes, 0xdeadbeef);
+  wire_put_u64(bytes, 0x0123456789abcdefULL);
+  wire_put_i64(bytes, -42);
+  WireReader reader(bytes);
+  EXPECT_EQ(reader.read_u8(), 0xab);
+  EXPECT_EQ(reader.read_u16(), 0x1234);
+  EXPECT_EQ(reader.read_u32(), 0xdeadbeefu);
+  EXPECT_EQ(reader.read_u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(reader.read_i64(), -42);
+  EXPECT_NO_THROW(reader.expect_done());
+}
+
+TEST(Wire, IsLittleEndianOnTheWire) {
+  std::string bytes;
+  wire_put_u32(bytes, 0x41534354);  // "TCSA"
+  EXPECT_EQ(bytes, "TCSA");
+}
+
+TEST(Wire, TruncationAndTrailingJunkThrow) {
+  std::string bytes;
+  wire_put_u32(bytes, 7);
+  {
+    WireReader reader(bytes);
+    EXPECT_THROW(reader.read_u64(), std::invalid_argument);
+  }
+  {
+    WireReader reader(bytes);
+    reader.read_u16();
+    EXPECT_THROW(reader.expect_done(), std::invalid_argument);
+  }
+}
+
+// ---------------------------------------------------------------- framing
+
+TEST(Framing, RoundTripsFramesThroughArbitraryChunking) {
+  std::string stream;
+  net::append_frame(stream, net::FrameType::kTune, "01234567");
+  net::append_frame(stream, net::FrameType::kPage, std::string(100, 'x'));
+  net::append_frame(stream, net::FrameType::kHello, "");  // empty payload
+
+  // Feed one byte at a time — frames must reassemble regardless of TCP
+  // segmentation.
+  net::FrameDecoder decoder;
+  std::vector<std::pair<net::FrameType, std::string>> got;
+  net::Frame frame;
+  for (const char c : stream) {
+    decoder.feed(std::string_view(&c, 1));
+    while (decoder.next(frame))
+      got.emplace_back(frame.type, std::string(frame.payload));
+  }
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0].first, net::FrameType::kTune);
+  EXPECT_EQ(got[0].second, "01234567");
+  EXPECT_EQ(got[1].first, net::FrameType::kPage);
+  EXPECT_EQ(got[1].second, std::string(100, 'x'));
+  EXPECT_EQ(got[2].first, net::FrameType::kHello);
+  EXPECT_TRUE(got[2].second.empty());
+  EXPECT_EQ(decoder.buffered(), 0u);
+}
+
+TEST(Framing, NeedsMoreBytesUntilTheFrameCompletes) {
+  std::string stream;
+  net::append_frame(stream, net::FrameType::kTune, "payload");
+  net::FrameDecoder decoder;
+  net::Frame frame;
+  decoder.feed(std::string_view(stream).substr(0, stream.size() - 1));
+  EXPECT_FALSE(decoder.next(frame));
+  decoder.feed(std::string_view(stream).substr(stream.size() - 1));
+  EXPECT_TRUE(decoder.next(frame));
+  EXPECT_EQ(frame.payload, "payload");
+}
+
+TEST(Framing, RejectsCorruptHeaders) {
+  const auto poisoned = [](auto mutate) {
+    std::string stream;
+    net::append_frame(stream, net::FrameType::kPage, "abc");
+    mutate(stream);
+    net::FrameDecoder decoder;
+    decoder.feed(stream);
+    net::Frame frame;
+    EXPECT_THROW(decoder.next(frame), std::invalid_argument);
+  };
+  poisoned([](std::string& s) { s[0] = 'X'; });           // bad magic
+  poisoned([](std::string& s) { s[4] = 99; });            // unknown version
+  poisoned([](std::string& s) { s[5] = 0; });             // type below range
+  poisoned([](std::string& s) { s[5] = 100; });           // type above range
+  poisoned([](std::string& s) { s[6] = 1; });             // nonzero flags
+  poisoned([](std::string& s) { s[11] = 0x7f; });         // length > cap
+}
+
+// -------------------------------------------------------------- slot clock
+
+TEST(SlotClock, DeadlinesAreDriftFreeMultiples) {
+  net::SlotClock clock(250);
+  EXPECT_EQ(clock.slot_us(), 250u);
+  EXPECT_EQ(clock.deadline_us(0), 0u);
+  EXPECT_EQ(clock.deadline_us(7), 7u * 250u);
+  // A slot far in the future is not yet due; its lag is zero.
+  EXPECT_GT(clock.until_due_us(1u << 20), 0u);
+  EXPECT_EQ(clock.lag_us(1u << 20), 0u);
+  // Slot 0's deadline was the epoch: already due, lag grows.
+  EXPECT_EQ(clock.until_due_us(0), 0u);
+}
+
+// -------------------------------------------------------------- event loop
+
+TEST(EventLoop, PostFromAnotherThreadWakesPoll) {
+  net::EventLoop loop;
+  std::atomic<bool> ran{false};
+  std::thread poster([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    loop.post([&] { ran.store(true); });
+  });
+  // Block with no timeout: only the post's wakeup can end this poll.
+  while (!ran.load()) loop.poll(-1);
+  poster.join();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(EventLoop, TimerFiresAndDispatchesCallback) {
+  net::EventLoop loop;
+  net::TimerFd timer;
+  int fired = 0;
+  loop.add(timer.fd(), EPOLLIN, [&](std::uint32_t) {
+    timer.acknowledge();
+    ++fired;
+  });
+  timer.arm_after_us(1000);
+  while (fired == 0) loop.poll(50'000);
+  EXPECT_EQ(fired, 1);
+  loop.remove(timer.fd());
+  EXPECT_EQ(loop.watched(), 0u);
+}
+
+TEST(EventLoop, CallbackMaySafelyRemoveItself) {
+  net::EventLoop loop;
+  net::TimerFd timer;
+  bool removed = false;
+  loop.add(timer.fd(), EPOLLIN, [&](std::uint32_t) {
+    timer.acknowledge();
+    loop.remove(timer.fd());  // self-removal mid-dispatch
+    removed = true;
+  });
+  timer.arm_after_us(0);
+  while (!removed) loop.poll(50'000);
+  EXPECT_EQ(loop.watched(), 0u);
+}
+
+// --------------------------------------------------------------- sockets
+
+TEST(Socket, ListenerResolvesEphemeralPortAndAcceptsNothingWhenIdle) {
+  net::Fd listener = net::listen_tcp("127.0.0.1", 0);
+  ASSERT_TRUE(listener.valid());
+  EXPECT_GT(net::local_port(listener.get()), 0);
+  // Non-blocking accept with no pending connection returns an invalid Fd.
+  net::Fd conn = net::accept_connection(listener.get());
+  EXPECT_FALSE(conn.valid());
+}
+
+TEST(Socket, ConnectRoundTrip) {
+  net::Fd listener = net::listen_tcp("127.0.0.1", 0);
+  const std::uint16_t port = net::local_port(listener.get());
+  net::Fd client = net::connect_tcp("127.0.0.1", port);
+  ASSERT_TRUE(client.valid());
+  net::Fd server;
+  for (int i = 0; i < 100 && !server.valid(); ++i)
+    server = net::accept_connection(listener.get());
+  ASSERT_TRUE(server.valid());
+}
+
+}  // namespace

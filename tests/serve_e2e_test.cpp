@@ -1,0 +1,209 @@
+// serve_e2e_test.cpp — ISSUE acceptance: fork the real `tcsactl serve`,
+// tune in with the real `tcsactl tune --json`, and prove over actual
+// sockets and processes that the broadcast meets every deadline, survives a
+// hot swap from `tcsactl swap`, and leaves mergeable obs artifacts behind.
+#include <unistd.h>
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "model/serialize.hpp"
+#include "model/workload.hpp"
+#include "obs/artifact.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "util/subprocess.hpp"
+
+#ifndef TCSACTL_PATH
+#error "serve_e2e_test requires -DTCSACTL_PATH=\"...\" from CMake"
+#endif
+
+using namespace tcsa;
+
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream file(path);
+  EXPECT_TRUE(file.is_open()) << path;
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return buffer.str();
+}
+
+class ServeE2E : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = std::filesystem::path(testing::TempDir()) /
+            ("tcsa_serve_e2e_" + std::to_string(::getpid()) + "_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(root_);
+    {
+      std::ofstream out(workload_path());
+      save_workload(out, make_workload({2, 4, 8}, {3, 5, 3}));
+    }
+    {
+      std::ofstream out(next_workload_path());
+      save_workload(out, make_workload({2, 4, 8}, {3, 5, 4}));
+    }
+  }
+
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(root_, ec);
+  }
+
+  std::string path(const char* leaf) const { return (root_ / leaf).string(); }
+  std::string workload_path() const { return path("workload.txt"); }
+  std::string next_workload_path() const { return path("next.txt"); }
+
+  /// Forks `tcsactl serve` and blocks until its --port-file appears.
+  Subprocess spawn_serve(std::vector<std::string> extra_flags) {
+    std::vector<std::string> argv = {
+        TCSACTL_PATH, "serve",       "--workload",  workload_path(),
+        "--port",     "0",           "--port-file", path("port.txt"),
+        "--slot-us",  "300",         "--slots",     "6000"};
+    argv.insert(argv.end(), extra_flags.begin(), extra_flags.end());
+    SpawnOptions options;
+    options.stdout_path = path("serve.stdout.txt");
+    options.stderr_path = path("serve.stderr.txt");
+    Subprocess serve = Subprocess::spawn(argv, options);
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(20);
+    std::string contents;
+    while (std::chrono::steady_clock::now() < deadline) {
+      if (std::filesystem::exists(path("port.txt"))) {
+        contents = slurp(path("port.txt"));
+        if (!contents.empty() && contents.back() == '\n') break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    port_ = contents.empty() ? 0 : std::stoi(contents);
+    EXPECT_GT(port_, 0) << "server never wrote its port file; stderr:\n"
+                        << slurp(path("serve.stderr.txt"));
+    return serve;
+  }
+
+  int run_tune(const char* slots, const std::string& json_out) {
+    SpawnOptions options;
+    options.stdout_path = json_out;
+    options.stderr_path = path("tune.stderr.txt");
+    return run_command({TCSACTL_PATH, "tune", "--port", std::to_string(port_),
+                        "--slots", slots, "--json"},
+                       options);
+  }
+
+  std::filesystem::path root_;
+  int port_ = 0;
+};
+
+TEST_F(ServeE2E, TuneObservesZeroMissesAndSwapActivatesLive) {
+  Subprocess serve = spawn_serve({});
+
+  // First audience member: 300 slots of generation 1, not one late page.
+  ASSERT_EQ(run_tune("300", path("tune1.json")), 0)
+      << slurp(path("tune.stderr.txt"));
+  const obs::JsonValue first = obs::json_parse(slurp(path("tune1.json")));
+  EXPECT_GE(first.at("slots").expect_uint("slots"), 300u);
+  EXPECT_EQ(first.at("deadline_misses").expect_uint("deadline_misses"), 0u);
+  EXPECT_EQ(first.at("generation").expect_uint("generation"), 1u);
+  EXPECT_EQ(first.at("swaps_observed").expect_uint("swaps_observed"), 0u);
+  const obs::JsonValue& groups = first.at("groups").expect_array("groups");
+  ASSERT_EQ(groups.array.size(), 3u);
+  for (const obs::JsonValue& group : groups.array) {
+    const std::uint64_t t = group.at("expected_time").expect_uint("t");
+    EXPECT_LE(group.at("max_gap").expect_uint("max_gap"), t);
+    EXPECT_EQ(group.at("misses").expect_uint("misses"), 0u);
+    EXPECT_GT(group.at("receptions").expect_uint("receptions"), 0u);
+  }
+
+  // Hot swap from a second process while the program stays on air.
+  SpawnOptions swap_options;
+  swap_options.stdout_path = path("swap.stdout.txt");
+  swap_options.stderr_path = path("swap.stderr.txt");
+  ASSERT_EQ(run_command({TCSACTL_PATH, "swap", "--port",
+                         std::to_string(port_), "--workload",
+                         next_workload_path()},
+                        swap_options),
+            0)
+      << slurp(path("swap.stderr.txt"));
+  EXPECT_NE(slurp(path("swap.stdout.txt")).find("swap accepted: generation 2"),
+            std::string::npos);
+
+  // Second audience member tunes in after activation: generation 2, still
+  // zero misses, and the grown group now has four pages on air.
+  ASSERT_EQ(run_tune("120", path("tune2.json")), 0)
+      << slurp(path("tune.stderr.txt"));
+  const obs::JsonValue second = obs::json_parse(slurp(path("tune2.json")));
+  EXPECT_EQ(second.at("deadline_misses").expect_uint("deadline_misses"), 0u);
+  EXPECT_EQ(second.at("generation").expect_uint("generation"), 2u);
+
+  EXPECT_EQ(serve.wait(), 0) << slurp(path("serve.stderr.txt"));
+  const std::string serve_log = slurp(path("serve.stderr.txt"));
+  EXPECT_NE(serve_log.find("on air at"), std::string::npos);
+  EXPECT_NE(serve_log.find("off air after 6000 slots (generation 2"),
+            std::string::npos);
+}
+
+#if TCSA_OBS_COMPILED
+TEST_F(ServeE2E, WritesMergeableObsArtifacts) {
+  const std::string art_dir = path("artifacts");
+  Subprocess serve = spawn_serve({"--metrics-out", path("metrics.json"),
+                                  "--out-dir", art_dir, "--run-id",
+                                  "serve-e2e"});
+  ASSERT_EQ(run_tune("200", path("tune.json")), 0)
+      << slurp(path("tune.stderr.txt"));
+  EXPECT_EQ(serve.wait(), 0) << slurp(path("serve.stderr.txt"));
+
+  // --metrics-out snapshot: the tcsa_server_* family is present and sane.
+  const obs::MetricsSnapshot direct =
+      obs::snapshot_from_json(slurp(path("metrics.json")));
+  EXPECT_EQ(direct.counter_value("tcsa_server_slots_aired_total"), 6000u);
+  EXPECT_GE(direct.counter_value("tcsa_server_sessions_opened_total"), 1u);
+  EXPECT_GT(direct.counter_value("tcsa_server_frames_sent_total"), 0u);
+  EXPECT_GT(direct.counter_value("tcsa_server_bytes_sent_total"), 0u);
+  EXPECT_GE(direct.counter_value("tcsa_server_tunes_total"), 1u);
+  const obs::HistogramSnapshot* lag =
+      direct.histogram("tcsa_server_slot_lag_us");
+  ASSERT_NE(lag, nullptr);
+  EXPECT_EQ(lag->total(), 6000u);
+
+  // The --out-dir artifact set is a well-formed single-shard run …
+  const obs::RunManifest manifest =
+      obs::manifest_from_json(slurp(art_dir + "/serve.manifest.json"));
+  EXPECT_EQ(manifest.run_id, "serve-e2e");
+  EXPECT_EQ(manifest.command, "serve");
+  EXPECT_EQ(manifest.shard_count, 1);
+  EXPECT_FALSE(manifest.config_digest.empty());
+
+  // … that `tcsactl obs merge` accepts like any sweep run.
+  SpawnOptions merge_options;
+  merge_options.stdout_path = path("merge.stdout.txt");
+  merge_options.stderr_path = path("merge.stderr.txt");
+  ASSERT_EQ(run_command({TCSACTL_PATH, "obs", "merge", "--dir", art_dir},
+                        merge_options),
+            0)
+      << slurp(path("merge.stderr.txt"));
+  const obs::MetricsSnapshot merged =
+      obs::snapshot_from_json(slurp(art_dir + "/merged.metrics.json"));
+  EXPECT_EQ(merged.counter_value("tcsa_server_slots_aired_total"), 6000u);
+
+  // The trace holds the server's span families.
+  const obs::JsonValue trace =
+      obs::json_parse(slurp(art_dir + "/serve.trace.json"));
+  bool saw_slot_span = false;
+  for (const obs::JsonValue& e : trace.at("traceEvents").array)
+    if (const obs::JsonValue* name = e.find("name");
+        name && name->string == "server.slot")
+      saw_slot_span = true;
+  EXPECT_TRUE(saw_slot_span);
+}
+#endif  // TCSA_OBS_COMPILED
+
+}  // namespace
