@@ -1,0 +1,83 @@
+#include "net/out_queue.hpp"
+
+#include <sys/socket.h>
+
+#include <cerrno>
+
+#include "util/contracts.hpp"
+
+namespace tcsa::net {
+
+void OutQueue::push(SharedBuf buf) {
+  if (buf.empty()) return;
+  bytes_ += buf.size();
+  chunks_.push_back(OutChunk{std::move(buf), 0});
+}
+
+std::size_t OutQueue::gather(struct iovec* iov, std::size_t max_iov) const {
+  std::size_t count = 0;
+  for (const OutChunk& chunk : chunks_) {
+    if (count == max_iov) break;
+    iov[count].iov_base =
+        const_cast<char*>(chunk.buf.data() + chunk.offset);
+    iov[count].iov_len = chunk.buf.size() - chunk.offset;
+    ++count;
+  }
+  return count;
+}
+
+std::size_t OutQueue::consume(std::size_t n) {
+  TCSA_REQUIRE(n <= bytes_, "OutQueue::consume: more bytes than queued");
+  bytes_ -= n;
+  std::size_t retired = 0;
+  while (n > 0) {
+    OutChunk& front = chunks_.front();
+    const std::size_t remaining = front.buf.size() - front.offset;
+    if (n < remaining) {
+      front.offset += n;
+      break;
+    }
+    n -= remaining;
+    retired += front.buf.size();
+    chunks_.pop_front();
+  }
+  return retired;
+}
+
+void OutQueue::clear() {
+  chunks_.clear();
+  bytes_ = 0;
+}
+
+FlushResult flush_queue(int fd, OutQueue& queue) {
+  FlushResult result;
+  iovec iov[kFlushBatch];
+  while (!queue.empty()) {
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = queue.gather(iov, kFlushBatch);
+    const ssize_t n = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+    if (n > 0) {
+      ++result.syscalls;
+      result.bytes_sent += static_cast<std::size_t>(n);
+      result.bytes_retired += queue.consume(static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) {  // cannot happen for a nonempty iovec; treat as stalled
+      ++result.syscalls;
+      result.would_block = true;
+      break;
+    }
+    if (errno == EINTR) continue;
+    ++result.syscalls;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      result.would_block = true;
+      break;
+    }
+    result.error = errno;
+    break;
+  }
+  return result;
+}
+
+}  // namespace tcsa::net

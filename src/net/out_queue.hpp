@@ -1,0 +1,93 @@
+// out_queue.hpp — chunked per-session egress queue and vectored flush.
+//
+// A session behind a full socket used to buffer bytes in one std::string,
+// paying a copy per enqueue and an O(buffered) memmove per partial send.
+// OutQueue replaces that with a deque of {SharedBuf, offset} chunks:
+// enqueueing a frame shared by many sessions is one refcount bump, a fully
+// sent chunk retires with an O(1) pop_front, and a partially sent front
+// chunk just advances its offset. Queued-bytes accounting (bytes()) is the
+// quantity the slow-client eviction cap is measured against.
+//
+// flush_queue() drains a queue into a non-blocking socket with
+// sendmsg(iovec) batching — up to kFlushBatch chunks (bounded by IOV_MAX)
+// per syscall — so a backlogged session catches up in one call instead of
+// one send per frame. It distinguishes bytes the kernel accepted
+// (bytes_sent, from syscall return values) from bytes whose chunk fully
+// retired (bytes_retired): the two differ transiently by the partially
+// sent front chunk, and feed the server's bytes_sent / bytes_flushed
+// counters respectively.
+#pragma once
+
+#include <limits.h>
+#include <sys/uio.h>
+
+#include <cstddef>
+#include <deque>
+
+#include "net/shared_buf.hpp"
+
+namespace tcsa::net {
+
+/// Chunks per sendmsg call. IOV_MAX (POSIX floor 16, 1024 on Linux) is the
+/// kernel's hard cap; 256 keeps the gathered iovec array to 4 KiB of stack
+/// while still retiring a deep backlog in a handful of syscalls.
+inline constexpr std::size_t kFlushBatch = 256 < IOV_MAX ? 256 : IOV_MAX;
+
+/// One queued run of bytes: the shared buffer and how far into it the
+/// socket has already progressed.
+struct OutChunk {
+  SharedBuf buf;
+  std::size_t offset = 0;
+};
+
+class OutQueue {
+ public:
+  /// Enqueues a buffer (refcount bump, no byte copy). Empty buffers are
+  /// ignored — a zero-length chunk would make a sendmsg iovec no-op.
+  void push(SharedBuf buf);
+
+  bool empty() const noexcept { return chunks_.empty(); }
+
+  /// Bytes queued but not yet sent (the eviction-cap quantity).
+  std::size_t bytes() const noexcept { return bytes_; }
+
+  /// Queued chunk count (offsets make this ≠ bytes()/frame_size).
+  std::size_t chunks() const noexcept { return chunks_.size(); }
+
+  /// Fills up to `max_iov` iovecs with the unsent spans of the front
+  /// chunks, in queue order. Returns the number filled.
+  std::size_t gather(struct iovec* iov, std::size_t max_iov) const;
+
+  /// Retires `n` sent bytes from the front: whole chunks pop in O(1), a
+  /// partial remainder advances the front offset. Returns the total size
+  /// of the chunks that fully retired (each chunk's bytes are counted
+  /// exactly once, on the call that sends its last byte).
+  /// Precondition: n <= bytes().
+  std::size_t consume(std::size_t n);
+
+  void clear();
+
+  /// Front chunk, for tests. Precondition: !empty().
+  const OutChunk& front() const { return chunks_.front(); }
+
+ private:
+  std::deque<OutChunk> chunks_;
+  std::size_t bytes_ = 0;
+};
+
+/// Outcome of one flush_queue() drain attempt.
+struct FlushResult {
+  std::size_t bytes_sent = 0;     ///< summed sendmsg return values
+  std::size_t bytes_retired = 0;  ///< bytes of chunks that fully retired
+  std::size_t syscalls = 0;       ///< sendmsg calls issued (incl. EAGAIN)
+  bool would_block = false;       ///< stopped on EAGAIN/EWOULDBLOCK
+  int error = 0;                  ///< fatal errno (0 = none); queue intact
+};
+
+/// Drains `queue` into non-blocking socket `fd` with vectored sendmsg
+/// (MSG_NOSIGNAL, kFlushBatch iovecs per call) until the queue empties,
+/// the socket would block, or a fatal error. Never throws; the caller
+/// decides what a fatal errno means for the session.
+FlushResult flush_queue(int fd, OutQueue& queue);
+
+}  // namespace tcsa::net

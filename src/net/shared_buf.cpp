@@ -1,0 +1,20 @@
+#include "net/shared_buf.hpp"
+
+#include "util/contracts.hpp"
+
+namespace tcsa::net {
+
+bool SharedBuf::patch_u64(std::size_t offset, std::uint64_t value) {
+  // use_count() == 1 is only meaningful because every handle to a given
+  // buffer lives on the server's loop thread; nothing can gain or drop a
+  // reference concurrently with the check.
+  if (!bytes_ || bytes_.use_count() != 1) return false;
+  TCSA_REQUIRE(offset + 8 <= bytes_->size(),
+               "SharedBuf::patch_u64: patch window out of bounds");
+  char* p = bytes_->data() + offset;
+  for (int i = 0; i < 8; ++i)
+    p[i] = static_cast<char>((value >> (8 * i)) & 0xff);
+  return true;
+}
+
+}  // namespace tcsa::net

@@ -31,7 +31,11 @@ struct ServerMetrics {
   obs::MetricId sessions_opened;
   obs::MetricId sessions_closed;
   obs::MetricId frames_sent;
+  obs::MetricId frames_encoded;
+  obs::MetricId bytes_queued;
   obs::MetricId bytes_sent;
+  obs::MetricId bytes_flushed;
+  obs::MetricId writev_calls;
   obs::MetricId slots_aired;
   obs::MetricId evictions;
   obs::MetricId swaps;
@@ -40,6 +44,7 @@ struct ServerMetrics {
   obs::MetricId lag_hist;
   obs::MetricId sessions_gauge;
   obs::MetricId generation_gauge;
+  obs::MetricId queue_depth_gauge;
 };
 
 const ServerMetrics& server_metrics() {
@@ -50,8 +55,20 @@ const ServerMetrics& server_metrics() {
                             "Client sessions closed (any reason)"),
       obs::register_counter("tcsa_server_frames_sent_total",
                             "Page/control frames queued to sessions"),
+      obs::register_counter("tcsa_server_frames_encoded_total",
+                            "Frame bodies encoded (shared by reference "
+                            "across subscribers; cache slot-patches do "
+                            "not count)"),
+      obs::register_counter("tcsa_server_bytes_queued_total",
+                            "Wire bytes queued to session egress queues"),
       obs::register_counter("tcsa_server_bytes_sent_total",
-                            "Wire bytes queued to sessions"),
+                            "Wire bytes the kernel accepted "
+                            "(send/sendmsg return values)"),
+      obs::register_counter("tcsa_server_bytes_flushed_total",
+                            "Wire bytes of frames fully retired from "
+                            "session egress queues"),
+      obs::register_counter("tcsa_server_writev_calls_total",
+                            "Vectored flush syscalls issued"),
       obs::register_counter("tcsa_server_slots_aired_total",
                             "Broadcast slots aired"),
       obs::register_counter("tcsa_server_evictions_total",
@@ -71,6 +88,9 @@ const ServerMetrics& server_metrics() {
                           "Currently connected sessions"),
       obs::register_gauge("tcsa_server_generation",
                           "Id of the program generation on air"),
+      obs::register_gauge("tcsa_server_queue_depth_bytes",
+                          "Bytes queued across all session egress queues "
+                          "after the last slot's flush"),
   };
   return metrics;
 }
@@ -199,7 +219,7 @@ void AirServer::run() {
   for (;;) {
     bool pending = false;
     for (auto& [fd, session] : sessions_)
-      if (!session.pending.empty()) pending = true;
+      if (!session.out.empty()) pending = true;
     if (!pending || clock_->now_us() >= drain_deadline) break;
     loop_.poll(10'000);
   }
@@ -247,9 +267,12 @@ void AirServer::maybe_activate_swap() {
   TCSA_LOG(kInfo) << "air server: generation " << current_->id
                   << " on air at slot " << next_slot_ << " (offset "
                   << current_->offset << ")";
-  const std::string announce = hello_payload(*current_);
-  for (auto& [fd, session] : sessions_)
-    queue_frame(session, net::FrameType::kAnnounce, announce);
+  // One encode, one shared buffer, N refcount bumps.
+  std::string announce;
+  net::append_frame(announce, net::FrameType::kAnnounce,
+                    hello_payload(*current_));
+  const net::SharedBuf shared = net::SharedBuf::wrap(std::move(announce));
+  for (auto& [fd, session] : sessions_) enqueue_buf(session, shared);
 }
 
 void AirServer::air_slot() {
@@ -266,38 +289,59 @@ void AirServer::air_slot() {
   TCSA_METRIC_ADD(server_metrics().slots_aired, 1);
 #endif
 
-  // Encode each occupied channel cell once; fan the bytes out per mask.
+  // A new generation invalidates the frame cache: cached bodies bake in
+  // the generation id and placement. Buffers a slow session still has
+  // queued stay alive through their refcounts until that queue drains.
   const SlotCount channel_count = gen.program.channels();
-  std::vector<std::string> frames(static_cast<std::size_t>(channel_count));
-  std::uint64_t occupied_mask = 0;
+  if (frame_cache_generation_ != gen.id) {
+    frame_cache_generation_ = gen.id;
+    frame_cache_.assign(
+        static_cast<std::size_t>(channel_count) * cycle, net::SharedBuf());
+  }
+
+  // Audience union: a channel nobody subscribes to never has its frame
+  // assembled at all.
+  std::uint64_t audience = 0;
+  for (const auto& [fd, session] : sessions_) audience |= session.mask;
+
+  // Encode each occupied, subscribed channel cell at most once per
+  // generation; each later cycle only re-stamps the slot word in place —
+  // unless a slow session still shares last cycle's buffer, which forces
+  // one fresh encode (queued bytes are immutable).
+  std::uint64_t aired_mask = 0;
   for (SlotCount ch = 0; ch < channel_count; ++ch) {
+    if (((audience >> ch) & 1) == 0) continue;
     const PageId page = gen.program.at(ch, column);
     if (page == kNoPage) continue;
-    std::string payload;
-    wire_put_u64(payload, next_slot_);
-    wire_put_u32(payload, gen.id);
-    wire_put_u32(payload, static_cast<std::uint32_t>(ch));
-    wire_put_u32(payload, page);
-    net::append_frame(frames[static_cast<std::size_t>(ch)],
-                      net::FrameType::kPage, payload);
-    occupied_mask |= 1ull << ch;
+    net::SharedBuf& cached =
+        frame_cache_[static_cast<std::size_t>(ch) * cycle + column];
+    if (!cached.patch_u64(net::kFrameHeaderSize, next_slot_)) {
+      std::string payload;
+      wire_put_u64(payload, next_slot_);
+      wire_put_u32(payload, gen.id);
+      wire_put_u32(payload, static_cast<std::uint32_t>(ch));
+      wire_put_u32(payload, page);
+      std::string bytes;
+      net::append_frame(bytes, net::FrameType::kPage, payload);
+      cached = net::SharedBuf::wrap(std::move(bytes));
+#if TCSA_OBS_COMPILED
+      TCSA_METRIC_ADD(server_metrics().frames_encoded, 1);
+#endif
+    }
+    aired_mask |= 1ull << ch;
   }
-  span.set_arg("channels", occupied_mask);
+  span.set_arg("channels", aired_mask);
 
   std::vector<int> fds;
   fds.reserve(sessions_.size());
   for (auto& [fd, session] : sessions_) {
-    const std::uint64_t hit = session.mask & occupied_mask;
+    const std::uint64_t hit = session.mask & aired_mask;
     if (hit == 0) continue;
     for (SlotCount ch = 0; ch < channel_count; ++ch) {
-      if ((hit >> ch) & 1) {
-        const std::string& bytes = frames[static_cast<std::size_t>(ch)];
-        session.pending.append(bytes);
-#if TCSA_OBS_COMPILED
-        TCSA_METRIC_ADD(server_metrics().frames_sent, 1);
-        TCSA_METRIC_ADD(server_metrics().bytes_sent, bytes.size());
-#endif
-      }
+      if ((hit >> ch) & 1)
+        enqueue_buf(session,
+                    frame_cache_[static_cast<std::size_t>(ch) * cycle +
+                                 column]);
     }
     fds.push_back(fd);
   }
@@ -306,6 +350,13 @@ void AirServer::air_slot() {
     const auto it = sessions_.find(fd);
     if (it != sessions_.end()) flush_session(it->second);
   }
+
+#if TCSA_OBS_COMPILED
+  std::size_t queued = 0;
+  for (const auto& [fd, session] : sessions_) queued += session.out.bytes();
+  obs::gauge_set(server_metrics().queue_depth_gauge,
+                 static_cast<double>(queued));
+#endif
 
   slots_aired_.fetch_add(1, std::memory_order_relaxed);
   ++next_slot_;
@@ -519,38 +570,40 @@ void AirServer::handle_swap_request(int fd, std::string_view payload) {
 
 void AirServer::queue_frame(Session& session, net::FrameType type,
                             std::string_view payload) {
-  const std::size_t before = session.pending.size();
-  net::append_frame(session.pending, type, payload);
+  std::string bytes;
+  net::append_frame(bytes, type, payload);
+  enqueue_buf(session, net::SharedBuf::wrap(std::move(bytes)));
+}
+
+void AirServer::enqueue_buf(Session& session, net::SharedBuf buf) {
 #if TCSA_OBS_COMPILED
   TCSA_METRIC_ADD(server_metrics().frames_sent, 1);
-  TCSA_METRIC_ADD(server_metrics().bytes_sent,
-                  session.pending.size() - before);
-#else
-  (void)before;
+  TCSA_METRIC_ADD(server_metrics().bytes_queued, buf.size());
 #endif
+  session.out.push(std::move(buf));
 }
 
 bool AirServer::flush_session(Session& session) {
   const int fd = session.fd.get();
-  while (!session.pending.empty()) {
-    const ssize_t n = ::send(fd, session.pending.data(),
-                             session.pending.size(), MSG_NOSIGNAL);
-    if (n > 0) {
-      session.pending.erase(0, static_cast<std::size_t>(n));
-      continue;
-    }
-    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
-    if (errno == EINTR) continue;
+  const net::FlushResult result = net::flush_queue(fd, session.out);
+#if TCSA_OBS_COMPILED
+  if (result.syscalls > 0) {
+    TCSA_METRIC_ADD(server_metrics().writev_calls, result.syscalls);
+    TCSA_METRIC_ADD(server_metrics().bytes_sent, result.bytes_sent);
+    TCSA_METRIC_ADD(server_metrics().bytes_flushed, result.bytes_retired);
+  }
+#endif
+  if (result.error != 0) {
     close_session(fd, "send error");
     return false;
   }
-  if (session.pending.size() > config_.max_session_buffer) {
+  if (should_evict(session.out.bytes(), config_.max_session_buffer)) {
     evicted_.fetch_add(1, std::memory_order_relaxed);
 #if TCSA_OBS_COMPILED
     TCSA_METRIC_ADD(server_metrics().evictions, 1);
 #endif
-    TCSA_LOG(kWarn) << "air server: evicting slow client (buffer "
-                    << session.pending.size() << " > cap "
+    TCSA_LOG(kWarn) << "air server: evicting slow client (queued "
+                    << session.out.bytes() << " > cap "
                     << config_.max_session_buffer << ")";
     close_session(fd, "slow client evicted");
     return false;
@@ -560,7 +613,7 @@ bool AirServer::flush_session(Session& session) {
 }
 
 void AirServer::update_write_interest(Session& session) {
-  const bool want = !session.pending.empty();
+  const bool want = !session.out.empty();
   if (want == session.want_write) return;
   session.want_write = want;
   loop_.modify(session.fd.get(), EPOLLIN | (want ? EPOLLOUT : 0u));

@@ -3,10 +3,15 @@
 // AirServer walks a BroadcastProgram cycle slot-by-slot on a drift-free
 // slot clock and multicasts each slot's per-channel page frames to every
 // subscribed TCP session (net/framing wire format). One epoll thread owns
-// all I/O; per-session write buffers absorb transient backpressure and a
-// session whose buffer outgrows the configured cap is evicted — one slow
-// client must never stall the broadcast (the whole point of the broadcast
-// model is that server load is independent of audience size).
+// all I/O. The egress path is zero-copy fan-out: each slot's per-channel
+// frame is encoded at most once (and, the program being periodic, usually
+// just slot-patched from last cycle's cached bytes), shared by refcount
+// into every subscriber's chunked egress queue, and flushed with vectored
+// sendmsg — so per-slot server cost is O(subscribed channels) in copies
+// and O(sessions) in syscalls, independent of audience-times-bytes. A
+// session whose queued bytes outgrow the configured cap is evicted — one
+// slow client must never stall the broadcast (the whole point of the
+// broadcast model is that server load is independent of audience size).
 //
 // Hot program swap: any session may send a kSwap frame carrying a new
 // workload. Scheduling runs OFF the event loop thread (through the same
@@ -30,6 +35,8 @@
 #include "model/workload.hpp"
 #include "net/event_loop.hpp"
 #include "net/framing.hpp"
+#include "net/out_queue.hpp"
+#include "net/shared_buf.hpp"
 #include "net/slot_clock.hpp"
 #include "net/socket.hpp"
 
@@ -55,6 +62,15 @@ struct SwapPlan {
   SlotCount offset = 0;
   SlotCount seam_lateness = 0;
 };
+
+/// Slow-client eviction predicate over queued egress bytes: a session is
+/// evicted only when its queue strictly exceeds the cap — a queue sitting
+/// exactly at the cap stays (tests pin the boundary so fan-out rewrites
+/// cannot drift it by one frame).
+constexpr bool should_evict(std::size_t queued_bytes,
+                            std::size_t cap) noexcept {
+  return queued_bytes > cap;
+}
 
 /// Picks the airing rotation of `next_program` minimizing the swap seam:
 /// for every page p common to both workloads, the promise outstanding at
@@ -107,7 +123,7 @@ class AirServer {
   struct Session {
     net::Fd fd;
     net::FrameDecoder decoder;
-    std::string pending;          // bytes queued behind a full socket
+    net::OutQueue out;            // chunked egress queue (shared buffers)
     std::uint64_t mask = 0;       // subscribed channel mask (0 = none yet)
     bool want_write = false;      // EPOLLOUT currently armed
   };
@@ -131,6 +147,7 @@ class AirServer {
   void handle_swap_request(int fd, std::string_view payload);
   void queue_frame(Session& session, net::FrameType type,
                    std::string_view payload);
+  void enqueue_buf(Session& session, net::SharedBuf buf);
   /// Returns false when the session died (error or eviction) while flushing.
   bool flush_session(Session& session);
   void close_session(int fd, const char* reason);
@@ -152,6 +169,16 @@ class AirServer {
   bool running_ = false;
 
   std::unordered_map<int, Session> sessions_;
+
+  // Per-cycle frame cache: the program is periodic with period
+  // cycle_length, so a (channel, column) page frame's bytes are invariant
+  // within a generation except the slot word — each cycle that word is
+  // patched in place when the cache holds the only reference, and the
+  // frame is re-encoded only on first airing or while a slow session
+  // still has last cycle's buffer queued. Indexed channel * cycle + column;
+  // rebuilt whenever a new generation goes on air.
+  std::vector<net::SharedBuf> frame_cache_;
+  std::uint32_t frame_cache_generation_ = 0;
 
   // Hot-swap worker: one reschedule in flight at a time.
   std::thread swap_worker_;

@@ -1,0 +1,238 @@
+// egress_test.cpp — the zero-copy egress primitives: SharedBuf refcounts
+// and unique-owner patching, OutQueue chunk accounting and O(1) retirement,
+// vectored flush over a backpressured socketpair (partial-send resume and
+// byte-exact ordering), and the queued-bytes eviction boundary.
+#include <sys/socket.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/out_queue.hpp"
+#include "net/shared_buf.hpp"
+#include "net/socket.hpp"
+#include "server/air_server.hpp"
+#include "util/wire.hpp"
+
+using namespace tcsa;
+
+namespace {
+
+// ------------------------------------------------------------- SharedBuf
+
+TEST(SharedBuf, SharesBytesByReferenceAcrossCopies) {
+  net::SharedBuf a = net::SharedBuf::wrap("broadcast");
+  EXPECT_TRUE(a.unique());
+  EXPECT_EQ(a.view(), "broadcast");
+
+  net::SharedBuf b = a;
+  EXPECT_EQ(a.use_count(), 2);
+  EXPECT_EQ(b.data(), a.data()) << "copy must alias, not duplicate";
+
+  net::SharedBuf null_buf;
+  EXPECT_FALSE(static_cast<bool>(null_buf));
+  EXPECT_EQ(null_buf.size(), 0u);
+  EXPECT_FALSE(null_buf.patch_u64(0, 1));
+}
+
+TEST(SharedBuf, PatchRewritesTheWordOnlyForTheSoleOwner) {
+  std::string bytes;
+  wire_put_u64(bytes, 7);
+  wire_put_u32(bytes, 0xdead);
+  net::SharedBuf buf = net::SharedBuf::wrap(bytes);
+
+  ASSERT_TRUE(buf.patch_u64(0, 42));
+  WireReader patched(buf.view());
+  EXPECT_EQ(patched.read_u64(), 42u);
+  EXPECT_EQ(patched.read_u32(), 0xdeadu) << "bytes past the word intact";
+
+  // A second handle (a session still queuing the buffer) blocks the patch
+  // and leaves every byte untouched.
+  net::SharedBuf queued = buf;
+  EXPECT_FALSE(buf.patch_u64(0, 99));
+  WireReader unchanged(queued.view());
+  EXPECT_EQ(unchanged.read_u64(), 42u);
+
+  queued = net::SharedBuf();  // queue drained: sole owner again
+  EXPECT_TRUE(buf.patch_u64(0, 99));
+}
+
+// -------------------------------------------------------------- OutQueue
+
+TEST(OutQueue, AccountsBytesAndIgnoresEmptyBuffers) {
+  net::OutQueue queue;
+  EXPECT_TRUE(queue.empty());
+  queue.push(net::SharedBuf::wrap("abcd"));
+  queue.push(net::SharedBuf::wrap(""));  // no zero-length iovecs
+  queue.push(net::SharedBuf::wrap("efghij"));
+  EXPECT_EQ(queue.chunks(), 2u);
+  EXPECT_EQ(queue.bytes(), 10u);
+
+  queue.clear();
+  EXPECT_TRUE(queue.empty());
+  EXPECT_EQ(queue.bytes(), 0u);
+}
+
+TEST(OutQueue, ConsumeRetiresWholeChunksInOrderAndAdvancesPartials) {
+  net::OutQueue queue;
+  queue.push(net::SharedBuf::wrap("aaaa"));    // 4
+  queue.push(net::SharedBuf::wrap("bbbbbb"));  // 6
+  queue.push(net::SharedBuf::wrap("cc"));      // 2
+
+  // 4 + 3: the first chunk retires whole, the second goes partial.
+  EXPECT_EQ(queue.consume(7), 4u);
+  EXPECT_EQ(queue.chunks(), 2u);
+  EXPECT_EQ(queue.bytes(), 5u);
+  EXPECT_EQ(queue.front().offset, 3u);
+  EXPECT_EQ(queue.front().buf.view(), "bbbbbb");
+
+  // The partial chunk's remaining 3 bytes retire its FULL size (each
+  // chunk's bytes are reported exactly once, at final retirement).
+  EXPECT_EQ(queue.consume(3), 6u);
+  EXPECT_EQ(queue.front().buf.view(), "cc");
+  EXPECT_EQ(queue.consume(2), 2u);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(OutQueue, GatherIsBoundedAndSkipsSentPrefixes) {
+  net::OutQueue queue;
+  for (int i = 0; i < 10; ++i)
+    queue.push(net::SharedBuf::wrap(std::string(8, static_cast<char>('a' + i))));
+  queue.consume(3);  // front chunk now partial
+
+  iovec iov[4];
+  ASSERT_EQ(queue.gather(iov, 4), 4u);
+  EXPECT_EQ(iov[0].iov_len, 5u) << "front iovec starts at the unsent offset";
+  EXPECT_EQ(std::string(static_cast<const char*>(iov[0].iov_base), 5),
+            "aaaaa");
+  EXPECT_EQ(iov[1].iov_len, 8u);
+
+  iovec all[64];
+  EXPECT_EQ(queue.gather(all, 64), 10u);
+}
+
+// ------------------------------------------------- vectored flush + resume
+
+struct SocketPair {
+  net::Fd writer;
+  net::Fd reader;
+};
+
+SocketPair make_pair_with_sndbuf(int sndbuf_bytes) {
+  int fds[2];
+  EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  SocketPair pair{net::Fd(fds[0]), net::Fd(fds[1])};
+  net::set_nonblocking(pair.writer.get(), true);
+  net::set_nonblocking(pair.reader.get(), true);
+  if (sndbuf_bytes > 0) net::set_send_buffer(pair.writer.get(), sndbuf_bytes);
+  return pair;
+}
+
+std::string read_up_to(int fd, std::size_t cap) {
+  std::string out;
+  std::vector<char> buffer(4096);
+  while (out.size() < cap) {
+    const ssize_t n = ::recv(fd, buffer.data(),
+                             std::min(buffer.size(), cap - out.size()), 0);
+    if (n > 0) {
+      out.append(buffer.data(), static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    break;  // EAGAIN or EOF
+  }
+  return out;
+}
+
+TEST(FlushQueue, DrainsAWholeBacklogThroughBoundedIovecBatches) {
+  SocketPair pair = make_pair_with_sndbuf(1 << 20);
+  net::OutQueue queue;
+  std::string expected;
+  // More chunks than one sendmsg batch may carry, to exercise the bound.
+  const std::size_t chunk_count = net::kFlushBatch * 2 + 17;
+  for (std::size_t i = 0; i < chunk_count; ++i) {
+    std::string chunk(32, static_cast<char>('A' + (i % 26)));
+    expected += chunk;
+    queue.push(net::SharedBuf::wrap(std::move(chunk)));
+  }
+
+  const net::FlushResult result = net::flush_queue(pair.writer.get(), queue);
+  EXPECT_EQ(result.error, 0);
+  EXPECT_FALSE(result.would_block);
+  EXPECT_TRUE(queue.empty());
+  EXPECT_EQ(result.bytes_sent, expected.size());
+  EXPECT_EQ(result.bytes_retired, expected.size());
+  // ceil(chunks / batch) syscalls, not one per chunk.
+  EXPECT_LE(result.syscalls,
+            (chunk_count + net::kFlushBatch - 1) / net::kFlushBatch);
+  EXPECT_EQ(read_up_to(pair.reader.get(), expected.size()), expected);
+}
+
+TEST(FlushQueue, PartialSendResumesInOrderAcrossATinySendBuffer) {
+  SocketPair pair = make_pair_with_sndbuf(4096);
+  net::OutQueue queue;
+  std::string expected;
+  for (std::size_t i = 0; i < 64; ++i) {
+    std::string chunk(4096, static_cast<char>('a' + (i % 26)));
+    expected += chunk;
+    queue.push(net::SharedBuf::wrap(std::move(chunk)));
+  }
+
+  // First flush hits backpressure: the kernel accepts a prefix and the
+  // queue keeps exactly the rest, bytes() matching to the byte.
+  const net::FlushResult first = net::flush_queue(pair.writer.get(), queue);
+  EXPECT_EQ(first.error, 0);
+  ASSERT_TRUE(first.would_block) << "SO_SNDBUF too large to backpressure";
+  ASSERT_FALSE(queue.empty());
+  EXPECT_EQ(queue.bytes(), expected.size() - first.bytes_sent);
+  EXPECT_GE(first.bytes_sent, first.bytes_retired)
+      << "a partially sent chunk must not count as retired";
+
+  // Drain reader and flush alternately; the reassembled stream must be
+  // byte-identical to the chunks in push order (retirement never reorders
+  // or re-sends across partial boundaries).
+  std::string received;
+  std::size_t flushes = 0;
+  while (received.size() < expected.size()) {
+    received += read_up_to(pair.reader.get(), expected.size());
+    if (!queue.empty()) {
+      const net::FlushResult r = net::flush_queue(pair.writer.get(), queue);
+      ASSERT_EQ(r.error, 0);
+      ++flushes;
+    }
+    ASSERT_LT(flushes, 10'000u) << "no forward progress";
+  }
+  EXPECT_TRUE(queue.empty());
+  EXPECT_EQ(received, expected);
+}
+
+TEST(FlushQueue, ReportsAFatalErrorAndLeavesTheQueueIntact) {
+  SocketPair pair = make_pair_with_sndbuf(0);
+  net::OutQueue queue;
+  queue.push(net::SharedBuf::wrap("doomed"));
+  pair.reader.reset();  // peer gone: EPIPE, suppressed signal
+
+  const net::FlushResult result = net::flush_queue(pair.writer.get(), queue);
+  EXPECT_EQ(result.error, EPIPE);
+  EXPECT_EQ(result.bytes_sent, 0u);
+  EXPECT_EQ(queue.bytes(), 6u) << "fatal error must not drop queued bytes";
+}
+
+// ------------------------------------------------------ eviction boundary
+
+TEST(Eviction, FiresStrictlyAboveTheQueuedBytesCap) {
+  constexpr std::size_t cap = 2048;
+  EXPECT_FALSE(should_evict(0, cap));
+  EXPECT_FALSE(should_evict(cap - 1, cap));
+  EXPECT_FALSE(should_evict(cap, cap)) << "exactly at the cap stays";
+  EXPECT_TRUE(should_evict(cap + 1, cap));
+  EXPECT_FALSE(should_evict(0, 0));
+  EXPECT_TRUE(should_evict(1, 0));
+}
+
+}  // namespace

@@ -172,7 +172,9 @@ TEST(AirServer, RejectsSwapToAnUnschedulableWorkloadAndStaysOnAir) {
 
 TEST(AirServer, EvictsASlowClientInsteadOfStallingTheBroadcast) {
   AirServerConfig config;
-  config.slot_us = 200;
+  // Roomy slots: under TSAN an instrumented healthy client must still
+  // drain on schedule, or it would (correctly) be evicted as slow too.
+  config.slot_us = 1000;
   config.max_slots = 0;  // run until stopped
   config.session_send_buffer = 4096;
   config.max_session_buffer = 2048;
@@ -266,13 +268,69 @@ TEST(AirServer, ExportsServerMetrics) {
   EXPECT_GE(delta.counter_value("tcsa_server_sessions_closed_total"), 1u);
   EXPECT_GE(delta.counter_value("tcsa_server_slots_aired_total"), 200u);
   EXPECT_GT(delta.counter_value("tcsa_server_frames_sent_total"), 0u);
+  EXPECT_GT(delta.counter_value("tcsa_server_frames_encoded_total"), 0u);
+  EXPECT_LE(delta.counter_value("tcsa_server_frames_encoded_total"),
+            delta.counter_value("tcsa_server_frames_sent_total"));
+  // Queue-time vs send-time accounting: everything sent was queued first,
+  // and a frame's bytes retire (flush) only after the kernel accepted them.
+  EXPECT_GT(delta.counter_value("tcsa_server_bytes_queued_total"), 0u);
   EXPECT_GT(delta.counter_value("tcsa_server_bytes_sent_total"), 0u);
+  EXPECT_LE(delta.counter_value("tcsa_server_bytes_sent_total"),
+            delta.counter_value("tcsa_server_bytes_queued_total"));
+  EXPECT_LE(delta.counter_value("tcsa_server_bytes_flushed_total"),
+            delta.counter_value("tcsa_server_bytes_sent_total"));
+  EXPECT_GT(delta.counter_value("tcsa_server_writev_calls_total"), 0u);
   EXPECT_EQ(delta.counter_value("tcsa_server_swaps_total"), 1u);
   EXPECT_EQ(delta.counter_value("tcsa_server_tunes_total"), 1u);
   const obs::HistogramSnapshot* lag =
       delta.histogram("tcsa_server_slot_lag_us");
   ASSERT_NE(lag, nullptr);
   EXPECT_GE(lag->total(), 200u);
+}
+
+// Zero-copy fan-out acceptance: with several full-mask subscribers, frame
+// encoding stays O(channels) — the per-cycle cache encodes each (channel,
+// column) body once per generation and slot-patches it afterwards, while
+// queued frames scale with the audience.
+TEST(AirServer, FanOutSharesOneEncodePerFrameAcrossSessions) {
+  obs::set_enabled(true);
+  const obs::MetricsSnapshot before = obs::snapshot();
+
+  {
+    AirServerConfig config;
+    config.slot_us = 300;
+    config.max_slots = 400;
+    ServerHarness harness(paper_workload(), config);
+    TuneClient a(harness.client_options(net::kAllChannels));
+    TuneClient b(harness.client_options(net::kAllChannels));
+    TuneClient c(harness.client_options(net::kAllChannels));
+    std::thread ta([&] { a.run(0); });
+    std::thread tb([&] { b.run(0); });
+    c.run(0);
+    ta.join();
+    tb.join();
+    EXPECT_EQ(a.summary().deadline_misses, 0u);
+    EXPECT_EQ(b.summary().deadline_misses, 0u);
+    EXPECT_EQ(c.summary().deadline_misses, 0u);
+  }
+
+  const obs::MetricsSnapshot delta = obs::snapshot().minus(before);
+  obs::set_enabled(false);
+  const std::uint64_t encoded =
+      delta.counter_value("tcsa_server_frames_encoded_total");
+  const std::uint64_t sent =
+      delta.counter_value("tcsa_server_frames_sent_total");
+  ASSERT_GT(encoded, 0u);
+  // Three subscribers share each encoded body; even with connect skew and
+  // occasional cache misses the fan-out must dominate the encodes.
+  EXPECT_GE(sent, 2 * encoded)
+      << "per-session copies crept back into the egress path";
+  // All three drained cleanly, so send-time accounting converged with
+  // queue-time accounting: every queued byte was sent and fully retired.
+  EXPECT_EQ(delta.counter_value("tcsa_server_bytes_sent_total"),
+            delta.counter_value("tcsa_server_bytes_queued_total"));
+  EXPECT_EQ(delta.counter_value("tcsa_server_bytes_flushed_total"),
+            delta.counter_value("tcsa_server_bytes_sent_total"));
 }
 #endif
 
