@@ -48,6 +48,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "server/air_server.hpp"
+#include "server/loadgen.hpp"
 #include "server/tune_client.hpp"
 #include "sim/broadcast_sim.hpp"
 #include "sim/sweep.hpp"
@@ -350,6 +351,9 @@ int serve_main(int argc, const char* const* argv) {
                  "use --port 0)");
   cli.add_int("slot-us", 1000, "real-time length of one slot, microseconds");
   cli.add_int("slots", 0, "go off air after N slots (0 = until killed)");
+  cli.add_int("loops", 1,
+              "I/O event loops; > 1 shards sessions across per-core epoll "
+              "loops behind one SO_REUSEPORT listen group");
   cli.add_int("max-buffer-kb", 256,
               "evict a session whose write buffer exceeds this");
   cli.add_int("send-buffer", 0,
@@ -381,6 +385,10 @@ int serve_main(int argc, const char* const* argv) {
     throw std::invalid_argument("serve: --slot-us must be >= 1");
   config.slot_us = static_cast<std::uint32_t>(cli.get_int("slot-us"));
   config.max_slots = static_cast<std::uint64_t>(cli.get_int("slots"));
+  const long long loops = cli.get_int("loops");
+  if (loops < 1 || loops > 64)
+    throw std::invalid_argument("serve: --loops must be in [1, 64]");
+  config.loops = static_cast<std::size_t>(loops);
   config.max_session_buffer =
       static_cast<std::size_t>(cli.get_int("max-buffer-kb")) * 1024;
   config.session_send_buffer = static_cast<int>(cli.get_int("send-buffer"));
@@ -411,7 +419,8 @@ int serve_main(int argc, const char* const* argv) {
     write_text_file(port_file, std::to_string(server.port()) + "\n");
   std::cerr << "tcsactl serve: on air at " << config.bind_address << ':'
             << server.port() << " (" << server.channels()
-            << " channels, slot " << config.slot_us << "us";
+            << " channels, slot " << config.slot_us << "us, "
+            << server.loops() << " loop" << (server.loops() == 1 ? "" : "s");
   if (config.max_slots)
     std::cerr << ", stopping after " << config.max_slots << " slots";
   std::cerr << ")\n";
@@ -549,6 +558,96 @@ int swap_main(int argc, const char* const* argv) {
                                            "promises preserved"
                                          : "")
             << ")\n";
+  return 0;
+}
+
+/// `tcsactl loadgen` — open thousands of sessions against a running server
+/// and report what the audience experienced (slot-airing jitter, evictions).
+int loadgen_main(int argc, const char* const* argv) {
+  Cli cli("tcsactl loadgen",
+          "load a broadcast server with many sessions and measure "
+          "slot-airing jitter percentiles");
+  cli.add_string("host", "127.0.0.1", "server address");
+  cli.add_int("port", 0, "server port (required)");
+  cli.add_int("sessions", 1000, "total sessions to open");
+  cli.add_int("threads", 2, "client I/O threads (sessions are split evenly)");
+  cli.add_int("duration-ms", 2000, "measurement window after the ramp");
+  cli.add_int("ramp-timeout-ms", 15000, "give up ramping after this");
+  cli.add_int("connect-batch", 64, "dials in flight per thread");
+  cli.add_double("slo-p99-us", 0.0,
+                 "exit 1 when p99 jitter exceeds this many microseconds "
+                 "(0 = report only)");
+  cli.add_string("json-out", "",
+                 "write the report to FILE as a metrics-snapshot JSON "
+                 "document (diffable with 'tcsactl obs diff')");
+  cli.add_string("out-dir", "",
+                 "write a manifest + metrics artifact set into DIR "
+                 "(mergeable with 'tcsactl obs merge')");
+  cli.add_string("run-id", "", "artifact run id (default: clock + pid)");
+  if (!cli.parse(argc, argv)) return 0;
+
+  LoadGenConfig config;
+  config.host = cli.get_string("host");
+  config.port = required_port(cli, "loadgen");
+  if (cli.get_int("sessions") < 1)
+    throw std::invalid_argument("loadgen: --sessions must be >= 1");
+  config.sessions = static_cast<std::size_t>(cli.get_int("sessions"));
+  if (cli.get_int("threads") < 1)
+    throw std::invalid_argument("loadgen: --threads must be >= 1");
+  config.threads = static_cast<std::size_t>(cli.get_int("threads"));
+  config.duration_ms = static_cast<std::uint64_t>(cli.get_int("duration-ms"));
+  config.ramp_timeout_ms =
+      static_cast<std::uint64_t>(cli.get_int("ramp-timeout-ms"));
+  if (cli.get_int("connect-batch") < 1)
+    throw std::invalid_argument("loadgen: --connect-batch must be >= 1");
+  config.connect_batch = static_cast<std::size_t>(cli.get_int("connect-batch"));
+  config.slo_p99_us = cli.get_double("slo-p99-us");
+
+  const LoadGenReport report = run_loadgen(config);
+  std::cerr << "tcsactl loadgen: " << report.sessions_connected << '/'
+            << report.sessions_requested << " sessions, " << report.pages
+            << " pages in the window, jitter p50/p99/p999/max "
+            << report.jitter_p50_us << '/' << report.jitter_p99_us << '/'
+            << report.jitter_p999_us << '/' << report.jitter_max_us
+            << " us, " << report.early_closes << " early closes, ~"
+            << static_cast<std::uint64_t>(report.rss_per_session_bytes)
+            << " RSS bytes/session\n";
+
+  if (const std::string json_out = cli.get_string("json-out");
+      !json_out.empty())
+    write_text_file(json_out, report.to_json());
+#if TCSA_OBS_COMPILED
+  if (const std::string out_dir = cli.get_string("out-dir");
+      !out_dir.empty()) {
+    std::filesystem::create_directories(out_dir);
+    std::string run_id = cli.get_string("run-id");
+    if (run_id.empty()) run_id = default_run_id();
+    const std::string digest = fnv_digest(
+        "loadgen|sessions=" + std::to_string(config.sessions) +
+        "|threads=" + std::to_string(config.threads) +
+        "|duration_ms=" + std::to_string(config.duration_ms));
+    obs::RunManifest manifest =
+        obs::make_manifest(run_id, 0, 1, digest, "loadgen");
+    manifest.metrics_file = "loadgen.metrics.json";
+    write_text_file(out_dir + "/" + manifest.metrics_file, report.to_json());
+    write_text_file(out_dir + "/loadgen.manifest.json",
+                    obs::manifest_to_json(manifest));
+  }
+#else
+  if (!cli.get_string("out-dir").empty())
+    std::cerr << "tcsactl loadgen: warning: built with TCSA_OBS=OFF; "
+                 "--out-dir manifest writing is ignored\n";
+#endif
+
+  if (report.sessions_connected == 0) {
+    std::cerr << "tcsactl loadgen: no session ever connected\n";
+    return 1;
+  }
+  if (report.slo_violations > 0) {
+    std::cerr << "tcsactl loadgen: p99 jitter " << report.jitter_p99_us
+              << " us exceeds the " << config.slo_p99_us << " us SLO\n";
+    return 1;
+  }
   return 0;
 }
 
@@ -762,9 +861,10 @@ int run(int argc, const char* const* argv) {
     if (sub == "serve") return serve_main(argc - 1, argv + 1);
     if (sub == "tune") return tune_main(argc - 1, argv + 1);
     if (sub == "swap") return swap_main(argc - 1, argv + 1);
+    if (sub == "loadgen") return loadgen_main(argc - 1, argv + 1);
     throw std::invalid_argument(
         "unknown subcommand: " + sub +
-        " (expected serve | tune | swap | obs, or --cmd ...)");
+        " (expected serve | tune | swap | loadgen | obs, or --cmd ...)");
   }
 
   Cli cli("tcsactl", "plan, schedule, validate and simulate "

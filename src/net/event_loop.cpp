@@ -45,6 +45,7 @@ void EventLoop::add(int fd, std::uint32_t events, IoCallback callback) {
     fail("epoll_ctl(ADD)");
   callbacks_.emplace(fd,
                      std::make_shared<IoCallback>(std::move(callback)));
+  watched_count_.store(callbacks_.size(), std::memory_order_release);
 }
 
 void EventLoop::modify(int fd, std::uint32_t events) {
@@ -61,6 +62,7 @@ void EventLoop::remove(int fd) {
   const auto it = callbacks_.find(fd);
   if (it == callbacks_.end()) return;
   callbacks_.erase(it);
+  watched_count_.store(callbacks_.size(), std::memory_order_release);
   // The fd may already be closed by the owner; ignore ENOENT/EBADF.
   (void)::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_DEL, fd, nullptr);
 }

@@ -12,6 +12,7 @@
 // dangling callback behind.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -51,8 +52,13 @@ class EventLoop {
   /// The one thread-safe method.
   void post(std::function<void()> fn);
 
-  /// Number of registered fds (excluding the internal wakeup fd).
-  std::size_t watched() const noexcept { return callbacks_.size(); }
+  /// Number of registered fds (excluding the internal wakeup fd). Safe to
+  /// call from any thread: backed by an atomic shadow of `callbacks_.size()`
+  /// so cross-loop observers (LoopGroup stats, tests) never race the
+  /// loop-thread-only map.
+  std::size_t watched() const noexcept {
+    return watched_count_.load(std::memory_order_acquire);
+  }
 
  private:
   void drain_posted();
@@ -60,6 +66,7 @@ class EventLoop {
   Fd epoll_fd_;
   Fd wake_fd_;  // eventfd, armed by post()
   std::unordered_map<int, std::shared_ptr<IoCallback>> callbacks_;
+  std::atomic<std::size_t> watched_count_{0};
   std::mutex posted_mutex_;
   std::vector<std::function<void()>> posted_;
 };

@@ -1,0 +1,49 @@
+#include "net/loop_group.hpp"
+
+#include <stdexcept>
+
+#include "util/contracts.hpp"
+
+namespace tcsa::net {
+
+LoopGroup::LoopGroup(std::size_t loops) {
+  TCSA_REQUIRE(loops >= 1, "LoopGroup: need at least one loop");
+  loops_.reserve(loops);
+  for (std::size_t i = 0; i < loops; ++i)
+    loops_.push_back(std::make_unique<EventLoop>());
+}
+
+LoopGroup::~LoopGroup() {
+  for (std::thread& worker : workers_)
+    if (worker.joinable()) worker.join();
+}
+
+void LoopGroup::start_workers(std::function<void(std::size_t)> body) {
+  TCSA_REQUIRE(workers_.empty(), "LoopGroup: workers already started");
+  workers_.reserve(loops_.size() > 0 ? loops_.size() - 1 : 0);
+  for (std::size_t i = 1; i < loops_.size(); ++i) {
+    workers_.emplace_back([this, body, i] {
+      try {
+        body(i);
+      } catch (const std::exception& e) {
+        const std::lock_guard<std::mutex> lock(error_mutex_);
+        if (first_error_.empty())
+          first_error_ = "loop " + std::to_string(i) + ": " + e.what();
+      }
+    });
+  }
+}
+
+void LoopGroup::join_workers() {
+  for (std::thread& worker : workers_)
+    if (worker.joinable()) worker.join();
+  workers_.clear();
+  const std::lock_guard<std::mutex> lock(error_mutex_);
+  if (!first_error_.empty()) {
+    const std::string error = first_error_;
+    first_error_.clear();
+    throw std::runtime_error("LoopGroup worker failed: " + error);
+  }
+}
+
+}  // namespace tcsa::net

@@ -63,7 +63,29 @@ Fd listen_tcp(const std::string& address, std::uint16_t port) {
   if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
              sizeof(addr)) < 0)
     fail("bind " + address + ":" + std::to_string(port));
-  if (::listen(fd.get(), 64) < 0) fail("listen");
+  // Backlog matches listen_reuseport: a busy event loop may be slow to
+  // accept while a load generator dials in batches, and a shallow queue
+  // turns that into stillborn sessions (final-ACK drops, then RST on the
+  // client's first send).
+  if (::listen(fd.get(), 1024) < 0) fail("listen");
+  return fd;
+}
+
+Fd listen_reuseport(const std::string& address, std::uint16_t port) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0));
+  if (!fd) fail("socket");
+  const int one = 1;
+  if (::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) < 0)
+    fail("setsockopt(SO_REUSEADDR)");
+  if (::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) < 0)
+    fail("setsockopt(SO_REUSEPORT)");
+  const sockaddr_in addr = make_address(address, port);
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) < 0)
+    fail("bind " + address + ":" + std::to_string(port) + " (reuseport)");
+  // Deeper backlog than the single-listener path: each shard absorbs
+  // connection storms from the load generator's batched dials.
+  if (::listen(fd.get(), 1024) < 0) fail("listen");
   return fd;
 }
 
@@ -98,6 +120,28 @@ Fd connect_tcp(const std::string& address, std::uint16_t port) {
   } while (rc < 0 && errno == EINTR);
   if (rc < 0) fail("connect " + address + ":" + std::to_string(port));
   return fd;
+}
+
+Fd connect_tcp_nonblocking(const std::string& address, std::uint16_t port) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0));
+  if (!fd) fail("socket");
+  const sockaddr_in addr = make_address(address, port);
+  int rc;
+  do {
+    rc = ::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr));
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0 && errno != EINPROGRESS)
+    fail("connect " + address + ":" + std::to_string(port));
+  return fd;
+}
+
+int connect_error(int fd) {
+  int err = 0;
+  socklen_t len = sizeof(err);
+  if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) < 0)
+    fail("getsockopt(SO_ERROR)");
+  return err;
 }
 
 }  // namespace tcsa::net

@@ -59,6 +59,15 @@ void set_send_buffer(int fd, int bytes);
 /// kernel-assigned ephemeral port) with SO_REUSEADDR and a listen backlog.
 Fd listen_tcp(const std::string& address, std::uint16_t port);
 
+/// Opens a non-blocking IPv4 listener with SO_REUSEPORT (and SO_REUSEADDR)
+/// so K listeners on the same concrete `address:port` shard accepted
+/// connections across the kernel's per-listener queues. Binding K clones
+/// directly at port 0 does NOT work: each port-0 REUSEPORT bind lands on a
+/// *different* ephemeral port. Shard race-free instead: open shard 0 here
+/// at port 0, read `local_port`, then open shards 1..K-1 here at that
+/// concrete port — they join shard 0's reuseport group.
+Fd listen_reuseport(const std::string& address, std::uint16_t port);
+
 /// Port a bound socket actually listens on (resolves ephemeral port 0).
 std::uint16_t local_port(int fd);
 
@@ -68,5 +77,16 @@ Fd accept_connection(int listener_fd);
 
 /// Blocking IPv4 connect for clients; the returned fd stays blocking.
 Fd connect_tcp(const std::string& address, std::uint16_t port);
+
+/// Starts a non-blocking IPv4 connect and returns immediately; the fd is
+/// non-blocking and the connect is usually still in flight (EINPROGRESS).
+/// Poll for EPOLLOUT, then check `connect_error` before first use. Built
+/// for the load generator, which opens tens of thousands of sessions and
+/// cannot afford one RTT of blocking apiece.
+Fd connect_tcp_nonblocking(const std::string& address, std::uint16_t port);
+
+/// SO_ERROR of a completing non-blocking connect: 0 on success, else the
+/// errno the connect failed with.
+int connect_error(int fd);
 
 }  // namespace tcsa::net

@@ -16,7 +16,6 @@
 #include "model/appearance_index.hpp"
 #include "model/serialize.hpp"
 #include "model/validate.hpp"
-#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "online/adaptive.hpp"
 #include "util/contracts.hpp"
@@ -45,6 +44,7 @@ struct ServerMetrics {
   obs::MetricId sessions_gauge;
   obs::MetricId generation_gauge;
   obs::MetricId queue_depth_gauge;
+  obs::MetricId loops_gauge;
 };
 
 const ServerMetrics& server_metrics() {
@@ -91,6 +91,9 @@ const ServerMetrics& server_metrics() {
       obs::register_gauge("tcsa_server_queue_depth_bytes",
                           "Bytes queued across all session egress queues "
                           "after the last slot's flush"),
+      obs::register_gauge("tcsa_server_loops",
+                          "Per-core I/O loops the server shards sessions "
+                          "across"),
   };
   return metrics;
 }
@@ -167,6 +170,9 @@ AirServer::AirServer(Workload workload, AirServerConfig config)
                "AirServer: channel count must be in [1, 64] (subscription "
                "masks are 64-bit)");
   TCSA_REQUIRE(config_.slot_us >= 1, "AirServer: slot_us must be >= 1");
+  loop_count_ = config_.loops;
+  TCSA_REQUIRE(loop_count_ >= 1 && loop_count_ <= 64,
+               "AirServer: loops must be in [1, 64]");
 
   const ScheduleOutcome outcome =
       config_.auto_method ? choose_schedule(workload, channels_)
@@ -184,58 +190,145 @@ AirServer::AirServer(Workload workload, AirServerConfig config)
   current_->workload_binary = workload_to_binary(current_->workload);
   generation_id_.store(1, std::memory_order_relaxed);
   note_generation(1);
+  publish_hello(*current_);
 
-  listener_ = net::listen_tcp(config_.bind_address, config_.port);
-  port_ = net::local_port(listener_.get());
+  group_ = std::make_unique<net::LoopGroup>(loop_count_);
+  shards_.reserve(loop_count_);
+  for (std::size_t i = 0; i < loop_count_; ++i) {
+    auto shard = std::make_unique<LoopShard>();
+    shard->index = i;
+    shard->loop = &group_->loop(i);
+    shards_.push_back(std::move(shard));
+  }
+  if (loop_count_ == 1) {
+    shards_[0]->listener = net::listen_tcp(config_.bind_address, config_.port);
+    port_ = net::local_port(shards_[0]->listener.get());
+  } else {
+    // Shard 0 resolves the (possibly ephemeral) port inside the reuseport
+    // group; shards 1..K-1 join it at the concrete port. Binding every
+    // shard at port 0 would scatter them across K different ports.
+    shards_[0]->listener =
+        net::listen_reuseport(config_.bind_address, config_.port);
+    port_ = net::local_port(shards_[0]->listener.get());
+    for (std::size_t i = 1; i < loop_count_; ++i)
+      shards_[i]->listener = net::listen_reuseport(config_.bind_address, port_);
+  }
+
+#if TCSA_OBS_COMPILED
+  loop_queue_gauges_.reserve(loop_count_);
+  for (std::size_t i = 0; i < loop_count_; ++i)
+    loop_queue_gauges_.push_back(obs::register_gauge(
+        "tcsa_server_loop" + std::to_string(i) + "_queue_depth_bytes",
+        "Bytes queued across loop " + std::to_string(i) +
+            "'s session egress queues after its last slot flush"));
+#endif
 }
 
 AirServer::~AirServer() {
   if (swap_worker_.joinable()) swap_worker_.join();
 }
 
-std::string AirServer::hello_payload(const Generation& gen) const {
+void AirServer::publish_hello(const Generation& gen) {
+  const std::lock_guard<std::mutex> lock(hello_mutex_);
+  hello_.id = gen.id;
+  hello_.channels = static_cast<std::uint32_t>(gen.program.channels());
+  hello_.cycle = static_cast<std::uint32_t>(gen.program.cycle_length());
+  hello_.workload_binary = gen.workload_binary;
+}
+
+std::string AirServer::hello_payload_now(std::uint32_t* gen_out) const {
+  // next_slot_ is loop-0-only; slots_aired_ tracks it exactly (both advance
+  // together at the end of air_slot), so any loop can stamp the slot.
+  const std::uint64_t next_slot = slots_aired_.load(std::memory_order_acquire);
+  const std::lock_guard<std::mutex> lock(hello_mutex_);
+  if (gen_out) *gen_out = hello_.id;
   std::string payload;
-  wire_put_u32(payload, gen.id);
+  wire_put_u32(payload, hello_.id);
   wire_put_u32(payload, config_.slot_us);
-  wire_put_u32(payload, static_cast<std::uint32_t>(gen.program.channels()));
-  wire_put_u32(payload,
-               static_cast<std::uint32_t>(gen.program.cycle_length()));
-  wire_put_u64(payload, next_slot_);
-  payload.append(gen.workload_binary);
+  wire_put_u32(payload, hello_.channels);
+  wire_put_u32(payload, hello_.cycle);
+  wire_put_u64(payload, next_slot);
+  payload.append(hello_.workload_binary);
   return payload;
+}
+
+std::size_t AirServer::total_sessions() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_)
+    total += shard->session_count.load(std::memory_order_acquire);
+  return total;
+}
+
+std::vector<std::size_t> AirServer::sessions_per_loop() const {
+  std::vector<std::size_t> counts;
+  counts.reserve(shards_.size());
+  for (const auto& shard : shards_)
+    counts.push_back(shard->session_count.load(std::memory_order_acquire));
+  return counts;
 }
 
 void AirServer::run() {
   clock_ = std::make_unique<net::SlotClock>(config_.slot_us);
-  loop_.add(listener_.get(), EPOLLIN, [this](std::uint32_t) { on_accept(); });
-  loop_.add(timer_.fd(), EPOLLIN, [this](std::uint32_t) { on_timer(); });
+#if TCSA_OBS_COMPILED
+  obs::gauge_set(server_metrics().loops_gauge,
+                 static_cast<double>(loop_count_));
+#endif
+  LoopShard& shard0 = *shards_[0];
+  shard0.loop->add(shard0.listener.get(), EPOLLIN,
+                   [this, &shard0](std::uint32_t) { on_accept(shard0); });
+  shard0.loop->add(timer_.fd(), EPOLLIN, [this](std::uint32_t) { on_timer(); });
   timer_.arm_after_us(0);
   running_ = true;
-  while (running_) loop_.poll(-1);
+  group_->start_workers([this](std::size_t index) { worker_body(index); });
 
+  std::exception_ptr error;
+  try {
+    while (running_) shard0.loop->poll(-1);
+  } catch (...) {
+    error = std::current_exception();
+  }
+
+  // Shutdown fan-out: each worker loop drains and closes its own sessions
+  // on its own thread (session state never crosses loops, even dying).
+  for (std::size_t i = 1; i < loop_count_; ++i)
+    shards_[i]->loop->post([this, i] { shards_[i]->running = false; });
+  drain_and_close(shard0);
+  shard0.loop->remove(timer_.fd());
+  group_->join_workers();  // rethrows the first worker failure, if any
+  if (swap_worker_.joinable()) swap_worker_.join();
+  if (error) std::rethrow_exception(error);
+}
+
+void AirServer::worker_body(std::size_t index) {
+  LoopShard& shard = *shards_[index];
+  shard.running = true;
+  shard.loop->add(shard.listener.get(), EPOLLIN,
+                  [this, &shard](std::uint32_t) { on_accept(shard); });
+  while (shard.running) shard.loop->poll(-1);
+  drain_and_close(shard);
+}
+
+void AirServer::drain_and_close(LoopShard& shard) {
   // Bounded drain: give buffered frames one real chance to reach clients
   // before the sockets close under them.
   const std::uint64_t drain_deadline = clock_->now_us() + 200'000;
   for (;;) {
     bool pending = false;
-    for (auto& [fd, session] : sessions_)
+    for (auto& [fd, session] : shard.sessions)
       if (!session.out.empty()) pending = true;
     if (!pending || clock_->now_us() >= drain_deadline) break;
-    loop_.poll(10'000);
+    shard.loop->poll(10'000);
   }
-
   std::vector<int> fds;
-  fds.reserve(sessions_.size());
-  for (const auto& [fd, session] : sessions_) fds.push_back(fd);
-  for (const int fd : fds) close_session(fd, "server shutdown");
-  loop_.remove(timer_.fd());
-  loop_.remove(listener_.get());
-  if (swap_worker_.joinable()) swap_worker_.join();
+  fds.reserve(shard.sessions.size());
+  for (const auto& [fd, session] : shard.sessions) fds.push_back(fd);
+  for (const int fd : fds) close_session(shard, fd, "server shutdown");
+  shard.loop->remove(shard.listener.get());
 }
 
 void AirServer::stop() {
   stop_requested_.store(true, std::memory_order_relaxed);
-  loop_.post([this] { running_ = false; });
+  shards_[0]->loop->post([this] { running_ = false; });
 }
 
 void AirServer::on_timer() {
@@ -261,18 +354,38 @@ void AirServer::maybe_activate_swap() {
   current_ = std::move(pending_);
   generation_id_.store(current_->id, std::memory_order_relaxed);
   note_generation(current_->id);
+  publish_hello(*current_);
 #if TCSA_OBS_COMPILED
   TCSA_METRIC_ADD(server_metrics().swaps, 1);
 #endif
   TCSA_LOG(kInfo) << "air server: generation " << current_->id
                   << " on air at slot " << next_slot_ << " (offset "
                   << current_->offset << ")";
-  // One encode, one shared buffer, N refcount bumps.
+  // One encode, one shared buffer, N refcount bumps — on every loop. The
+  // snapshot above is republished *before* the tokens are posted, so a
+  // session greeted concurrently on another loop either already carries
+  // this generation in its hello (and the token skips it) or carries the
+  // old one (and the token reaches it): exactly one notification per
+  // session either way.
+  std::uint32_t gen_id = 0;
   std::string announce;
   net::append_frame(announce, net::FrameType::kAnnounce,
-                    hello_payload(*current_));
+                    hello_payload_now(&gen_id));
   const net::SharedBuf shared = net::SharedBuf::wrap(std::move(announce));
-  for (auto& [fd, session] : sessions_) enqueue_buf(session, shared);
+  deliver_announce(*shards_[0], shared, gen_id);
+  for (std::size_t i = 1; i < loop_count_; ++i)
+    shards_[i]->loop->post([this, i, shared, gen_id] {
+      deliver_announce(*shards_[i], shared, gen_id);
+    });
+}
+
+void AirServer::deliver_announce(LoopShard& shard, const net::SharedBuf& buf,
+                                 std::uint32_t gen_id) {
+  for (auto& [fd, session] : shard.sessions) {
+    if (session.hello_generation >= gen_id) continue;
+    session.hello_generation = gen_id;
+    enqueue_buf(session, buf);
+  }
 }
 
 void AirServer::air_slot() {
@@ -289,33 +402,98 @@ void AirServer::air_slot() {
   TCSA_METRIC_ADD(server_metrics().slots_aired, 1);
 #endif
 
-  // A new generation invalidates the frame cache: cached bodies bake in
-  // the generation id and placement. Buffers a slow session still has
-  // queued stay alive through their refcounts until that queue drains.
-  const SlotCount channel_count = gen.program.channels();
-  if (frame_cache_generation_ != gen.id) {
-    frame_cache_generation_ = gen.id;
-    frame_cache_.assign(
-        static_cast<std::size_t>(channel_count) * cycle, net::SharedBuf());
-  }
-
-  // Audience union: a channel nobody subscribes to never has its frame
-  // assembled at all.
+  // Audience union across every shard: O(loops) atomic loads, exact
+  // because each shard maintains per-channel subscriber counts. A channel
+  // nobody subscribes to never has its frame assembled at all.
   std::uint64_t audience = 0;
-  for (const auto& [fd, session] : sessions_) audience |= session.mask;
+  for (const auto& shard : shards_)
+    audience |= shard->audience.load(std::memory_order_acquire);
+  const SlotCount channel_count = gen.program.channels();
 
-  // Encode each occupied, subscribed channel cell at most once per
-  // generation; each later cycle only re-stamps the slot word in place —
-  // unless a slow session still shares last cycle's buffer, which forces
-  // one fresh encode (queued bytes are immutable).
-  std::uint64_t aired_mask = 0;
-  for (SlotCount ch = 0; ch < channel_count; ++ch) {
-    if (((audience >> ch) & 1) == 0) continue;
-    const PageId page = gen.program.at(ch, column);
-    if (page == kNoPage) continue;
-    net::SharedBuf& cached =
-        frame_cache_[static_cast<std::size_t>(ch) * cycle + column];
-    if (!cached.patch_u64(net::kFrameHeaderSize, next_slot_)) {
+  if (loop_count_ == 1) {
+    // Single-loop airing: the classic in-place path, including the
+    // sole-owner slot-word patch (safe here — every refcount release
+    // happens on this thread).
+    //
+    // A new generation invalidates the frame cache: cached bodies bake in
+    // the generation id and placement. Buffers a slow session still has
+    // queued stay alive through their refcounts until that queue drains.
+    if (frame_cache_generation_ != gen.id) {
+      frame_cache_generation_ = gen.id;
+      frame_cache_.assign(
+          static_cast<std::size_t>(channel_count) * cycle, net::SharedBuf());
+    }
+
+    // Encode each occupied, subscribed channel cell at most once per
+    // generation; each later cycle only re-stamps the slot word in place —
+    // unless a slow session still shares last cycle's buffer, which forces
+    // one fresh encode (queued bytes are immutable).
+    std::uint64_t aired_mask = 0;
+    for (SlotCount ch = 0; ch < channel_count; ++ch) {
+      if (((audience >> ch) & 1) == 0) continue;
+      const PageId page = gen.program.at(ch, column);
+      if (page == kNoPage) continue;
+      net::SharedBuf& cached =
+          frame_cache_[static_cast<std::size_t>(ch) * cycle + column];
+      if (!cached.patch_u64(net::kFrameHeaderSize, next_slot_)) {
+        std::string payload;
+        wire_put_u64(payload, next_slot_);
+        wire_put_u32(payload, gen.id);
+        wire_put_u32(payload, static_cast<std::uint32_t>(ch));
+        wire_put_u32(payload, page);
+        std::string bytes;
+        net::append_frame(bytes, net::FrameType::kPage, payload);
+        cached = net::SharedBuf::wrap(std::move(bytes));
+#if TCSA_OBS_COMPILED
+        TCSA_METRIC_ADD(server_metrics().frames_encoded, 1);
+#endif
+      }
+      aired_mask |= 1ull << ch;
+    }
+    span.set_arg("channels", aired_mask);
+
+    LoopShard& shard = *shards_[0];
+    std::vector<int> fds;
+    fds.reserve(shard.sessions.size());
+    for (auto& [fd, session] : shard.sessions) {
+      const std::uint64_t hit = session.mask & aired_mask;
+      if (hit == 0) continue;
+      for (SlotCount ch = 0; ch < channel_count; ++ch) {
+        if ((hit >> ch) & 1)
+          enqueue_buf(session,
+                      frame_cache_[static_cast<std::size_t>(ch) * cycle +
+                                   column]);
+      }
+      fds.push_back(fd);
+    }
+    // Flush after the fan-out; flushing may evict, so walk by fd lookup.
+    for (const int fd : fds) {
+      const auto it = shard.sessions.find(fd);
+      if (it != shard.sessions.end()) flush_session(shard, it->second);
+    }
+
+    std::size_t queued = 0;
+    for (const auto& [fd, session] : shard.sessions)
+      queued += session.out.bytes();
+    shard.queued_bytes.store(queued, std::memory_order_release);
+#if TCSA_OBS_COMPILED
+    obs::gauge_set(server_metrics().queue_depth_gauge,
+                   static_cast<double>(queued));
+    obs::gauge_set(loop_queue_gauges_[0], static_cast<double>(queued));
+#endif
+  } else {
+    // Multi-loop airing: encode the slot's frame set once (fresh — the
+    // patch cache's sole-owner check cannot see another loop's refcount
+    // release in time, see the header) and ship one refcounted token per
+    // worker loop. Per-slot cost: O(channels) encodes here, O(sessions/K)
+    // queue appends on each loop.
+    auto frames = std::make_shared<SlotFrames>();
+    frames->by_channel.resize(channel_count);
+    std::uint64_t aired_mask = 0;
+    for (SlotCount ch = 0; ch < channel_count; ++ch) {
+      if (((audience >> ch) & 1) == 0) continue;
+      const PageId page = gen.program.at(ch, column);
+      if (page == kNoPage) continue;
       std::string payload;
       wire_put_u64(payload, next_slot_);
       wire_put_u32(payload, gen.id);
@@ -323,77 +501,103 @@ void AirServer::air_slot() {
       wire_put_u32(payload, page);
       std::string bytes;
       net::append_frame(bytes, net::FrameType::kPage, payload);
-      cached = net::SharedBuf::wrap(std::move(bytes));
+      frames->by_channel[ch] = net::SharedBuf::wrap(std::move(bytes));
 #if TCSA_OBS_COMPILED
       TCSA_METRIC_ADD(server_metrics().frames_encoded, 1);
 #endif
+      aired_mask |= 1ull << ch;
     }
-    aired_mask |= 1ull << ch;
-  }
-  span.set_arg("channels", aired_mask);
+    frames->aired_mask = aired_mask;
+    span.set_arg("channels", aired_mask);
 
+    const std::shared_ptr<const SlotFrames> token = std::move(frames);
+    for (std::size_t i = 1; i < loop_count_; ++i)
+      shards_[i]->loop->post(
+          [this, i, token] { deliver_slot(*shards_[i], *token); });
+    deliver_slot(*shards_[0], *token);
+
+#if TCSA_OBS_COMPILED
+    // Worker depths are one token behind — a gauge reads "after the last
+    // flush each loop completed", which is the honest aggregate anyway.
+    std::size_t queued = 0;
+    for (const auto& shard : shards_)
+      queued += shard->queued_bytes.load(std::memory_order_acquire);
+    obs::gauge_set(server_metrics().queue_depth_gauge,
+                   static_cast<double>(queued));
+#endif
+  }
+
+  slots_aired_.fetch_add(1, std::memory_order_release);
+  ++next_slot_;
+}
+
+void AirServer::deliver_slot(LoopShard& shard, const SlotFrames& frames) {
+  const SlotCount channel_count =
+      static_cast<SlotCount>(frames.by_channel.size());
   std::vector<int> fds;
-  fds.reserve(sessions_.size());
-  for (auto& [fd, session] : sessions_) {
-    const std::uint64_t hit = session.mask & aired_mask;
+  fds.reserve(shard.sessions.size());
+  for (auto& [fd, session] : shard.sessions) {
+    const std::uint64_t hit = session.mask & frames.aired_mask;
     if (hit == 0) continue;
     for (SlotCount ch = 0; ch < channel_count; ++ch) {
-      if ((hit >> ch) & 1)
-        enqueue_buf(session,
-                    frame_cache_[static_cast<std::size_t>(ch) * cycle +
-                                 column]);
+      if ((hit >> ch) & 1) enqueue_buf(session, frames.by_channel[ch]);
     }
     fds.push_back(fd);
   }
   // Flush after the fan-out; flushing may evict, so walk by fd lookup.
   for (const int fd : fds) {
-    const auto it = sessions_.find(fd);
-    if (it != sessions_.end()) flush_session(it->second);
+    const auto it = shard.sessions.find(fd);
+    if (it != shard.sessions.end()) flush_session(shard, it->second);
   }
-
-#if TCSA_OBS_COMPILED
   std::size_t queued = 0;
-  for (const auto& [fd, session] : sessions_) queued += session.out.bytes();
-  obs::gauge_set(server_metrics().queue_depth_gauge,
+  for (const auto& [fd, session] : shard.sessions)
+    queued += session.out.bytes();
+  shard.queued_bytes.store(queued, std::memory_order_release);
+#if TCSA_OBS_COMPILED
+  obs::gauge_set(loop_queue_gauges_[shard.index],
                  static_cast<double>(queued));
 #endif
-
-  slots_aired_.fetch_add(1, std::memory_order_relaxed);
-  ++next_slot_;
 }
 
-void AirServer::on_accept() {
+void AirServer::on_accept(LoopShard& shard) {
   for (;;) {
-    net::Fd conn = net::accept_connection(listener_.get());
+    net::Fd conn = net::accept_connection(shard.listener.get());
     if (!conn) return;
     net::set_tcp_nodelay(conn.get());
     net::set_send_buffer(conn.get(), config_.session_send_buffer);
     const int fd = conn.get();
-    Session& session = sessions_[fd];
+    Session& session = shard.sessions[fd];
     session.fd = std::move(conn);
-    loop_.add(fd, EPOLLIN, [this, fd](std::uint32_t events) {
-      on_session_event(fd, events);
+    session.id = next_session_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+    shard.loop->add(fd, EPOLLIN, [this, &shard, fd](std::uint32_t events) {
+      on_session_event(shard, fd, events);
     });
+    shard.session_count.store(shard.sessions.size(),
+                              std::memory_order_release);
 #if TCSA_OBS_COMPILED
     TCSA_METRIC_ADD(server_metrics().sessions_opened, 1);
 #endif
-    note_session_count(sessions_.size());
-    queue_frame(session, net::FrameType::kHello, hello_payload(*current_));
-    flush_session(session);
+    note_session_count(total_sessions());
+    std::uint32_t gen_id = 0;
+    const std::string hello = hello_payload_now(&gen_id);
+    session.hello_generation = gen_id;
+    queue_frame(session, net::FrameType::kHello, hello);
+    flush_session(shard, session);
   }
 }
 
-void AirServer::on_session_event(int fd, std::uint32_t events) {
-  auto it = sessions_.find(fd);
-  if (it == sessions_.end()) return;
+void AirServer::on_session_event(LoopShard& shard, int fd,
+                                 std::uint32_t events) {
+  auto it = shard.sessions.find(fd);
+  if (it == shard.sessions.end()) return;
   Session& session = it->second;
 
   if (events & (EPOLLERR | EPOLLHUP)) {
-    close_session(fd, "peer hung up");
+    close_session(shard, fd, "peer hung up");
     return;
   }
   if (events & EPOLLOUT) {
-    if (!flush_session(session)) return;  // session died while flushing
+    if (!flush_session(shard, session)) return;  // session died flushing
   }
   if ((events & EPOLLIN) == 0) return;
 
@@ -406,63 +610,77 @@ void AirServer::on_session_event(int fd, std::uint32_t events) {
       continue;
     }
     if (n == 0) {
-      close_session(fd, "peer closed");
+      close_session(shard, fd, "peer closed");
       return;
     }
     if (errno == EAGAIN || errno == EWOULDBLOCK) break;
     if (errno == EINTR) continue;
-    close_session(fd, "recv error");
+    close_session(shard, fd, "recv error");
     return;
   }
 
   net::Frame frame;
   try {
     while (session.decoder.next(frame)) {
-      handle_frame(fd, frame);
-      if (sessions_.find(fd) == sessions_.end()) return;  // closed inside
+      handle_frame(shard, fd, frame);
+      if (shard.sessions.find(fd) == shard.sessions.end())
+        return;  // closed inside
     }
   } catch (const std::invalid_argument& e) {
     TCSA_LOG(kWarn) << "air server: dropping session: " << e.what();
-    close_session(fd, "protocol error");
+    close_session(shard, fd, "protocol error");
   }
 }
 
-void AirServer::handle_frame(int fd, const net::Frame& frame) {
-  Session& session = sessions_.at(fd);
+void AirServer::handle_frame(LoopShard& shard, int fd,
+                             const net::Frame& frame) {
+  Session& session = shard.sessions.at(fd);
   switch (frame.type) {
     case net::FrameType::kTune: {
       WireReader reader(frame.payload);
       const std::uint64_t mask = reader.read_u64();
       reader.expect_done();
-      session.mask = mask;
+      set_mask(shard, session, mask);
 #if TCSA_OBS_COMPILED
       TCSA_METRIC_ADD(server_metrics().tunes, 1);
 #endif
       return;
     }
-    case net::FrameType::kSwap:
-      handle_swap_request(fd, frame.payload);
+    case net::FrameType::kSwap: {
+      // Seam planning and generation activation are single-writer on
+      // loop 0; sessions elsewhere forward the request and get the reply
+      // routed back by SessionRef (fd alone would be unsafe — fds reuse).
+      const SessionRef ref{shard.index, fd, session.id};
+      if (shard.index == 0) {
+        handle_swap_request(ref, std::string(frame.payload));
+      } else {
+        shards_[0]->loop->post(
+            [this, ref, payload = std::string(frame.payload)] {
+              handle_swap_request(ref, payload);
+            });
+      }
       return;
+    }
     default:
       throw std::invalid_argument("unexpected frame type from client");
   }
 }
 
-void AirServer::handle_swap_request(int fd, std::string_view payload) {
+void AirServer::handle_swap_request(SessionRef requester,
+                                    const std::string& payload) {
   const auto reject = [&](const std::string& error) {
 #if TCSA_OBS_COMPILED
     TCSA_METRIC_ADD(server_metrics().swaps_rejected, 1);
 #endif
-    const auto it = sessions_.find(fd);
-    if (it == sessions_.end()) return;
     std::string reply;
     wire_put_u8(reply, 0);
     wire_put_u32(reply, 0);
     wire_put_u64(reply, 0);
     wire_put_i64(reply, 0);
     reply.append(error);
-    queue_frame(it->second, net::FrameType::kSwapReply, reply);
-    flush_session(it->second);
+    std::string bytes;
+    net::append_frame(bytes, net::FrameType::kSwapReply, reply);
+    send_swap_reply(requester, std::move(bytes));
   };
 
   if (swap_inflight_) {
@@ -497,7 +715,7 @@ void AirServer::handle_swap_request(int fd, std::string_view payload) {
 
   if (swap_worker_.joinable()) swap_worker_.join();
   swap_inflight_ = true;
-  swap_requester_fd_ = fd;
+  swap_requester_ = requester;
 
   // Snapshot what the worker needs; it must not touch loop-thread state.
   auto next_id = current_->id + 1;
@@ -534,10 +752,11 @@ void AirServer::handle_swap_request(int fd, std::string_view payload) {
     } catch (const std::exception& e) {
       error = e.what();
     }
-    loop_.post([this, gen = std::move(gen), seam, error = std::move(error)] {
+    shards_[0]->loop->post([this, gen = std::move(gen), seam,
+                            error = std::move(error)] {
       swap_inflight_ = false;
-      const int requester = swap_requester_fd_;
-      swap_requester_fd_ = -1;
+      const SessionRef requester = swap_requester_;
+      swap_requester_ = SessionRef{};
       if (gen) {
         pending_ = std::make_unique<Generation>(std::move(*gen));
       }
@@ -545,8 +764,6 @@ void AirServer::handle_swap_request(int fd, std::string_view payload) {
       if (!error.empty())
         TCSA_METRIC_ADD(server_metrics().swaps_rejected, 1);
 #endif
-      const auto it = sessions_.find(requester);
-      if (it == sessions_.end()) return;
       // Activation lands on the next major-cycle boundary of the current
       // generation — exact, because slots advance deterministically.
       std::uint64_t activation = 0;
@@ -562,10 +779,28 @@ void AirServer::handle_swap_request(int fd, std::string_view payload) {
       wire_put_u64(reply, activation);
       wire_put_i64(reply, seam);
       reply.append(error);
-      queue_frame(it->second, net::FrameType::kSwapReply, reply);
-      flush_session(it->second);
+      std::string bytes;
+      net::append_frame(bytes, net::FrameType::kSwapReply, reply);
+      send_swap_reply(requester, std::move(bytes));
     });
   });
+}
+
+void AirServer::send_swap_reply(const SessionRef& ref,
+                                std::string frame_bytes) {
+  if (ref.fd < 0) return;
+  auto deliver = [this, ref, bytes = std::move(frame_bytes)]() mutable {
+    LoopShard& shard = *shards_[ref.loop];
+    const auto it = shard.sessions.find(ref.fd);
+    if (it == shard.sessions.end() || it->second.id != ref.id)
+      return;  // requester left; its fd may already belong to someone else
+    enqueue_buf(it->second, net::SharedBuf::wrap(std::move(bytes)));
+    flush_session(shard, it->second);
+  };
+  if (ref.loop == 0)
+    deliver();
+  else
+    shards_[ref.loop]->loop->post(std::move(deliver));
 }
 
 void AirServer::queue_frame(Session& session, net::FrameType type,
@@ -583,7 +818,7 @@ void AirServer::enqueue_buf(Session& session, net::SharedBuf buf) {
   session.out.push(std::move(buf));
 }
 
-bool AirServer::flush_session(Session& session) {
+bool AirServer::flush_session(LoopShard& shard, Session& session) {
   const int fd = session.fd.get();
   const net::FlushResult result = net::flush_queue(fd, session.out);
 #if TCSA_OBS_COMPILED
@@ -594,7 +829,7 @@ bool AirServer::flush_session(Session& session) {
   }
 #endif
   if (result.error != 0) {
-    close_session(fd, "send error");
+    close_session(shard, fd, "send error");
     return false;
   }
   if (should_evict(session.out.bytes(), config_.max_session_buffer)) {
@@ -605,32 +840,50 @@ bool AirServer::flush_session(Session& session) {
     TCSA_LOG(kWarn) << "air server: evicting slow client (queued "
                     << session.out.bytes() << " > cap "
                     << config_.max_session_buffer << ")";
-    close_session(fd, "slow client evicted");
+    close_session(shard, fd, "slow client evicted");
     return false;
   }
-  update_write_interest(session);
+  update_write_interest(shard, session);
   return true;
 }
 
-void AirServer::update_write_interest(Session& session) {
+void AirServer::update_write_interest(LoopShard& shard, Session& session) {
   const bool want = !session.out.empty();
   if (want == session.want_write) return;
   session.want_write = want;
-  loop_.modify(session.fd.get(), EPOLLIN | (want ? EPOLLOUT : 0u));
+  shard.loop->modify(session.fd.get(), EPOLLIN | (want ? EPOLLOUT : 0u));
 }
 
-void AirServer::close_session(int fd, const char* reason) {
-  const auto it = sessions_.find(fd);
-  if (it == sessions_.end()) return;
+void AirServer::set_mask(LoopShard& shard, Session& session,
+                         std::uint64_t mask) {
+  const std::uint64_t old = session.mask;
+  if (old == mask) return;
+  for (std::size_t ch = 0; ch < 64; ++ch) {
+    const bool had = (old >> ch) & 1;
+    const bool has = (mask >> ch) & 1;
+    if (had && !has) --shard.channel_subs[ch];
+    if (!had && has) ++shard.channel_subs[ch];
+  }
+  session.mask = mask;
+  std::uint64_t audience = 0;
+  for (std::size_t ch = 0; ch < 64; ++ch)
+    if (shard.channel_subs[ch] != 0) audience |= 1ull << ch;
+  shard.audience.store(audience, std::memory_order_release);
+}
+
+void AirServer::close_session(LoopShard& shard, int fd, const char* reason) {
+  const auto it = shard.sessions.find(fd);
+  if (it == shard.sessions.end()) return;
   TCSA_LOG(kDebug) << "air server: closing session fd=" << fd << " ("
                    << reason << ")";
-  loop_.remove(fd);
-  sessions_.erase(it);  // Fd destructor closes the socket
-  if (fd == swap_requester_fd_) swap_requester_fd_ = -1;
+  set_mask(shard, it->second, 0);  // keep the audience union exact
+  shard.loop->remove(fd);
+  shard.sessions.erase(it);  // Fd destructor closes the socket
+  shard.session_count.store(shard.sessions.size(), std::memory_order_release);
 #if TCSA_OBS_COMPILED
   TCSA_METRIC_ADD(server_metrics().sessions_closed, 1);
 #endif
-  note_session_count(sessions_.size());
+  note_session_count(total_sessions());
 }
 
 }  // namespace tcsa

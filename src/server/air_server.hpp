@@ -2,19 +2,33 @@
 //
 // AirServer walks a BroadcastProgram cycle slot-by-slot on a drift-free
 // slot clock and multicasts each slot's per-channel page frames to every
-// subscribed TCP session (net/framing wire format). One epoll thread owns
-// all I/O. The egress path is zero-copy fan-out: each slot's per-channel
-// frame is encoded at most once (and, the program being periodic, usually
-// just slot-patched from last cycle's cached bytes), shared by refcount
-// into every subscriber's chunked egress queue, and flushed with vectored
-// sendmsg — so per-slot server cost is O(subscribed channels) in copies
-// and O(sessions) in syscalls, independent of audience-times-bytes. A
-// session whose queued bytes outgrow the configured cap is evicted — one
-// slow client must never stall the broadcast (the whole point of the
-// broadcast model is that server load is independent of audience size).
+// subscribed TCP session (net/framing wire format). I/O is sharded across
+// `loops` per-core epoll threads (net::LoopGroup): SO_REUSEPORT clones the
+// listener so the kernel spreads accepted connections, and every session
+// is pinned to the loop that accepted it — its decoder, egress queue, and
+// epoll registration are touched by that loop only, so the hot path needs
+// no per-session locks. The egress path is zero-copy fan-out: each slot's
+// per-channel frame is encoded at most once on the airing loop (and, the
+// program being periodic, in single-loop mode usually just slot-patched
+// from last cycle's cached bytes), shared by refcount into every
+// subscriber's chunked egress queue, and flushed with vectored sendmsg —
+// per-slot server cost is O(subscribed channels) in copies globally and
+// O(sessions/loops) queue appends per loop, independent of
+// audience-times-bytes. A session whose queued bytes outgrow the
+// configured cap is evicted by its owning loop — one slow client must
+// never stall the broadcast (the whole point of the broadcast model is
+// that server load is independent of audience size).
+//
+// Loop 0 is the airing plane and the single writer for program state: the
+// slot clock, generation activation, seam planning, and the frame cache
+// live there. Each tick it builds the slot's frame set once and post()s a
+// refcounted token to the other loops, which fan the shared buffers into
+// their local sessions. Hot swap requests from sessions on other loops are
+// forwarded to loop 0 the same way, and the activation announce comes back
+// as a cross-loop broadcast token (DESIGN.md §7 "loop-per-core ownership").
 //
 // Hot program swap: any session may send a kSwap frame carrying a new
-// workload. Scheduling runs OFF the event loop thread (through the same
+// workload. Scheduling runs OFF the event loop threads (through the same
 // choose_schedule entry point the adaptive simulation uses), the resulting
 // program is validity-checked, and a seam plan picks the airing rotation
 // that best preserves outstanding deadline promises; the new generation
@@ -22,9 +36,11 @@
 // session (DESIGN.md §7 gives the seam argument).
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -35,10 +51,12 @@
 #include "model/workload.hpp"
 #include "net/event_loop.hpp"
 #include "net/framing.hpp"
+#include "net/loop_group.hpp"
 #include "net/out_queue.hpp"
 #include "net/shared_buf.hpp"
 #include "net/slot_clock.hpp"
 #include "net/socket.hpp"
+#include "obs/metrics.hpp"
 
 namespace tcsa {
 
@@ -52,6 +70,7 @@ struct AirServerConfig {
   std::uint64_t max_slots = 0;     ///< stop after airing this many (0 = run)
   std::size_t max_session_buffer = 256 * 1024;  ///< eviction threshold
   int session_send_buffer = 0;  ///< SO_SNDBUF per session; 0 = default
+  std::size_t loops = 1;        ///< per-core I/O loops (1 = classic single)
 };
 
 /// Outcome of seam planning for a major-cycle-boundary swap: air the new
@@ -86,8 +105,8 @@ SwapPlan plan_swap_seam(const Workload& current_workload,
                         const BroadcastProgram& next_program);
 
 /// The broadcast server. Construction schedules the initial program and
-/// binds the listener (so port() is valid before run()); run() airs slots
-/// until stop(), max_slots, or destruction.
+/// binds the listener shards (so port() is valid before run()); run() airs
+/// slots until stop(), max_slots, or destruction.
 class AirServer {
  public:
   AirServer(Workload workload, AirServerConfig config);
@@ -95,14 +114,16 @@ class AirServer {
   AirServer(const AirServer&) = delete;
   AirServer& operator=(const AirServer&) = delete;
 
-  /// Actual listening port (resolves an ephemeral bind).
+  /// Actual listening port (resolves an ephemeral bind). With loops > 1
+  /// every listener shard shares this one port via SO_REUSEPORT.
   std::uint16_t port() const noexcept { return port_; }
 
   /// Channel count the program airs on.
   SlotCount channels() const noexcept { return channels_; }
 
-  /// Airs the program. Blocks until stop() or max_slots; flushes and
-  /// closes every session before returning.
+  /// Airs the program. Blocks until stop() or max_slots; drives loop 0
+  /// inline, spawns one thread per additional loop, and flushes and closes
+  /// every session before returning.
   void run();
 
   /// Requests shutdown. Safe from any thread.
@@ -118,14 +139,51 @@ class AirServer {
   std::uint64_t sessions_evicted() const noexcept {
     return evicted_.load(std::memory_order_relaxed);
   }
+  std::size_t loops() const noexcept { return loop_count_; }
+  /// Live session count per loop shard (index = loop).
+  std::vector<std::size_t> sessions_per_loop() const;
 
  private:
   struct Session {
     net::Fd fd;
     net::FrameDecoder decoder;
     net::OutQueue out;            // chunked egress queue (shared buffers)
+    std::uint64_t id = 0;         // monotonic, validates cross-loop refs
     std::uint64_t mask = 0;       // subscribed channel mask (0 = none yet)
+    std::uint32_t hello_generation = 0;  // gen the session last heard about
     bool want_write = false;      // EPOLLOUT currently armed
+  };
+
+  /// Everything one loop owns. Only that loop's thread touches the
+  /// non-atomic members; the atomics are the shard's published face (read
+  /// by loop 0 at air time and by cross-thread introspection).
+  struct LoopShard {
+    std::size_t index = 0;
+    net::EventLoop* loop = nullptr;
+    net::Fd listener;             // SO_REUSEPORT clone (plain at loops==1)
+    std::unordered_map<int, Session> sessions;
+    // Per-channel subscriber counts -> exact audience union in O(64),
+    // updated on tune/close instead of an O(sessions) scan every slot.
+    std::array<std::uint32_t, 64> channel_subs{};
+    bool running = false;         // worker poll-loop flag (worker-thread only)
+    std::atomic<std::uint64_t> audience{0};      // union of session masks
+    std::atomic<std::size_t> session_count{0};
+    std::atomic<std::size_t> queued_bytes{0};    // after last slot flush
+  };
+
+  /// Cross-loop session address: fd alone is unsafe (fds are reused), so
+  /// deliveries validate the monotonic id on arrival.
+  struct SessionRef {
+    std::size_t loop = 0;
+    int fd = -1;
+    std::uint64_t id = 0;
+  };
+
+  /// One aired slot, shipped to worker loops as a refcounted token: the
+  /// frame (if any) per channel, and the mask of channels that aired.
+  struct SlotFrames {
+    std::uint64_t aired_mask = 0;
+    std::vector<net::SharedBuf> by_channel;
   };
 
   /// One program generation: what is on air between two swaps.
@@ -138,53 +196,96 @@ class AirServer {
     std::string workload_binary;   // cached for hello/announce payloads
   };
 
+  /// Hello/announce ingredients every loop may need when greeting: a
+  /// mutex-guarded snapshot loop 0 republishes at each generation
+  /// activation (the slot number is read from slots_aired_ instead, so the
+  /// snapshot only changes a handful of times per run).
+  struct HelloSnapshot {
+    std::uint32_t id = 0;
+    std::uint32_t channels = 0;
+    std::uint32_t cycle = 0;
+    std::string workload_binary;
+  };
+
   void on_timer();
   void air_slot();
   void maybe_activate_swap();
-  void on_accept();
-  void on_session_event(int fd, std::uint32_t events);
-  void handle_frame(int fd, const net::Frame& frame);
-  void handle_swap_request(int fd, std::string_view payload);
+  void worker_body(std::size_t index);
+  /// Bounded flush window, then closes the shard's sessions and listener.
+  void drain_and_close(LoopShard& shard);
+  void on_accept(LoopShard& shard);
+  void on_session_event(LoopShard& shard, int fd, std::uint32_t events);
+  void handle_frame(LoopShard& shard, int fd, const net::Frame& frame);
+  /// Runs on loop 0 only (other loops forward via post()).
+  void handle_swap_request(SessionRef requester, const std::string& payload);
+  /// Delivers framed reply bytes to a session wherever it lives; drops the
+  /// reply silently if the session is gone (id mismatch or closed).
+  void send_swap_reply(const SessionRef& ref, std::string frame_bytes);
+  /// Fans one slot's frames into the shard's subscribed sessions, flushes,
+  /// and publishes the shard's queue depth. Runs on the shard's thread.
+  void deliver_slot(LoopShard& shard, const SlotFrames& frames);
+  /// Enqueues the announce to sessions not yet greeted under `gen_id`.
+  void deliver_announce(LoopShard& shard, const net::SharedBuf& buf,
+                        std::uint32_t gen_id);
   void queue_frame(Session& session, net::FrameType type,
                    std::string_view payload);
   void enqueue_buf(Session& session, net::SharedBuf buf);
   /// Returns false when the session died (error or eviction) while flushing.
-  bool flush_session(Session& session);
-  void close_session(int fd, const char* reason);
-  void update_write_interest(Session& session);
-  std::string hello_payload(const Generation& gen) const;
+  bool flush_session(LoopShard& shard, Session& session);
+  void close_session(LoopShard& shard, int fd, const char* reason);
+  void update_write_interest(LoopShard& shard, Session& session);
+  /// Rewrites a session's subscription mask, keeping the shard's
+  /// subscriber counts and published audience union exact.
+  void set_mask(LoopShard& shard, Session& session, std::uint64_t mask);
+  void publish_hello(const Generation& gen);
+  /// Hello/announce payload from the published snapshot; any thread.
+  /// `gen_out` (optional) receives the generation id baked into the bytes.
+  std::string hello_payload_now(std::uint32_t* gen_out = nullptr) const;
+  std::size_t total_sessions() const;
 
   AirServerConfig config_;
   SlotCount channels_ = 0;
   std::uint16_t port_ = 0;
+  std::size_t loop_count_ = 1;
 
-  net::EventLoop loop_;
-  net::Fd listener_;
+  std::unique_ptr<net::LoopGroup> group_;
+  std::vector<std::unique_ptr<LoopShard>> shards_;
   net::TimerFd timer_;
   std::unique_ptr<net::SlotClock> clock_;  // built in run(): epoch = on-air
 
+  // --- loop-0-only program state (single writer) ---
   std::unique_ptr<Generation> current_;
   std::unique_ptr<Generation> pending_;   // activates at the next boundary
   std::uint64_t next_slot_ = 0;           // next global slot to air
   bool running_ = false;
 
-  std::unordered_map<int, Session> sessions_;
-
-  // Per-cycle frame cache: the program is periodic with period
-  // cycle_length, so a (channel, column) page frame's bytes are invariant
-  // within a generation except the slot word — each cycle that word is
-  // patched in place when the cache holds the only reference, and the
-  // frame is re-encoded only on first airing or while a slow session
-  // still has last cycle's buffer queued. Indexed channel * cycle + column;
-  // rebuilt whenever a new generation goes on air.
+  // Per-cycle frame cache, single-loop mode only: the program is periodic
+  // with period cycle_length, so a (channel, column) page frame's bytes
+  // are invariant within a generation except the slot word — each cycle
+  // that word is patched in place when the cache holds the only reference,
+  // and the frame is re-encoded only on first airing or while a slow
+  // session still has last cycle's buffer queued. Indexed
+  // channel * cycle + column; rebuilt whenever a new generation goes on
+  // air. With loops > 1 the sole-owner check would race worker-loop
+  // refcount releases (a relaxed use_count()==1 observation does not
+  // synchronize with another thread's decrement), so multi-loop airing
+  // encodes each subscribed channel fresh — still O(channels) per slot.
   std::vector<net::SharedBuf> frame_cache_;
   std::uint32_t frame_cache_generation_ = 0;
 
   // Hot-swap worker: one reschedule in flight at a time.
   std::thread swap_worker_;
   bool swap_inflight_ = false;
-  int swap_requester_fd_ = -1;
+  SessionRef swap_requester_;
 
+  mutable std::mutex hello_mutex_;
+  HelloSnapshot hello_;
+
+#if TCSA_OBS_COMPILED
+  std::vector<obs::MetricId> loop_queue_gauges_;  // one per loop shard
+#endif
+
+  std::atomic<std::uint64_t> next_session_id_{0};
   std::atomic<std::uint64_t> slots_aired_{0};
   std::atomic<std::uint32_t> generation_id_{0};
   std::atomic<std::uint64_t> evicted_{0};

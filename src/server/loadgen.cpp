@@ -1,0 +1,425 @@
+#include "server/loadgen.hpp"
+
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <limits>
+#include <stdexcept>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/event_loop.hpp"
+#include "net/framing.hpp"
+#include "net/socket.hpp"
+#include "util/contracts.hpp"
+#include "util/log.hpp"
+#include "util/wire.hpp"
+
+namespace tcsa {
+namespace {
+
+std::uint64_t mono_us() {
+  timespec ts{};
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000ull +
+         static_cast<std::uint64_t>(ts.tv_nsec) / 1000ull;
+}
+
+std::uint64_t process_rss_bytes() {
+  // /proc/self/statm: "size resident shared ..." in pages.
+  std::FILE* file = std::fopen("/proc/self/statm", "r");
+  if (!file) return 0;
+  long long size = 0, resident = 0;
+  const int fields = std::fscanf(file, "%lld %lld", &size, &resident);
+  std::fclose(file);
+  if (fields != 2 || resident < 0) return 0;
+  return static_cast<std::uint64_t>(resident) *
+         static_cast<std::uint64_t>(::sysconf(_SC_PAGESIZE));
+}
+
+enum Phase : int { kRamp = 0, kMeasure = 1, kDone = 2 };
+
+/// Decimated-sample cap per thread: enough resolution for a p999 at any
+/// realistic page rate without unbounded memory.
+constexpr std::size_t kSampleCap = 1 << 17;
+
+struct ClientSession {
+  net::Fd fd;
+  net::FrameDecoder decoder;
+  std::size_t index = 0;   // global session index -> channel spread
+  bool connected = false;  // non-blocking connect completed
+  bool greeted = false;    // hello parsed, TUNE sent
+  std::string outbox;      // unsent TUNE bytes (kernel buffer was full)
+};
+
+struct ThreadResult {
+  std::size_t established = 0;  // sessions that completed connect, ever
+  std::uint64_t frames = 0;
+  std::uint64_t pages = 0;   // kPage frames inside the measure window
+  std::uint64_t bytes = 0;
+  std::uint64_t early_closes = 0;
+  std::uint64_t connect_failures = 0;
+  std::vector<double> offsets;  // decimated arrival offsets (us)
+  double min_offset = std::numeric_limits<double>::infinity();
+  double max_offset = -std::numeric_limits<double>::infinity();
+};
+
+/// One client I/O thread: dials its quota in bounded batches, greets and
+/// tunes each session, and samples page-arrival offsets while the
+/// coordinator holds the phase at kMeasure.
+void client_thread_body(const LoadGenConfig& config, std::size_t first_index,
+                       std::size_t quota, const std::atomic<int>& phase,
+                       std::atomic<std::size_t>& ramped_threads,
+                       ThreadResult& result) {
+  net::EventLoop loop;
+  std::unordered_map<int, ClientSession> sessions;
+  std::uint32_t slot_us = 0;    // learned from the first hello
+  std::uint32_t channels = 0;
+  std::size_t dialed = 0;
+  std::size_t inflight = 0;
+  std::uint64_t kept_stride = 1;
+  std::uint64_t pages_seen = 0;
+  bool reported_ramped = false;
+  const std::uint64_t ramp_deadline =
+      mono_us() + config.ramp_timeout_ms * 1000ull;
+
+  const auto sample_offset = [&](double offset) {
+    result.min_offset = std::min(result.min_offset, offset);
+    result.max_offset = std::max(result.max_offset, offset);
+    if (pages_seen++ % kept_stride != 0) return;
+    result.offsets.push_back(offset);
+    if (result.offsets.size() >= kSampleCap) {
+      // Halve the resolution deterministically instead of growing without
+      // bound: keep every other sample and double the keep stride.
+      std::size_t kept = 0;
+      for (std::size_t i = 0; i < result.offsets.size(); i += 2)
+        result.offsets[kept++] = result.offsets[i];
+      result.offsets.resize(kept);
+      kept_stride *= 2;
+    }
+  };
+
+  const auto close_session = [&](int fd, bool failure) {
+    const auto it = sessions.find(fd);
+    if (it == sessions.end()) return;
+    if (!it->second.connected) {
+      --inflight;
+      ++result.connect_failures;
+    } else if (failure && phase.load(std::memory_order_acquire) != kDone) {
+      ++result.early_closes;
+    }
+    loop.remove(fd);
+    sessions.erase(it);  // Fd destructor closes
+  };
+
+  // send() as much of the outbox as the kernel takes; false = session died.
+  const auto flush_outbox = [&](int fd, ClientSession& session) -> bool {
+    while (!session.outbox.empty()) {
+      const ssize_t n = ::send(fd, session.outbox.data(),
+                               session.outbox.size(), MSG_NOSIGNAL);
+      if (n > 0) {
+        session.outbox.erase(0, static_cast<std::size_t>(n));
+        continue;
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        loop.modify(fd, EPOLLIN | EPOLLOUT);
+        return true;
+      }
+      close_session(fd, true);
+      return false;
+    }
+    loop.modify(fd, EPOLLIN);
+    return true;
+  };
+
+  const auto handle_frame = [&](ClientSession& session,
+                                const net::Frame& frame) -> bool {
+    ++result.frames;
+    switch (frame.type) {
+      case net::FrameType::kHello:
+      case net::FrameType::kAnnounce: {
+        WireReader reader(frame.payload);
+        (void)reader.read_u32();  // generation
+        const std::uint32_t hello_slot_us = reader.read_u32();
+        const std::uint32_t hello_channels = reader.read_u32();
+        if (slot_us == 0) slot_us = hello_slot_us;
+        if (channels == 0) channels = hello_channels;
+        if (!session.greeted && channels > 0) {
+          session.greeted = true;
+          // Spread subscriptions: session i listens to channel i mod C, so
+          // any C consecutive sessions cover the whole program.
+          std::string payload;
+          wire_put_u64(payload, 1ull << (session.index % channels));
+          std::string bytes;
+          net::append_frame(bytes, net::FrameType::kTune, payload);
+          session.outbox += bytes;
+          return flush_outbox(session.fd.get(), session);
+        }
+        return true;
+      }
+      case net::FrameType::kPage: {
+        if (phase.load(std::memory_order_acquire) == kMeasure &&
+            slot_us != 0) {
+          WireReader reader(frame.payload);
+          const std::uint64_t slot = reader.read_u64();
+          ++result.pages;
+          sample_offset(static_cast<double>(mono_us()) -
+                        static_cast<double>(slot) *
+                            static_cast<double>(slot_us));
+        }
+        return true;
+      }
+      default:
+        return true;  // swap replies etc. are not ours to judge
+    }
+  };
+
+  const auto on_event = [&](int fd, std::uint32_t events) {
+    const auto it = sessions.find(fd);
+    if (it == sessions.end()) return;
+    ClientSession& session = it->second;
+    if (!session.connected) {
+      if (events & (EPOLLERR | EPOLLHUP)) {
+        close_session(fd, true);
+        return;
+      }
+      if ((events & EPOLLOUT) == 0) return;
+      if (net::connect_error(fd) != 0) {
+        close_session(fd, true);
+        return;
+      }
+      session.connected = true;
+      --inflight;
+      ++result.established;
+      loop.modify(fd, EPOLLIN);  // the hello is on its way
+      return;
+    }
+    if (events & (EPOLLERR | EPOLLHUP)) {
+      close_session(fd, true);
+      return;
+    }
+    if (events & EPOLLOUT) {
+      if (!flush_outbox(fd, session)) return;
+    }
+    if ((events & EPOLLIN) == 0) return;
+
+    char buffer[16384];
+    for (;;) {
+      const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+      if (n > 0) {
+        result.bytes += static_cast<std::uint64_t>(n);
+        session.decoder.feed(
+            std::string_view(buffer, static_cast<std::size_t>(n)));
+        continue;
+      }
+      if (n == 0) {
+        close_session(fd, true);
+        return;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      close_session(fd, true);
+      return;
+    }
+    net::Frame frame;
+    try {
+      while (session.decoder.next(frame)) {
+        if (!handle_frame(session, frame)) return;
+        if (sessions.find(fd) == sessions.end()) return;
+      }
+    } catch (const std::invalid_argument& e) {
+      TCSA_LOG(kWarn) << "loadgen: dropping session: " << e.what();
+      close_session(fd, true);
+    }
+  };
+
+  const auto maybe_dial = [&] {
+    while (dialed < quota && inflight < config.connect_batch &&
+           mono_us() < ramp_deadline) {
+      try {
+        net::Fd conn =
+            net::connect_tcp_nonblocking(config.host, config.port);
+        const int fd = conn.get();
+        ClientSession& session = sessions[fd];
+        session.fd = std::move(conn);
+        session.index = first_index + dialed;
+        ++dialed;
+        ++inflight;
+        loop.add(fd, EPOLLIN | EPOLLOUT, [&on_event, fd](std::uint32_t events) {
+          on_event(fd, events);
+        });
+      } catch (const std::exception& e) {
+        ++dialed;
+        ++result.connect_failures;
+        TCSA_LOG(kWarn) << "loadgen: dial failed: " << e.what();
+      }
+    }
+  };
+
+  for (;;) {
+    const int current = phase.load(std::memory_order_acquire);
+    if (current == kDone) break;
+    if (current == kRamp) {
+      maybe_dial();
+      if (!reported_ramped &&
+          ((dialed >= quota && inflight == 0) ||
+           mono_us() >= ramp_deadline)) {
+        reported_ramped = true;
+        ramped_threads.fetch_add(1, std::memory_order_acq_rel);
+      }
+    }
+    loop.poll(10'000);
+  }
+  if (!reported_ramped) ramped_threads.fetch_add(1, std::memory_order_acq_rel);
+
+  std::vector<int> fds;
+  fds.reserve(sessions.size());
+  for (const auto& [fd, session] : sessions) fds.push_back(fd);
+  for (const int fd : fds) close_session(fd, false);
+}
+
+double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+}  // namespace
+
+obs::MetricsSnapshot LoadGenReport::to_snapshot() const {
+  obs::MetricsSnapshot snap;
+  const auto counter = [&](const char* name, const char* help,
+                           std::uint64_t value) {
+    snap.counters.push_back(obs::CounterSnapshot{name, help, value});
+  };
+  const auto gauge = [&](const char* name, const char* help, double value) {
+    snap.gauges.push_back(obs::GaugeSnapshot{name, help, value});
+  };
+  // Counters carry the pass/fail substance (the obs diff gate compares
+  // them against a committed baseline); the timing-dependent measurements
+  // ride as gauges, which record but never gate.
+  counter("tcsa_loadgen_sessions_total",
+          "Sessions the load generator established", sessions_connected);
+  counter("tcsa_loadgen_early_closes_total",
+          "Sessions the server closed before teardown (evictions, errors)",
+          early_closes);
+  counter("tcsa_loadgen_connect_failures_total",
+          "Dial attempts that never became sessions", connect_failures);
+  counter("tcsa_loadgen_slo_violations_total",
+          "1 when p99 slot-airing jitter exceeded the configured SLO",
+          slo_violations);
+  counter("tcsa_loadgen_frames_total", "Frames received across all sessions",
+          frames);
+  counter("tcsa_loadgen_pages_total",
+          "Page frames received inside the measurement window", pages);
+  counter("tcsa_loadgen_bytes_total", "Wire bytes received", bytes);
+  gauge("tcsa_loadgen_sessions_requested", "Sessions the campaign asked for",
+        static_cast<double>(sessions_requested));
+  gauge("tcsa_loadgen_jitter_p50_us",
+        "Median slot-airing jitter (arrival offset minus epoch estimate)",
+        jitter_p50_us);
+  gauge("tcsa_loadgen_jitter_p99_us", "p99 slot-airing jitter",
+        jitter_p99_us);
+  gauge("tcsa_loadgen_jitter_p999_us", "p99.9 slot-airing jitter",
+        jitter_p999_us);
+  gauge("tcsa_loadgen_jitter_max_us",
+        "Worst slot-airing jitter (exact, pre-decimation)", jitter_max_us);
+  gauge("tcsa_loadgen_jitter_samples", "Decimated jitter samples kept",
+        static_cast<double>(samples));
+  gauge("tcsa_loadgen_rss_per_session_bytes",
+        "Process RSS growth across the ramp divided by sessions",
+        rss_per_session_bytes);
+  return snap;
+}
+
+std::string LoadGenReport::to_json() const { return to_snapshot().to_json(); }
+
+LoadGenReport run_loadgen(const LoadGenConfig& config) {
+  TCSA_REQUIRE(config.port != 0, "loadgen: --port is required");
+  TCSA_REQUIRE(config.sessions >= 1, "loadgen: need at least one session");
+  const std::size_t threads =
+      std::max<std::size_t>(1, std::min(config.threads, config.sessions));
+
+  std::atomic<int> phase{kRamp};
+  std::atomic<std::size_t> ramped{0};
+  std::vector<ThreadResult> results(threads);
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+
+  const std::uint64_t rss_before = process_rss_bytes();
+  std::size_t assigned = 0;
+  for (std::size_t t = 0; t < threads; ++t) {
+    const std::size_t quota =
+        config.sessions / threads + (t < config.sessions % threads ? 1 : 0);
+    workers.emplace_back(client_thread_body, std::cref(config), assigned,
+                         quota, std::cref(phase), std::ref(ramped),
+                         std::ref(results[t]));
+    assigned += quota;
+  }
+
+  // Ramp barrier: wait (bounded) until every thread finished dialing, so
+  // the measurement window sees a steady audience, not a connect storm.
+  const std::uint64_t ramp_deadline =
+      mono_us() + config.ramp_timeout_ms * 1000ull + 1'000'000ull;
+  while (ramped.load(std::memory_order_acquire) < threads &&
+         mono_us() < ramp_deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  const std::uint64_t rss_after_ramp = process_rss_bytes();
+
+  phase.store(kMeasure, std::memory_order_release);
+  std::this_thread::sleep_for(std::chrono::milliseconds(config.duration_ms));
+  phase.store(kDone, std::memory_order_release);
+  for (std::thread& worker : workers) worker.join();
+
+  LoadGenReport report;
+  report.sessions_requested = config.sessions;
+  std::vector<double> offsets;
+  double min_offset = std::numeric_limits<double>::infinity();
+  double max_offset = -std::numeric_limits<double>::infinity();
+  for (const ThreadResult& r : results) {
+    report.sessions_connected += r.established;
+    report.frames += r.frames;
+    report.pages += r.pages;
+    report.bytes += r.bytes;
+    report.early_closes += r.early_closes;
+    report.connect_failures += r.connect_failures;
+    offsets.insert(offsets.end(), r.offsets.begin(), r.offsets.end());
+    min_offset = std::min(min_offset, r.min_offset);
+    max_offset = std::max(max_offset, r.max_offset);
+  }
+  report.samples = offsets.size();
+  if (!offsets.empty()) {
+    // The epoch estimate is the luckiest frame ever observed: jitter is
+    // each arrival offset relative to that. Exact extremes are tracked
+    // pre-decimation, so jitter_max never loses the worst sample.
+    std::sort(offsets.begin(), offsets.end());
+    const double epoch = min_offset;
+    report.jitter_p50_us = percentile(offsets, 0.50) - epoch;
+    report.jitter_p99_us = percentile(offsets, 0.99) - epoch;
+    report.jitter_p999_us = percentile(offsets, 0.999) - epoch;
+    report.jitter_max_us = max_offset - epoch;
+  }
+  if (report.sessions_connected > 0 && rss_after_ramp > rss_before)
+    report.rss_per_session_bytes =
+        static_cast<double>(rss_after_ramp - rss_before) /
+        static_cast<double>(report.sessions_connected);
+  if (config.slo_p99_us > 0.0 && report.samples > 0 &&
+      report.jitter_p99_us > config.slo_p99_us)
+    report.slo_violations = 1;
+  return report;
+}
+
+}  // namespace tcsa

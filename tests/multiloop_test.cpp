@@ -1,0 +1,225 @@
+// multiloop_test.cpp — invariants of the sharded (loops > 1) air server:
+// session conservation across loop shards under churn, per-loop slow-client
+// eviction, announce exactly-once per session regardless of owning loop,
+// broadcast validity at four loops, and an in-process loadgen smoke run.
+#include <sys/socket.h>
+
+#include <chrono>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/api.hpp"
+#include "model/validate.hpp"
+#include "model/workload.hpp"
+#include "net/framing.hpp"
+#include "server/air_server.hpp"
+#include "server/loadgen.hpp"
+#include "server/tune_client.hpp"
+#include "util/wire.hpp"
+
+using namespace tcsa;
+
+namespace {
+
+Workload paper_workload() { return make_workload({2, 4, 8}, {3, 5, 3}); }
+Workload grown_workload() { return make_workload({2, 4, 8}, {3, 5, 4}); }
+
+class ServerHarness {
+ public:
+  ServerHarness(Workload workload, AirServerConfig config)
+      : server_(std::move(workload), config),
+        thread_([this] { server_.run(); }) {}
+  ~ServerHarness() {
+    server_.stop();
+    if (thread_.joinable()) thread_.join();
+  }
+  AirServer& server() { return server_; }
+  TuneClient::Options client_options(std::uint64_t mask) const {
+    TuneClient::Options options;
+    options.port = server_.port();
+    options.channel_mask = mask;
+    return options;
+  }
+
+ private:
+  AirServer server_;
+  std::thread thread_;
+};
+
+std::size_t live_sessions(const AirServer& server) {
+  const std::vector<std::size_t> per_loop = server.sessions_per_loop();
+  return std::accumulate(per_loop.begin(), per_loop.end(), std::size_t{0});
+}
+
+/// Polls until the shard-summed session count settles at `expected`
+/// (accepts and closes propagate through loop threads asynchronously).
+void wait_for_sessions(const AirServer& server, std::size_t expected) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (live_sessions(server) != expected &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_EQ(live_sessions(server), expected);
+}
+
+// Sessions are conserved across the shards: however the kernel spreads
+// accepts, the per-loop counts always sum to the number of open
+// connections — through a full open/close/reopen churn cycle.
+TEST(MultiLoop, SessionCountsAcrossShardsSumToLiveConnectionsUnderChurn) {
+  AirServerConfig config;
+  config.slot_us = 1000;
+  config.max_slots = 0;
+  config.loops = 4;
+  ServerHarness harness(paper_workload(), config);
+  ASSERT_EQ(harness.server().loops(), 4u);
+  ASSERT_EQ(harness.server().sessions_per_loop().size(), 4u);
+
+  std::vector<net::Fd> conns;
+  for (int i = 0; i < 32; ++i)
+    conns.push_back(net::connect_tcp("127.0.0.1", harness.server().port()));
+  wait_for_sessions(harness.server(), 32);
+
+  conns.resize(16);  // close half; shards notice via EOF
+  wait_for_sessions(harness.server(), 16);
+
+  for (int i = 0; i < 8; ++i)  // reopen some
+    conns.push_back(net::connect_tcp("127.0.0.1", harness.server().port()));
+  wait_for_sessions(harness.server(), 24);
+
+  conns.clear();
+  wait_for_sessions(harness.server(), 0);
+}
+
+// The eviction boundary is enforced by the shard that owns the slow
+// session, wherever the kernel placed it — and healthy sessions on the
+// other shards keep their deadlines.
+TEST(MultiLoop, OwningShardEvictsItsSlowClient) {
+  AirServerConfig config;
+  config.slot_us = 1000;
+  config.max_slots = 0;
+  config.loops = 4;
+  config.session_send_buffer = 4096;
+  config.max_session_buffer = 2048;
+  ServerHarness harness(paper_workload(), config);
+
+  net::Fd lazy = net::connect_tcp("127.0.0.1", harness.server().port());
+  const int small = 4096;
+  ASSERT_EQ(::setsockopt(lazy.get(), SOL_SOCKET, SO_RCVBUF, &small,
+                         sizeof(small)),
+            0);
+  std::string tune_payload;
+  wire_put_u64(tune_payload, net::kAllChannels);
+  std::string tune_frame;
+  net::append_frame(tune_frame, net::FrameType::kTune, tune_payload);
+  ASSERT_EQ(::send(lazy.get(), tune_frame.data(), tune_frame.size(),
+                   MSG_NOSIGNAL),
+            static_cast<ssize_t>(tune_frame.size()));
+
+  TuneClient healthy(harness.client_options(net::kAllChannels));
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (harness.server().sessions_evicted() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    healthy.run(20);
+  }
+  EXPECT_EQ(harness.server().sessions_evicted(), 1u);
+  EXPECT_EQ(healthy.summary().deadline_misses, 0u);
+}
+
+// A hot swap's announce crosses from loop 0 to every shard as one token;
+// each session must hear about the new generation exactly once, whichever
+// loop owns it.
+TEST(MultiLoop, EverySessionSeesOneAnnouncePerSwap) {
+  AirServerConfig config;
+  config.slot_us = 400;
+  config.max_slots = 2000;
+  config.loops = 4;
+  ServerHarness harness(paper_workload(), config);
+
+  constexpr int kClients = 8;
+  std::vector<std::unique_ptr<TuneClient>> clients;
+  for (int i = 0; i < kClients; ++i)
+    clients.push_back(std::make_unique<TuneClient>(
+        harness.client_options(net::kAllChannels)));
+  std::vector<std::thread> runners;
+  for (const auto& client : clients)
+    runners.emplace_back([&client] { client->run(0); });
+
+  TuneClient swapper(harness.client_options(0));
+  const SwapReply reply = swapper.request_swap(grown_workload());
+  ASSERT_TRUE(reply.accepted) << reply.error;
+  EXPECT_EQ(reply.generation, 2u);
+
+  for (std::thread& runner : runners) runner.join();
+  for (const auto& client : clients) {
+    const TuneSummary summary = client->summary();
+    EXPECT_EQ(summary.swaps_observed, 1u)
+        << "announce must reach each session exactly once";
+    EXPECT_EQ(summary.generation, 2u);
+    EXPECT_EQ(summary.deadline_misses, 0u);
+  }
+}
+
+// The wire contract does not soften under sharding: a full-mask client of a
+// 4-loop server reconstructs a cycle that the model checker accepts.
+TEST(MultiLoop, FourLoopBroadcastReconstructsToAValidProgram) {
+  AirServerConfig config;
+  config.slot_us = 400;
+  config.max_slots = 600;
+  config.loops = 4;
+  ServerHarness harness(paper_workload(), config);
+
+  TuneClient::Options options = harness.client_options(net::kAllChannels);
+  options.record_pages = true;
+  TuneClient recorder(options);
+  recorder.run(0);
+
+  const std::vector<ReceivedPage>& pages = recorder.pages();
+  ASSERT_FALSE(pages.empty());
+  std::uint64_t first = pages.front().slot;
+  for (const ReceivedPage& page : pages) first = std::min(first, page.slot);
+  BroadcastProgram program(4, 8);
+  for (const ReceivedPage& page : pages) {
+    if (page.slot < first || page.slot >= first + 8) continue;
+    program.place(static_cast<SlotCount>(page.channel),
+                  static_cast<SlotCount>(page.slot - first), page.page);
+  }
+  const ValidityReport report = validate_program(program, paper_workload());
+  EXPECT_TRUE(report.valid)
+      << (report.violations.empty() ? "" : report.violations.front());
+  EXPECT_EQ(recorder.summary().deadline_misses, 0u);
+}
+
+// In-process loadgen smoke: every requested session connects, receives
+// pages, and survives to teardown against a 4-loop server.
+TEST(MultiLoop, LoadgenDrivesAndMeasuresAShardedServer) {
+  AirServerConfig config;
+  config.slot_us = 2000;
+  config.max_slots = 0;
+  config.loops = 4;
+  ServerHarness harness(paper_workload(), config);
+
+  LoadGenConfig load;
+  load.port = harness.server().port();
+  load.sessions = 200;
+  load.threads = 2;
+  load.duration_ms = 500;
+  const LoadGenReport report = run_loadgen(load);
+  EXPECT_EQ(report.sessions_connected, 200u);
+  EXPECT_EQ(report.connect_failures, 0u);
+  EXPECT_EQ(report.early_closes, 0u);
+  EXPECT_GT(report.pages, 0u);
+  EXPECT_GT(report.samples, 0u);
+  EXPECT_GE(report.jitter_p99_us, report.jitter_p50_us);
+  EXPECT_GE(report.jitter_max_us, report.jitter_p999_us);
+
+  // The report is a metrics snapshot: counters carry the session counts.
+  const obs::MetricsSnapshot snap = report.to_snapshot();
+  EXPECT_EQ(snap.counter_value("tcsa_loadgen_sessions_total"), 200u);
+  EXPECT_EQ(snap.counter_value("tcsa_loadgen_early_closes_total"), 0u);
+}
+
+}  // namespace

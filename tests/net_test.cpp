@@ -12,6 +12,7 @@
 
 #include "net/event_loop.hpp"
 #include "net/framing.hpp"
+#include "net/loop_group.hpp"
 #include "net/slot_clock.hpp"
 #include "net/socket.hpp"
 #include "util/wire.hpp"
@@ -194,6 +195,124 @@ TEST(Socket, ConnectRoundTrip) {
   for (int i = 0; i < 100 && !server.valid(); ++i)
     server = net::accept_connection(listener.get());
   ASSERT_TRUE(server.valid());
+}
+
+TEST(Socket, NonBlockingConnectCompletesAndReportsNoError) {
+  net::Fd listener = net::listen_tcp("127.0.0.1", 0);
+  const std::uint16_t port = net::local_port(listener.get());
+  net::Fd client = net::connect_tcp_nonblocking("127.0.0.1", port);
+  ASSERT_TRUE(client.valid());
+  net::EventLoop loop;
+  bool completed = false;
+  loop.add(client.get(), EPOLLOUT, [&](std::uint32_t) {
+    EXPECT_EQ(net::connect_error(client.get()), 0);
+    completed = true;
+  });
+  while (!completed) loop.poll(100'000);
+  loop.remove(client.get());
+  net::Fd server;
+  for (int i = 0; i < 100 && !server.valid(); ++i)
+    server = net::accept_connection(listener.get());
+  ASSERT_TRUE(server.valid());
+}
+
+// --------------------------------------------------- reuseport sharding
+
+TEST(Socket, ReuseportClonesShareOneKernelPortAndSplitAccepts) {
+  // The sharding recipe: shard 0 resolves an ephemeral port inside its own
+  // reuseport group, clones join at the concrete port.
+  net::Fd shard0 = net::listen_reuseport("127.0.0.1", 0);
+  const std::uint16_t port = net::local_port(shard0.get());
+  ASSERT_GT(port, 0);
+  net::Fd shard1 = net::listen_reuseport("127.0.0.1", port);
+  net::Fd shard2 = net::listen_reuseport("127.0.0.1", port);
+  EXPECT_EQ(net::local_port(shard1.get()), port);
+  EXPECT_EQ(net::local_port(shard2.get()), port);
+
+  // Every dialed connection lands on exactly one listener of the group —
+  // the kernel does the accept sharding, no userspace handoff.
+  std::vector<net::Fd> clients;
+  for (int i = 0; i < 24; ++i)
+    clients.push_back(net::connect_tcp("127.0.0.1", port));
+  const int listeners[] = {shard0.get(), shard1.get(), shard2.get()};
+  std::size_t accepted = 0;
+  std::vector<net::Fd> server_ends;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (accepted < clients.size() &&
+         std::chrono::steady_clock::now() < deadline) {
+    for (const int fd : listeners) {
+      for (;;) {
+        net::Fd conn = net::accept_connection(fd);
+        if (!conn.valid()) break;
+        server_ends.push_back(std::move(conn));
+        ++accepted;
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(accepted, clients.size());
+}
+
+TEST(Socket, NaivePortZeroReuseportClonesLandOnDifferentPorts) {
+  // The trap the recipe above exists to avoid: binding each shard at port 0
+  // gives every shard its *own* ephemeral port — no shared group, and
+  // clients dialing shard 0's port would reach only shard 0.
+  net::Fd a = net::listen_reuseport("127.0.0.1", 0);
+  net::Fd b = net::listen_reuseport("127.0.0.1", 0);
+  EXPECT_NE(net::local_port(a.get()), net::local_port(b.get()));
+}
+
+// -------------------------------------------------------------- loop group
+
+TEST(LoopGroup, RunsOneWorkerPerExtraLoopAndJoinsClean) {
+  net::LoopGroup group(4);
+  EXPECT_EQ(group.size(), 4u);
+  EXPECT_EQ(&group.primary(), &group.loop(0));
+  std::atomic<int> ran{0};
+  group.start_workers([&](std::size_t index) {
+    EXPECT_GE(index, 1u);  // loop 0 stays with the caller
+    std::atomic<bool> woken{false};
+    group.loop(index).post([&] { woken.store(true); });
+    while (!woken.load()) group.loop(index).poll(-1);
+    ran.fetch_add(1);
+  });
+  group.join_workers();
+  EXPECT_EQ(ran.load(), 3);
+}
+
+TEST(LoopGroup, JoinRethrowsTheFirstWorkerFailure) {
+  net::LoopGroup group(3);
+  group.start_workers(
+      [](std::size_t) { throw std::runtime_error("worker boom"); });
+  EXPECT_THROW(group.join_workers(), std::runtime_error);
+}
+
+// Multi-producer post storm: every function posted from every thread runs
+// exactly once, and watched() stays safely readable from the producers.
+// (The TSAN CI job runs this to certify the cross-thread contract.)
+TEST(EventLoop, PostStormFromManyThreadsDeliversEveryFunction) {
+  net::EventLoop loop;
+  net::TimerFd timer;
+  loop.add(timer.fd(), EPOLLIN, [&](std::uint32_t) { timer.acknowledge(); });
+  constexpr int kThreads = 4;
+  constexpr int kPosts = 2000;
+  std::atomic<int> delivered{0};
+  std::vector<std::thread> posters;
+  for (int t = 0; t < kThreads; ++t) {
+    posters.emplace_back([&] {
+      for (int i = 0; i < kPosts; ++i) {
+        loop.post([&] { delivered.fetch_add(1, std::memory_order_relaxed); });
+        // Cross-thread introspection under fire must never race the loop.
+        EXPECT_LE(loop.watched(), 1u);
+      }
+    });
+  }
+  while (delivered.load() < kThreads * kPosts) loop.poll(-1);
+  for (std::thread& t : posters) t.join();
+  EXPECT_EQ(delivered.load(), kThreads * kPosts);
+  loop.remove(timer.fd());
+  EXPECT_EQ(loop.watched(), 0u);
 }
 
 }  // namespace

@@ -151,6 +151,43 @@ TEST_F(ServeE2E, TuneObservesZeroMissesAndSwapActivatesLive) {
             std::string::npos);
 }
 
+// The sharded server honors the same wire contract the single-loop one
+// does — a real tune client sees zero misses at --loops 4 — and the load
+// generator drives it from a separate process, leaving a diffable report.
+TEST_F(ServeE2E, FourLoopServeMeetsDeadlinesAndLoadgenReports) {
+  // Longer life (12000 slots * 300us = 3.6s) so the tune run and the
+  // loadgen window both finish while the program is still on air.
+  Subprocess serve = spawn_serve({"--loops", "4", "--slots", "12000"});
+
+  ASSERT_EQ(run_tune("300", path("tune.json")), 0)
+      << slurp(path("tune.stderr.txt"));
+  const obs::JsonValue tuned = obs::json_parse(slurp(path("tune.json")));
+  EXPECT_EQ(tuned.at("deadline_misses").expect_uint("deadline_misses"), 0u);
+  EXPECT_EQ(tuned.at("generation").expect_uint("generation"), 1u);
+
+  SpawnOptions load_options;
+  load_options.stdout_path = path("loadgen.stdout.txt");
+  load_options.stderr_path = path("loadgen.stderr.txt");
+  ASSERT_EQ(run_command({TCSACTL_PATH, "loadgen", "--port",
+                         std::to_string(port_), "--sessions", "200",
+                         "--threads", "2", "--duration-ms", "400",
+                         "--json-out", path("loadgen.json")},
+                        load_options),
+            0)
+      << slurp(path("loadgen.stderr.txt"));
+  const obs::MetricsSnapshot report =
+      obs::snapshot_from_json(slurp(path("loadgen.json")));
+  EXPECT_EQ(report.counter_value("tcsa_loadgen_sessions_total"), 200u);
+  EXPECT_EQ(report.counter_value("tcsa_loadgen_connect_failures_total"), 0u);
+  EXPECT_EQ(report.counter_value("tcsa_loadgen_early_closes_total"), 0u);
+  EXPECT_GT(report.counter_value("tcsa_loadgen_pages_total"), 0u);
+
+  EXPECT_EQ(serve.wait(), 0) << slurp(path("serve.stderr.txt"));
+  const std::string serve_log = slurp(path("serve.stderr.txt"));
+  EXPECT_NE(serve_log.find("4 loops"), std::string::npos);
+  EXPECT_NE(serve_log.find("off air after 12000 slots"), std::string::npos);
+}
+
 #if TCSA_OBS_COMPILED
 TEST_F(ServeE2E, WritesMergeableObsArtifacts) {
   const std::string art_dir = path("artifacts");
