@@ -22,9 +22,12 @@
 // And the live side (DESIGN.md §7) — put a program on air, listen to it,
 // swap it without taking it off air:
 //
-//   tcsactl serve --workload w.tcsa --slot-us 2000 --port-file port.txt
+//   tcsactl serve --workload w.tcsa --slot-us 2000 --port-file port.txt \
+//                 --admin-port 0 --admin-port-file admin.txt
 //   tcsactl tune  --port $(cat port.txt) --slots 200 --json
 //   tcsactl swap  --port $(cat port.txt) --workload w2.tcsa
+//   tcsactl stat  127.0.0.1:$(cat admin.txt) --watch 2
+//   tcsactl stat  127.0.0.1:$(cat admin.txt) --json > live.json
 //
 // Exit codes: 0 success, 1 operational failure (connection refused, invalid
 // program, metric drift), 2 usage error (unknown subcommand/flag, missing
@@ -44,7 +47,9 @@
 #include "model/serialize.hpp"
 #include "model/validate.hpp"
 #include "net/framing.hpp"
+#include "net/http_admin.hpp"
 #include "obs/artifact.hpp"
+#include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "server/air_server.hpp"
@@ -54,6 +59,7 @@
 #include "sim/sweep.hpp"
 #include "util/cli.hpp"
 #include "util/subprocess.hpp"
+#include "util/table.hpp"
 #include "workload/trace.hpp"
 
 using namespace tcsa;
@@ -367,6 +373,20 @@ int serve_main(int argc, const char* const* argv) {
                  "write a manifest + metrics + trace artifact set into DIR "
                  "(mergeable with 'tcsactl obs merge')");
   cli.add_string("run-id", "", "artifact run id (default: clock + pid)");
+  cli.add_int("admin-port", -1,
+              "serve /metrics, /metrics.json, /healthz and /slots over HTTP "
+              "on this port (0 = ephemeral, -1 = no admin endpoint)");
+  cli.add_string("admin-port-file", "",
+                 "write the bound admin port here once listening");
+  cli.add_int("slo-us", 0,
+              "slot-lag SLO in microseconds: a slot airing later than this "
+              "counts as a breach (tcsa_slo_breach_total) and warns; 0 = "
+              "track percentiles only");
+  cli.add_int("slo-window", 256,
+              "slots per watchdog percentile window (tcsa_slot_lag_p99_us "
+              "and friends update once per window)");
+  cli.add_int("timeline-slots", 4096,
+              "per-slot airing records retained for /slots");
   if (!cli.parse(argc, argv)) return 0;
 
   Workload workload = workload_from(cli.get_string("workload"));
@@ -392,12 +412,31 @@ int serve_main(int argc, const char* const* argv) {
   config.max_session_buffer =
       static_cast<std::size_t>(cli.get_int("max-buffer-kb")) * 1024;
   config.session_send_buffer = static_cast<int>(cli.get_int("send-buffer"));
+  const long long admin_port = cli.get_int("admin-port");
+  if (admin_port < -1 || admin_port > 65535)
+    throw std::invalid_argument("serve: --admin-port must be in [-1, 65535]");
+  config.admin_port = static_cast<int>(admin_port);
+  config.admin_bind = config.bind_address;
+  config.slo_breach_us = static_cast<double>(cli.get_int("slo-us"));
+  if (cli.get_int("slo-window") < 1)
+    throw std::invalid_argument("serve: --slo-window must be >= 1");
+  config.slo_window = static_cast<std::size_t>(cli.get_int("slo-window"));
+  if (cli.get_int("timeline-slots") < 1)
+    throw std::invalid_argument("serve: --timeline-slots must be >= 1");
+  config.timeline_capacity =
+      static_cast<std::size_t>(cli.get_int("timeline-slots"));
+  // An interrupted broadcast should still go off air cleanly (drain, close,
+  // write the export files below) instead of losing its telemetry.
+  config.install_signal_handlers = true;
 
   std::string metrics_out = cli.get_string("metrics-out");
   std::string trace_out = cli.get_string("trace-out");
   std::string out_dir = cli.get_string("out-dir");
 #if TCSA_OBS_COMPILED
   if (!metrics_out.empty() || !out_dir.empty()) obs::set_enabled(true);
+  // A live admin endpoint is a standing request for metrics: scrapes of a
+  // server that never wrote an export file must still see real counters.
+  if (config.admin_port >= 0) obs::set_enabled(true);
   if (!trace_out.empty() || !out_dir.empty()) obs::set_tracing_enabled(true);
 #else
   if (!metrics_out.empty() || !trace_out.empty() || !out_dir.empty()) {
@@ -417,10 +456,16 @@ int serve_main(int argc, const char* const* argv) {
   if (const std::string port_file = cli.get_string("port-file");
       !port_file.empty())
     write_text_file(port_file, std::to_string(server.port()) + "\n");
+  if (const std::string admin_file = cli.get_string("admin-port-file");
+      !admin_file.empty() && server.admin_port() != 0)
+    write_text_file(admin_file, std::to_string(server.admin_port()) + "\n");
   std::cerr << "tcsactl serve: on air at " << config.bind_address << ':'
             << server.port() << " (" << server.channels()
             << " channels, slot " << config.slot_us << "us, "
             << server.loops() << " loop" << (server.loops() == 1 ? "" : "s");
+  if (server.admin_port() != 0)
+    std::cerr << ", admin http://" << config.admin_bind << ':'
+              << server.admin_port();
   if (config.max_slots)
     std::cerr << ", stopping after " << config.max_slots << " slots";
   std::cerr << ")\n";
@@ -851,6 +896,128 @@ int obs_main(int argc, const char* const* argv) {
                               " (expected merge | diff | report)");
 }
 
+// ------------------------------------------------------------ live stat
+
+/// One fetch + render cycle of `tcsactl stat`. Throws on transport errors;
+/// returns the exit code (1 when the server answers but is degraded).
+int stat_once(const std::string& host, std::uint16_t port, bool as_json) {
+  if (as_json) {
+    // Raw /metrics.json passthrough: the body is exactly the artifact
+    // pipeline's snapshot grammar, so `tcsactl obs diff --current -` style
+    // gating works on a live scrape.
+    const net::HttpResponse metrics = net::http_get(host, port, "/metrics.json");
+    if (metrics.status != 200) {
+      std::cerr << "tcsactl stat: /metrics.json answered " << metrics.status
+                << ": " << metrics.body;
+      return 1;
+    }
+    std::cout << metrics.body;
+    return 0;
+  }
+
+  const net::HttpResponse health = net::http_get(host, port, "/healthz");
+  if (health.status != 200) {
+    std::cerr << "tcsactl stat: /healthz answered " << health.status << ": "
+              << health.body;
+    return 1;
+  }
+  const obs::JsonValue h = obs::json_parse(health.body);
+  const auto num = [&](const char* key) -> double {
+    const obs::JsonValue* v = h.find(key);
+    return v != nullptr ? v->expect_number(key) : 0.0;
+  };
+  const auto uint = [&](const char* key) -> std::uint64_t {
+    const obs::JsonValue* v = h.find(key);
+    return v != nullptr ? v->expect_uint(key) : 0;
+  };
+
+  std::cout << "tcsactl stat " << host << ':' << port << " — "
+            << h.at("status").expect_string("status") << ", up "
+            << static_cast<std::uint64_t>(num("uptime_seconds")) << "s\n\n";
+  Table table({"metric", "value"});
+  table.begin_row().add("slots aired").add(uint("slots_aired"));
+  table.begin_row().add("generation").add(uint("generation"));
+  table.begin_row().add("sessions").add(uint("sessions"));
+  table.begin_row().add("loops").add(uint("loops"));
+  table.begin_row().add("evictions").add(uint("evictions"));
+  table.begin_row().add("next slot lag (us)").add(uint("next_slot_lag_us"));
+  table.begin_row().add("slot lag p50 (us)").add(num("slot_lag_p50_us"), 1);
+  table.begin_row().add("slot lag p99 (us)").add(num("slot_lag_p99_us"), 1);
+  table.begin_row().add("slot lag p999 (us)").add(num("slot_lag_p999_us"), 1);
+  table.begin_row().add("SLO breaches").add(uint("slo_breaches"));
+  std::cout << table;
+
+  // The registry scrape is optional garnish (obs-off builds answer 503):
+  // fold in the egress counters when available.
+  const net::HttpResponse metrics = net::http_get(host, port, "/metrics.json");
+  if (metrics.status == 200) {
+    const obs::MetricsSnapshot snap = obs::snapshot_from_json(metrics.body);
+    Table egress({"counter", "total"});
+    for (const char* name :
+         {"tcsa_server_frames_sent_total", "tcsa_server_bytes_queued_total",
+          "tcsa_server_bytes_flushed_total", "tcsa_server_writev_calls_total",
+          "tcsa_slo_breach_total"})
+      egress.begin_row().add(name).add(snap.counter_value(name));
+    std::cout << '\n' << egress;
+    std::cout << "\nbuild: " << snap.gauge_value("tcsa_uptime_seconds")
+              << "s uptime";
+    if (const obs::GaugeSnapshot* info = snap.gauge("tcsa_build_info"))
+      std::cout << " (" << info->labels << ")";
+    std::cout << '\n';
+  } else {
+    std::cout << "\n(no registry metrics: " << metrics.status
+              << " from /metrics.json)\n";
+  }
+  return 0;
+}
+
+/// `tcsactl stat <host:port>` — scrape a live server's admin endpoint.
+int stat_main(int argc, const char* const* argv) {
+  // The target is positional (stat's whole argument is "which server");
+  // pull it out before Cli sees the argv, since Cli is flags-only.
+  std::string target;
+  std::vector<const char*> rest;
+  rest.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (target.empty() && argv[i][0] != '-') {
+      target = argv[i];
+      continue;
+    }
+    rest.push_back(argv[i]);
+  }
+  Cli cli("tcsactl stat <host:port>",
+          "scrape a live server's admin endpoint and render a status table");
+  cli.add_flag("json", "print the raw /metrics.json body (obs diff-able) "
+                       "instead of the table");
+  cli.add_int("watch", 0, "refresh every N seconds until interrupted");
+  if (!cli.parse(static_cast<int>(rest.size()), rest.data())) return 0;
+  if (target.empty())
+    throw std::invalid_argument(
+        "stat: target required (tcsactl stat <host:port>)");
+  std::string host = "127.0.0.1";
+  std::string port_text = target;
+  if (const std::size_t colon = target.rfind(':');
+      colon != std::string::npos) {
+    host = target.substr(0, colon);
+    port_text = target.substr(colon + 1);
+  }
+  const long long port = std::atoll(port_text.c_str());
+  if (port < 1 || port > 65535)
+    throw std::invalid_argument("stat: bad port in target '" + target + "'");
+
+  const long long watch_s = cli.get_int("watch");
+  const bool as_json = cli.get_flag("json");
+  for (;;) {
+    if (watch_s > 0 && !as_json)
+      std::cout << "\x1b[2J\x1b[H";  // clear + home, top-style refresh
+    const int rc =
+        stat_once(host, static_cast<std::uint16_t>(port), as_json);
+    if (watch_s <= 0) return rc;
+    std::cout.flush();
+    ::sleep(static_cast<unsigned>(watch_s));
+  }
+}
+
 int run(int argc, const char* const* argv) {
   // Word-style subcommands first; everything else falls through to the
   // legacy --cmd dispatcher. An unrecognized word is a usage error (exit 2),
@@ -862,9 +1029,11 @@ int run(int argc, const char* const* argv) {
     if (sub == "tune") return tune_main(argc - 1, argv + 1);
     if (sub == "swap") return swap_main(argc - 1, argv + 1);
     if (sub == "loadgen") return loadgen_main(argc - 1, argv + 1);
+    if (sub == "stat") return stat_main(argc - 1, argv + 1);
     throw std::invalid_argument(
         "unknown subcommand: " + sub +
-        " (expected serve | tune | swap | loadgen | obs, or --cmd ...)");
+        " (expected serve | tune | swap | loadgen | stat | obs, or "
+        "--cmd ...)");
   }
 
   Cli cli("tcsactl", "plan, schedule, validate and simulate "

@@ -60,6 +60,8 @@ void append_kv_int(std::string& out, const char* key, std::int64_t value,
 
 // --------------------------------------------------------------- manifest
 
+const char* build_git_describe() noexcept { return TCSA_GIT_DESCRIBE; }
+
 RunManifest make_manifest(const std::string& run_id, int shard_index,
                           int shard_count, const std::string& config_digest,
                           const std::string& command) {
@@ -146,7 +148,16 @@ MetricsSnapshot snapshot_from_json(const std::string& json) {
   for (const auto& [name, value] :
        doc.at("gauges").expect_object("gauges").object) {
     GaugeSnapshot g;
-    g.name = name;
+    // The exporter keys a labeled gauge as name{labels}; split the series
+    // key back apart so lookups by bare name (gauge("tcsa_build_info"))
+    // work on an imported snapshot exactly as they do on a live one.
+    const std::size_t brace = name.find('{');
+    if (brace != std::string::npos && name.back() == '}') {
+      g.name = name.substr(0, brace);
+      g.labels = name.substr(brace + 1, name.size() - brace - 2);
+    } else {
+      g.name = name;
+    }
     g.value = value.expect_number("gauge " + name);
     snap.gauges.push_back(std::move(g));
   }

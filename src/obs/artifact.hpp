@@ -60,6 +60,12 @@ RunManifest make_manifest(const std::string& run_id, int shard_index,
                           int shard_count, const std::string& config_digest,
                           const std::string& command);
 
+/// The compiled-in TCSA_GIT_DESCRIBE string ("unknown" outside a build that
+/// stamped it). The macro is a compile definition on this translation unit
+/// only; everything else (tcsa_build_info labels, stat output) goes through
+/// this accessor.
+const char* build_git_describe() noexcept;
+
 std::string manifest_to_json(const RunManifest& manifest);
 /// Strict: missing/mistyped fields and unknown schema tags throw.
 RunManifest manifest_from_json(const std::string& json);

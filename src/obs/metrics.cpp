@@ -33,11 +33,19 @@ struct Def {
   Kind kind = Kind::kCounter;
   std::string name;
   std::string help;
+  std::string labels;            ///< gauge-only fixed label pairs, no braces
   std::uint32_t cell = 0;        ///< first int cell (counter/histogram)
   std::uint32_t gauge_slot = 0;  ///< gauge index
   std::uint32_t hist_slot = 0;   ///< histogram index (for the sum cell)
   std::vector<double> bounds;    ///< histogram upper bounds, ascending
 };
+
+/// Registry key: labeled gauges are distinct series, so the identity is the
+/// full `name{labels}` spelling; unlabeled metrics keep the bare name.
+std::string series_key(const std::string& name, const std::string& labels) {
+  if (labels.empty()) return name;
+  return name + '{' + labels + '}';
+}
 
 /// One thread's value cells. Writers are the owning thread only (relaxed
 /// fetch_add); the scrape thread reads the same atomics, so TSan sees no
@@ -63,10 +71,11 @@ class Registry {
   }
 
   MetricId register_metric(Kind kind, const std::string& name,
-                           const std::string& help,
-                           std::vector<double> bounds) {
+                           const std::string& help, std::vector<double> bounds,
+                           const std::string& labels = {}) {
     const std::lock_guard<std::mutex> lock(mutex_);
-    if (const auto it = by_name_.find(name); it != by_name_.end()) {
+    const std::string key = series_key(name, labels);
+    if (const auto it = by_name_.find(key); it != by_name_.end()) {
       const Def& def = defs_[it->second];
       TCSA_REQUIRE(def.kind == kind,
                    "metrics: name re-registered with a different kind");
@@ -75,10 +84,13 @@ class Registry {
       return it->second;
     }
     TCSA_REQUIRE(defs_.size() < kMaxMetrics, "metrics: registry full");
+    TCSA_REQUIRE(labels.empty() || kind == Kind::kGauge,
+                 "metrics: labels are gauge-only");
     Def def;
     def.kind = kind;
     def.name = name;
     def.help = help;
+    def.labels = labels;
     switch (kind) {
       case Kind::kCounter:
         TCSA_REQUIRE(next_int_cell_ + 1 <= kMaxIntCells,
@@ -107,7 +119,7 @@ class Registry {
     }
     const auto id = static_cast<MetricId>(defs_.size());
     defs_.push_back(std::move(def));
-    by_name_.emplace(defs_.back().name, id);
+    by_name_.emplace(key, id);
     return id;
   }
 
@@ -146,7 +158,7 @@ class Registry {
           break;
         case Kind::kGauge:
           snap.gauges.push_back(
-              {def.name, def.help,
+              {def.name, def.help, def.labels,
                gauges_[def.gauge_slot].load(std::memory_order_relaxed)});
           break;
         case Kind::kHistogram: {
@@ -282,6 +294,26 @@ MetricId register_gauge(const std::string& name, const std::string& help) {
   return Registry::instance().register_metric(Kind::kGauge, name, help, {});
 }
 
+MetricId register_gauge(const std::string& name, const std::string& help,
+                        const std::string& labels) {
+  return Registry::instance().register_metric(Kind::kGauge, name, help, {},
+                                              labels);
+}
+
+std::string format_label(const std::string& key, const std::string& value) {
+  std::string out = key + "=\"";
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
 MetricId register_histogram(const std::string& name, const std::string& help,
                             std::vector<double> upper_bounds) {
   return Registry::instance().register_metric(Kind::kHistogram, name, help,
@@ -299,6 +331,10 @@ void counter_add_always(MetricId id, std::uint64_t n) noexcept {
 
 void gauge_set(MetricId id, double value) noexcept {
   if (!enabled()) return;
+  Registry::instance().gauge_cell(id).store(value, std::memory_order_relaxed);
+}
+
+void gauge_set_always(MetricId id, double value) noexcept {
   Registry::instance().gauge_cell(id).store(value, std::memory_order_relaxed);
 }
 
@@ -333,9 +369,9 @@ void MetricsSnapshot::merge(const MetricsSnapshot& other) {
     }
   }
   for (const GaugeSnapshot& theirs : other.gauges) {
-    const auto it =
-        std::find_if(gauges.begin(), gauges.end(),
-                     [&](const auto& g) { return g.name == theirs.name; });
+    const auto it = std::find_if(gauges.begin(), gauges.end(), [&](const auto& g) {
+      return g.name == theirs.name && g.labels == theirs.labels;
+    });
     if (it == gauges.end()) {
       gauges.push_back(theirs);
     } else {
@@ -392,6 +428,18 @@ const HistogramSnapshot* MetricsSnapshot::histogram(
   return nullptr;
 }
 
+const GaugeSnapshot* MetricsSnapshot::gauge(
+    const std::string& name) const noexcept {
+  for (const GaugeSnapshot& g : gauges)
+    if (g.name == name) return &g;
+  return nullptr;
+}
+
+double MetricsSnapshot::gauge_value(const std::string& name) const noexcept {
+  const GaugeSnapshot* g = gauge(name);
+  return g != nullptr ? g->value : 0.0;
+}
+
 std::string MetricsSnapshot::to_json() const {
   std::string out = "{\n  \"counters\": {";
   bool first = true;
@@ -409,7 +457,7 @@ std::string MetricsSnapshot::to_json() const {
     out += first ? "\n" : ",\n";
     first = false;
     out += "    \"";
-    append_json_escaped(out, g.name);
+    append_json_escaped(out, series_key(g.name, g.labels));
     out += "\": ";
     out += format_double(g.value);
   }
@@ -452,9 +500,15 @@ std::string MetricsSnapshot::to_prometheus() const {
     header(c.name, c.help, "counter");
     out += c.name + ' ' + std::to_string(c.value) + '\n';
   }
+  const std::string* last_gauge_name = nullptr;
   for (const GaugeSnapshot& g : gauges) {
-    header(g.name, g.help, "gauge");
-    out += g.name + ' ' + format_double(g.value) + '\n';
+    // HELP/TYPE use the bare name and are emitted once per name even when
+    // several labeled series share it (scrape order keeps same-name gauges
+    // adjacent because registration order does).
+    if (last_gauge_name == nullptr || *last_gauge_name != g.name)
+      header(g.name, g.help, "gauge");
+    last_gauge_name = &g.name;
+    out += series_key(g.name, g.labels) + ' ' + format_double(g.value) + '\n';
   }
   for (const HistogramSnapshot& h : histograms) {
     header(h.name, h.help, "histogram");

@@ -49,6 +49,20 @@ MetricId register_counter(const std::string& name, const std::string& help);
 /// sharded — gauges are set rarely compared to counter bumps).
 MetricId register_gauge(const std::string& name, const std::string& help);
 
+/// Registers a gauge carrying a fixed Prometheus label set, e.g.
+/// `git_describe="v1.2",loops="4"` (no surrounding braces — assemble pairs
+/// with format_label). Gauges with the same name but different labels are
+/// distinct series; the exposition emits `name{labels} value` while HELP
+/// and TYPE lines keep the bare name. Built for info-style metrics
+/// (tcsa_build_info) whose value is constant 1 and whose payload is the
+/// labels.
+MetricId register_gauge(const std::string& name, const std::string& help,
+                        const std::string& labels);
+
+/// One `key="value"` Prometheus label pair with the exposition-format value
+/// escapes applied (backslash, double quote, newline).
+std::string format_label(const std::string& key, const std::string& value);
+
 /// Registers a histogram with explicit ascending upper bounds; an implicit
 /// +Inf bucket catches the remainder. Bounds are fixed at registration —
 /// re-registering the same name with different bounds throws.
@@ -61,6 +75,7 @@ MetricId register_histogram(const std::string& name, const std::string& help,
 void counter_add(MetricId id, std::uint64_t n = 1) noexcept;
 void counter_add_always(MetricId id, std::uint64_t n = 1) noexcept;
 void gauge_set(MetricId id, double value) noexcept;
+void gauge_set_always(MetricId id, double value) noexcept;
 void histogram_observe(MetricId id, double value) noexcept;
 
 /// Point-in-time aggregate of every registered metric (all shards merged).
@@ -73,6 +88,7 @@ struct CounterSnapshot {
 struct GaugeSnapshot {
   std::string name;
   std::string help;
+  std::string labels;  ///< fixed label pairs, no braces; empty = unlabeled
   double value = 0.0;
 };
 
@@ -103,6 +119,10 @@ struct MetricsSnapshot {
   /// Value of a counter by name; 0 when absent (convenient in tests).
   std::uint64_t counter_value(const std::string& name) const noexcept;
   const HistogramSnapshot* histogram(const std::string& name) const noexcept;
+  /// First gauge with this exact name (any labels); nullptr when absent.
+  const GaugeSnapshot* gauge(const std::string& name) const noexcept;
+  /// Value of a gauge by name; 0.0 when absent.
+  double gauge_value(const std::string& name) const noexcept;
 
   /// {"counters": {...}, "gauges": {...}, "histograms": {...}}
   std::string to_json() const;

@@ -1,0 +1,100 @@
+#include "obs/timeline.hpp"
+
+#include <algorithm>
+
+namespace tcsa::obs {
+namespace {
+
+std::uint64_t to_word(std::int64_t v) noexcept {
+  return static_cast<std::uint64_t>(v);
+}
+std::int64_t to_signed(std::uint64_t w) noexcept {
+  return static_cast<std::int64_t>(w);
+}
+
+}  // namespace
+
+SlotTimeline::SlotTimeline(std::size_t capacity)
+    : cells_(std::max<std::size_t>(capacity, 1)) {}
+
+void SlotTimeline::record(const SlotRecord& rec) noexcept {
+  const std::uint64_t ordinal = head_.load(std::memory_order_relaxed);
+  Cell& cell = cells_[ordinal % cells_.size()];
+  // Seqlock write: odd seq marks the cell dirty so a concurrent snapshot
+  // drops it instead of mixing two slots' fields. The payload stores are
+  // relaxed atomics — no torn words, no TSan report — and the even store
+  // publishes them.
+  const std::uint64_t seq = cell.seq.load(std::memory_order_relaxed);
+  cell.seq.store(seq + 1, std::memory_order_release);
+  cell.words[0].store(rec.slot, std::memory_order_relaxed);
+  cell.words[1].store(to_word(rec.scheduled_us), std::memory_order_relaxed);
+  cell.words[2].store(to_word(rec.actual_us), std::memory_order_relaxed);
+  cell.words[3].store(rec.bytes_flushed, std::memory_order_relaxed);
+  cell.words[4].store(rec.sessions, std::memory_order_relaxed);
+  cell.words[5].store(rec.evictions, std::memory_order_relaxed);
+  cell.words[6].store(rec.generation, std::memory_order_relaxed);
+  cell.words[7].store(rec.aired_mask, std::memory_order_relaxed);
+  cell.seq.store(seq + 2, std::memory_order_release);
+  head_.store(ordinal + 1, std::memory_order_release);
+}
+
+std::vector<SlotRecord> SlotTimeline::snapshot(std::size_t max_records) const {
+  const std::uint64_t head = head_.load(std::memory_order_acquire);
+  std::uint64_t available = std::min<std::uint64_t>(head, cells_.size());
+  if (max_records != 0)
+    available = std::min<std::uint64_t>(available, max_records);
+  std::vector<SlotRecord> out;
+  out.reserve(static_cast<std::size_t>(available));
+  for (std::uint64_t ordinal = head - available; ordinal < head; ++ordinal) {
+    const Cell& cell = cells_[ordinal % cells_.size()];
+    SlotRecord rec;
+    bool consistent = false;
+    // Two attempts, then give up on the cell: if the writer keeps lapping
+    // this ordinal the record is gone anyway — newer ones replaced it.
+    for (int attempt = 0; attempt < 2 && !consistent; ++attempt) {
+      const std::uint64_t before = cell.seq.load(std::memory_order_acquire);
+      if (before % 2 != 0) continue;  // writer mid-flight
+      rec.slot = cell.words[0].load(std::memory_order_relaxed);
+      rec.scheduled_us =
+          to_signed(cell.words[1].load(std::memory_order_relaxed));
+      rec.actual_us = to_signed(cell.words[2].load(std::memory_order_relaxed));
+      rec.bytes_flushed = cell.words[3].load(std::memory_order_relaxed);
+      rec.sessions = cell.words[4].load(std::memory_order_relaxed);
+      rec.evictions = cell.words[5].load(std::memory_order_relaxed);
+      rec.generation = cell.words[6].load(std::memory_order_relaxed);
+      rec.aired_mask = cell.words[7].load(std::memory_order_relaxed);
+      const std::uint64_t after = cell.seq.load(std::memory_order_acquire);
+      consistent = before == after;
+    }
+    if (consistent) out.push_back(rec);
+  }
+  return out;
+}
+
+std::string SlotTimeline::to_json(std::size_t max_records) const {
+  const std::vector<SlotRecord> records = snapshot(max_records);
+  std::string out = "{\n  \"capacity\": ";
+  out += std::to_string(cells_.size());
+  out += ",\n  \"recorded\": ";
+  out += std::to_string(recorded());
+  out += ",\n  \"slots\": [";
+  bool first = true;
+  for (const SlotRecord& rec : records) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"slot\": " + std::to_string(rec.slot);
+    out += ", \"scheduled_us\": " + std::to_string(rec.scheduled_us);
+    out += ", \"actual_us\": " + std::to_string(rec.actual_us);
+    out += ", \"lag_us\": " + std::to_string(rec.lag_us());
+    out += ", \"bytes_flushed\": " + std::to_string(rec.bytes_flushed);
+    out += ", \"sessions\": " + std::to_string(rec.sessions);
+    out += ", \"evictions\": " + std::to_string(rec.evictions);
+    out += ", \"generation\": " + std::to_string(rec.generation);
+    out += ", \"aired_mask\": " + std::to_string(rec.aired_mask);
+    out += '}';
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+}  // namespace tcsa::obs

@@ -1,9 +1,12 @@
 #include "server/air_server.hpp"
 
+#include <fcntl.h>
 #include <sys/epoll.h>
 #include <sys/socket.h>
+#include <unistd.h>
 
 #include <algorithm>
+#include <csignal>
 #include <cerrno>
 #include <cmath>
 #include <cstring>
@@ -14,6 +17,7 @@
 
 #include "core/channel_bound.hpp"
 #include "model/appearance_index.hpp"
+#include "obs/artifact.hpp"
 #include "model/serialize.hpp"
 #include "model/validate.hpp"
 #include "obs/trace.hpp"
@@ -162,8 +166,36 @@ SwapPlan plan_swap_seam(const Workload& current_workload,
   return best;
 }
 
+namespace {
+
+/// Self-pipe write end for the signal handlers: the only async-signal-safe
+/// way back into the event loop is write(2) on a pre-opened fd.
+std::atomic<int> g_signal_pipe_wr{-1};
+
+extern "C" void tcsa_on_signal(int) {
+  const int fd = g_signal_pipe_wr.load(std::memory_order_relaxed);
+  if (fd >= 0) {
+    const char byte = 1;
+    [[maybe_unused]] const ssize_t n = ::write(fd, &byte, 1);
+  }
+}
+
+obs::SloWatchdogConfig watchdog_config(const AirServerConfig& config) {
+  obs::SloWatchdogConfig wd;
+  wd.window = std::max<std::size_t>(config.slo_window, 1);
+  wd.breach_us = config.slo_breach_us;
+  wd.on_warn = [](const std::string& msg) {
+    TCSA_LOG(kWarn) << "air server: " << msg;
+  };
+  return wd;
+}
+
+}  // namespace
+
 AirServer::AirServer(Workload workload, AirServerConfig config)
-    : config_(std::move(config)) {
+    : config_(std::move(config)),
+      timeline_(std::max<std::size_t>(config_.timeline_capacity, 1)),
+      watchdog_(watchdog_config(config_)) {
   channels_ = config_.channels > 0 ? config_.channels
                                    : min_channels(workload);
   TCSA_REQUIRE(channels_ >= 1 && channels_ <= 64,
@@ -221,7 +253,23 @@ AirServer::AirServer(Workload workload, AirServerConfig config)
         "tcsa_server_loop" + std::to_string(i) + "_queue_depth_bytes",
         "Bytes queued across loop " + std::to_string(i) +
             "'s session egress queues after its last slot flush"));
+  uptime_gauge_ = obs::register_gauge(
+      "tcsa_uptime_seconds", "Seconds since the server went on air");
+  build_info_gauge_ = obs::register_gauge(
+      "tcsa_build_info",
+      "Build/runtime provenance (value is always 1; the labels carry it)",
+      obs::format_label("git_describe", obs::build_git_describe()) + ',' +
+          obs::format_label("obs", obs::enabled() ? "on" : "off") + ',' +
+          obs::format_label("loops", std::to_string(loop_count_)));
+  obs::gauge_set_always(build_info_gauge_, 1.0);
 #endif
+
+  if (config_.admin_port >= 0) {
+    admin_ = std::make_unique<net::HttpAdmin>(
+        group_->loop(0), config_.admin_bind,
+        static_cast<std::uint16_t>(config_.admin_port));
+    setup_admin_routes();
+  }
 }
 
 AirServer::~AirServer() {
@@ -269,6 +317,7 @@ std::vector<std::size_t> AirServer::sessions_per_loop() const {
 
 void AirServer::run() {
   clock_ = std::make_unique<net::SlotClock>(config_.slot_us);
+  on_air_epoch_us_ = clock_->now_us();
 #if TCSA_OBS_COMPILED
   obs::gauge_set(server_metrics().loops_gauge,
                  static_cast<double>(loop_count_));
@@ -277,6 +326,10 @@ void AirServer::run() {
   shard0.loop->add(shard0.listener.get(), EPOLLIN,
                    [this, &shard0](std::uint32_t) { on_accept(shard0); });
   shard0.loop->add(timer_.fd(), EPOLLIN, [this](std::uint32_t) { on_timer(); });
+  // Admin goes live only now: its handlers read loop-0 state (clock_,
+  // next_slot_) that exists from here on, and loop 0 first polls below.
+  if (admin_) admin_->start();
+  if (config_.install_signal_handlers) install_signal_pipe();
   timer_.arm_after_us(0);
   running_ = true;
   group_->start_workers([this](std::size_t index) { worker_body(index); });
@@ -293,10 +346,155 @@ void AirServer::run() {
   for (std::size_t i = 1; i < loop_count_; ++i)
     shards_[i]->loop->post([this, i] { shards_[i]->running = false; });
   drain_and_close(shard0);
+  if (admin_) admin_->shutdown();
+  remove_signal_pipe();
   shard0.loop->remove(timer_.fd());
   group_->join_workers();  // rethrows the first worker failure, if any
   if (swap_worker_.joinable()) swap_worker_.join();
   if (error) std::rethrow_exception(error);
+}
+
+void AirServer::install_signal_pipe() {
+  int fds[2] = {-1, -1};
+  if (::pipe2(fds, O_NONBLOCK | O_CLOEXEC) != 0) {
+    TCSA_LOG(kWarn) << "air server: pipe2 failed (" << std::strerror(errno)
+                    << "); signals will not shut down cleanly";
+    return;
+  }
+  signal_rd_ = net::Fd(fds[0]);
+  signal_wr_ = net::Fd(fds[1]);
+  g_signal_pipe_wr.store(signal_wr_.get(), std::memory_order_relaxed);
+  struct sigaction action = {};
+  action.sa_handler = &tcsa_on_signal;
+  ::sigemptyset(&action.sa_mask);
+  action.sa_flags = SA_RESTART;
+  ::sigaction(SIGINT, &action, nullptr);
+  ::sigaction(SIGTERM, &action, nullptr);
+  shards_[0]->loop->add(signal_rd_.get(), EPOLLIN, [this](std::uint32_t) {
+    char drain[64];
+    while (::read(signal_rd_.get(), drain, sizeof drain) > 0) {
+    }
+    if (running_) {
+      TCSA_LOG(kInfo) << "air server: signal received, going off air";
+      running_ = false;
+    }
+  });
+}
+
+void AirServer::remove_signal_pipe() {
+  if (!signal_rd_.valid()) return;
+  g_signal_pipe_wr.store(-1, std::memory_order_relaxed);
+  struct sigaction action = {};
+  action.sa_handler = SIG_DFL;
+  ::sigemptyset(&action.sa_mask);
+  ::sigaction(SIGINT, &action, nullptr);
+  ::sigaction(SIGTERM, &action, nullptr);
+  shards_[0]->loop->remove(signal_rd_.get());
+  signal_rd_.reset();
+  signal_wr_.reset();
+}
+
+void AirServer::setup_admin_routes() {
+  // /metrics + /metrics.json: whole-registry scrapes. With the obs library
+  // compiled out there is no registry to scrape — answer an explicit 503
+  // (mirroring the PR-3 export warning) rather than an empty document a
+  // dashboard would chart as zeros.
+  admin_->route("/metrics", [](std::string_view) -> net::HttpResponse {
+#if TCSA_OBS_COMPILED
+    return {200, "text/plain; version=0.0.4; charset=utf-8",
+            obs::snapshot().to_prometheus()};
+#else
+    return {503, "text/plain; charset=utf-8",
+            "metrics unavailable: built with TCSA_OBS=OFF\n"};
+#endif
+  });
+  admin_->route("/metrics.json", [](std::string_view) -> net::HttpResponse {
+#if TCSA_OBS_COMPILED
+    return {200, "application/json", obs::snapshot().to_json()};
+#else
+    return {503, "text/plain; charset=utf-8",
+            "metrics unavailable: built with TCSA_OBS=OFF\n"};
+#endif
+  });
+  // /healthz answers in every build flavor: liveness must not depend on
+  // the metrics registry.
+  admin_->route("/healthz", [this](std::string_view) -> net::HttpResponse {
+    if (clock_ == nullptr)
+      return {503, "application/json", "{\"status\": \"off air\"}\n"};
+    return {200, "application/json", healthz_json()};
+  });
+  // /slots dumps the airing timeline; ?max=N trims to the newest N.
+  admin_->route("/slots", [this](std::string_view query) -> net::HttpResponse {
+    std::size_t max_records = 0;
+    constexpr std::string_view kMax = "max=";
+    if (const std::size_t pos = query.find(kMax);
+        pos != std::string_view::npos) {
+      max_records = static_cast<std::size_t>(
+          std::atoll(std::string(query.substr(pos + kMax.size())).c_str()));
+    }
+    return {200, "application/json", timeline_.to_json(max_records)};
+  });
+}
+
+std::string AirServer::healthz_json() const {
+  // Loop-0 thread: next_slot_ and clock_ are this thread's own state.
+  std::string out = "{\n  \"status\": \"ok\",\n  \"slots_aired\": ";
+  out += std::to_string(slots_aired());
+  out += ",\n  \"next_slot_lag_us\": ";
+  out += std::to_string(clock_->lag_us(next_slot_));
+  out += ",\n  \"uptime_seconds\": ";
+  out += std::to_string(
+      static_cast<double>(clock_->now_us() - on_air_epoch_us_) / 1e6);
+  out += ",\n  \"generation\": ";
+  out += std::to_string(generation());
+  out += ",\n  \"loops\": ";
+  out += std::to_string(loop_count_);
+  out += ",\n  \"sessions\": ";
+  out += std::to_string(total_sessions());
+  out += ",\n  \"sessions_per_loop\": [";
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += std::to_string(
+        shards_[i]->session_count.load(std::memory_order_acquire));
+  }
+  out += "],\n  \"evictions\": ";
+  out += std::to_string(sessions_evicted());
+  out += ",\n  \"slot_lag_p50_us\": ";
+  out += std::to_string(watchdog_.p50_us());
+  out += ",\n  \"slot_lag_p99_us\": ";
+  out += std::to_string(watchdog_.p99_us());
+  out += ",\n  \"slot_lag_p999_us\": ";
+  out += std::to_string(watchdog_.p999_us());
+  out += ",\n  \"slo_breaches\": ";
+  out += std::to_string(watchdog_.breaches());
+  out += "\n}\n";
+  return out;
+}
+
+void AirServer::note_slot_aired(std::uint64_t lag_us,
+                                std::uint64_t aired_mask) {
+  const std::int64_t now_us = static_cast<std::int64_t>(clock_->now_us());
+  watchdog_.observe(static_cast<double>(lag_us), now_us);
+#if TCSA_OBS_COMPILED
+  // *_always: a long-lived server's scrape must show uptime even while
+  // hot-path recording is disabled.
+  obs::gauge_set_always(
+      uptime_gauge_,
+      static_cast<double>(clock_->now_us() - on_air_epoch_us_) / 1e6);
+#endif
+  const std::uint64_t flushed =
+      bytes_flushed_total_.load(std::memory_order_relaxed);
+  obs::SlotRecord rec;
+  rec.slot = next_slot_;
+  rec.scheduled_us = static_cast<std::int64_t>(clock_->deadline_us(next_slot_));
+  rec.actual_us = rec.scheduled_us + static_cast<std::int64_t>(lag_us);
+  rec.bytes_flushed = flushed - last_timeline_bytes_;
+  rec.sessions = total_sessions();
+  rec.evictions = sessions_evicted();
+  rec.generation = generation();
+  rec.aired_mask = aired_mask;
+  timeline_.record(rec);
+  last_timeline_bytes_ = flushed;
 }
 
 void AirServer::worker_body(std::size_t index) {
@@ -396,11 +594,13 @@ void AirServer::air_slot() {
   const SlotCount column =
       (gen.offset + static_cast<SlotCount>(next_slot_ - gen.start_slot)) %
       cycle;
+  const std::uint64_t lag_us = clock_->lag_us(next_slot_);
 #if TCSA_OBS_COMPILED
   TCSA_METRIC_OBSERVE(server_metrics().lag_hist,
-                      static_cast<double>(clock_->lag_us(next_slot_)));
+                      static_cast<double>(lag_us));
   TCSA_METRIC_ADD(server_metrics().slots_aired, 1);
 #endif
+  std::uint64_t slot_aired_mask = 0;
 
   // Audience union across every shard: O(loops) atomic loads, exact
   // because each shard maintains per-channel subscriber counts. A channel
@@ -451,6 +651,7 @@ void AirServer::air_slot() {
       aired_mask |= 1ull << ch;
     }
     span.set_arg("channels", aired_mask);
+    slot_aired_mask = aired_mask;
 
     LoopShard& shard = *shards_[0];
     std::vector<int> fds;
@@ -509,6 +710,7 @@ void AirServer::air_slot() {
     }
     frames->aired_mask = aired_mask;
     span.set_arg("channels", aired_mask);
+    slot_aired_mask = aired_mask;
 
     const std::shared_ptr<const SlotFrames> token = std::move(frames);
     for (std::size_t i = 1; i < loop_count_; ++i)
@@ -527,6 +729,7 @@ void AirServer::air_slot() {
 #endif
   }
 
+  note_slot_aired(lag_us, slot_aired_mask);
   slots_aired_.fetch_add(1, std::memory_order_release);
   ++next_slot_;
 }
@@ -821,6 +1024,10 @@ void AirServer::enqueue_buf(Session& session, net::SharedBuf buf) {
 bool AirServer::flush_session(LoopShard& shard, Session& session) {
   const int fd = session.fd.get();
   const net::FlushResult result = net::flush_queue(fd, session.out);
+  // The timeline's per-slot flush delta comes from this total, not the
+  // registry counter: the timeline must work with recording disabled.
+  bytes_flushed_total_.fetch_add(result.bytes_retired,
+                                 std::memory_order_relaxed);
 #if TCSA_OBS_COMPILED
   if (result.syscalls > 0) {
     TCSA_METRIC_ADD(server_metrics().writev_calls, result.syscalls);

@@ -51,12 +51,15 @@
 #include "model/workload.hpp"
 #include "net/event_loop.hpp"
 #include "net/framing.hpp"
+#include "net/http_admin.hpp"
 #include "net/loop_group.hpp"
 #include "net/out_queue.hpp"
 #include "net/shared_buf.hpp"
 #include "net/slot_clock.hpp"
 #include "net/socket.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
+#include "obs/watchdog.hpp"
 
 namespace tcsa {
 
@@ -71,6 +74,17 @@ struct AirServerConfig {
   std::size_t max_session_buffer = 256 * 1024;  ///< eviction threshold
   int session_send_buffer = 0;  ///< SO_SNDBUF per session; 0 = default
   std::size_t loops = 1;        ///< per-core I/O loops (1 = classic single)
+
+  // --- telemetry plane ---
+  int admin_port = -1;          ///< HTTP admin port; 0 = ephemeral, -1 = off
+  std::string admin_bind = "127.0.0.1";
+  std::size_t timeline_capacity = 4096;  ///< slots retained for /slots
+  double slo_breach_us = 0.0;   ///< slot-lag SLO (us); <= 0 = no breach check
+  std::size_t slo_window = 256; ///< watchdog percentile window (slots)
+  /// Install SIGINT/SIGTERM handlers for the lifetime of run() (self-pipe
+  /// into loop 0) so an interrupted server still goes off air cleanly.
+  /// Process-global — one signal-handling AirServer per process.
+  bool install_signal_handlers = false;
 };
 
 /// Outcome of seam planning for a major-cycle-boundary swap: air the new
@@ -118,6 +132,11 @@ class AirServer {
   /// every listener shard shares this one port via SO_REUSEPORT.
   std::uint16_t port() const noexcept { return port_; }
 
+  /// Admin endpoint port (resolves an ephemeral bind); 0 when disabled.
+  std::uint16_t admin_port() const noexcept {
+    return admin_ ? admin_->port() : 0;
+  }
+
   /// Channel count the program airs on.
   SlotCount channels() const noexcept { return channels_; }
 
@@ -139,6 +158,12 @@ class AirServer {
   std::uint64_t sessions_evicted() const noexcept {
     return evicted_.load(std::memory_order_relaxed);
   }
+  /// Slots whose airing lag exceeded the configured SLO.
+  std::uint64_t slo_breaches() const noexcept {
+    return watchdog_.breaches();
+  }
+  /// Per-slot airing records (any thread; see obs::SlotTimeline).
+  const obs::SlotTimeline& timeline() const noexcept { return timeline_; }
   std::size_t loops() const noexcept { return loop_count_; }
   /// Live session count per loop shard (index = loop).
   std::vector<std::size_t> sessions_per_loop() const;
@@ -227,6 +252,16 @@ class AirServer {
   /// Enqueues the announce to sessions not yet greeted under `gen_id`.
   void deliver_announce(LoopShard& shard, const net::SharedBuf& buf,
                         std::uint32_t gen_id);
+  /// Registers the /metrics, /metrics.json, /healthz and /slots handlers.
+  /// All run on loop 0 next to the airing path, so they may read loop-0
+  /// state (clock_, next_slot_) without locks — and must stay snapshot
+  /// cheap, since they share the thread with the slot timer.
+  void setup_admin_routes();
+  std::string healthz_json() const;
+  /// Feeds the watchdog and appends this slot's record to the timeline.
+  void note_slot_aired(std::uint64_t lag_us, std::uint64_t aired_mask);
+  void install_signal_pipe();
+  void remove_signal_pipe();
   void queue_frame(Session& session, net::FrameType type,
                    std::string_view payload);
   void enqueue_buf(Session& session, net::SharedBuf buf);
@@ -252,6 +287,15 @@ class AirServer {
   std::vector<std::unique_ptr<LoopShard>> shards_;
   net::TimerFd timer_;
   std::unique_ptr<net::SlotClock> clock_;  // built in run(): epoch = on-air
+
+  // --- telemetry plane ---
+  std::unique_ptr<net::HttpAdmin> admin_;  // null when admin_port < 0
+  obs::SlotTimeline timeline_;
+  obs::SloWatchdog watchdog_;              // observed by loop 0 only
+  std::atomic<std::uint64_t> bytes_flushed_total_{0};  // all loops add
+  std::uint64_t last_timeline_bytes_ = 0;  // loop-0-only delta base
+  net::Fd signal_rd_;                      // self-pipe read end (loop 0)
+  net::Fd signal_wr_;
 
   // --- loop-0-only program state (single writer) ---
   std::unique_ptr<Generation> current_;
@@ -283,7 +327,10 @@ class AirServer {
 
 #if TCSA_OBS_COMPILED
   std::vector<obs::MetricId> loop_queue_gauges_;  // one per loop shard
+  obs::MetricId uptime_gauge_ = 0;     // tcsa_uptime_seconds
+  obs::MetricId build_info_gauge_ = 0; // tcsa_build_info (labeled, value 1)
 #endif
+  std::uint64_t on_air_epoch_us_ = 0;  // clock_->now_us() when airing began
 
   std::atomic<std::uint64_t> next_session_id_{0};
   std::atomic<std::uint64_t> slots_aired_{0};

@@ -306,7 +306,7 @@ obs::MetricsSnapshot LoadGenReport::to_snapshot() const {
     snap.counters.push_back(obs::CounterSnapshot{name, help, value});
   };
   const auto gauge = [&](const char* name, const char* help, double value) {
-    snap.gauges.push_back(obs::GaugeSnapshot{name, help, value});
+    snap.gauges.push_back(obs::GaugeSnapshot{name, help, {}, value});
   };
   // Counters carry the pass/fail substance (the obs diff gate compares
   // them against a committed baseline); the timing-dependent measurements

@@ -223,6 +223,75 @@ TEST_F(ObsTest, PrometheusExportFollowsExposition) {
   EXPECT_NE(text.find("tcsa_test_prom_hist_sum"), std::string::npos);
 }
 
+TEST_F(ObsTest, LabeledGaugeExposesSeriesWithOneHelpBlock) {
+  // tcsa_build_info-style info gauge: fixed labels, value 1. The exposition
+  // must carry the labels on the sample line but HELP/TYPE on the bare name.
+  const std::string labels =
+      obs::format_label("git_describe", "v1.2-3-gabc") + ',' +
+      obs::format_label("obs", "on");
+  const obs::MetricId id =
+      obs::register_gauge("tcsa_test_info", "labeled info gauge", labels);
+  obs::gauge_set(id, 1.0);
+
+  const std::string text = obs::snapshot().to_prometheus();
+  EXPECT_NE(text.find("# HELP tcsa_test_info labeled info gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE tcsa_test_info gauge"), std::string::npos);
+  EXPECT_NE(
+      text.find(
+          "tcsa_test_info{git_describe=\"v1.2-3-gabc\",obs=\"on\"} 1"),
+      std::string::npos);
+  // The bare name must never appear as an unlabeled sample.
+  EXPECT_EQ(text.find("\ntcsa_test_info 1"), std::string::npos);
+
+  // The JSON artifact keys the series by name{labels} so the strict
+  // importer round-trips it as an opaque gauge key.
+  const std::string json = obs::snapshot().to_json();
+  EXPECT_NE(
+      json.find("tcsa_test_info{git_describe=\\\"v1.2-3-gabc\\\""),
+      std::string::npos);
+}
+
+TEST_F(ObsTest, FormatLabelEscapesQuotesBackslashesAndNewlines) {
+  EXPECT_EQ(obs::format_label("path", "a\\b"), "path=\"a\\\\b\"");
+  EXPECT_EQ(obs::format_label("msg", "say \"hi\""),
+            "msg=\"say \\\"hi\\\"\"");
+  EXPECT_EQ(obs::format_label("nl", "two\nlines"),
+            "nl=\"two\\nlines\"");
+}
+
+TEST_F(ObsTest, SameNameDifferentLabelsAreDistinctGaugeSeries) {
+  const std::string a = obs::format_label("loop", "0");
+  const std::string b = obs::format_label("loop", "1");
+  const obs::MetricId ga =
+      obs::register_gauge("tcsa_test_per_loop", "per-loop gauge", a);
+  const obs::MetricId gb =
+      obs::register_gauge("tcsa_test_per_loop", "per-loop gauge", b);
+  EXPECT_NE(ga, gb);
+  obs::gauge_set(ga, 10.0);
+  obs::gauge_set(gb, 20.0);
+
+  const obs::MetricsSnapshot snap = obs::snapshot();
+  int seen = 0;
+  for (const auto& gauge : snap.gauges) {
+    if (gauge.name != "tcsa_test_per_loop") continue;
+    ++seen;
+    EXPECT_DOUBLE_EQ(gauge.value, gauge.labels == a ? 10.0 : 20.0);
+  }
+  EXPECT_EQ(seen, 2);
+}
+
+TEST_F(ObsTest, AlwaysGaugeRecordsWhileRecordingIsDisabled) {
+  const obs::MetricId id =
+      obs::register_gauge("tcsa_test_always_gauge", "gated-off gauge");
+  obs::set_enabled(false);
+  obs::gauge_set(id, 7.0);  // gated: must not land
+  obs::gauge_set_always(id, 42.0);
+  obs::set_enabled(true);
+  EXPECT_DOUBLE_EQ(obs::snapshot().gauge_value("tcsa_test_always_gauge"),
+                   42.0);
+}
+
 // ---------------------------------------------------------------- tracing
 
 TEST_F(ObsTest, SpansRecordOnlyWhileEnabled) {
