@@ -51,6 +51,7 @@
 #include "obs/artifact.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/reqtrace.hpp"
 #include "obs/trace.hpp"
 #include "server/air_server.hpp"
 #include "server/loadgen.hpp"
@@ -387,6 +388,11 @@ int serve_main(int argc, const char* const* argv) {
               "and friends update once per window)");
   cli.add_int("timeline-slots", 4096,
               "per-slot airing records retained for /slots");
+  cli.add_string("flight-out", "",
+                 "crash-safe flight recorder: mmap a ring of the most "
+                 "recent request-trace events into FILE (replay with "
+                 "'tcsactl trace flight'; survives SIGKILL)");
+  cli.add_int("flight-events", 4096, "flight-recorder ring size in events");
   if (!cli.parse(argc, argv)) return 0;
 
   Workload workload = workload_from(cli.get_string("workload"));
@@ -425,6 +431,11 @@ int serve_main(int argc, const char* const* argv) {
     throw std::invalid_argument("serve: --timeline-slots must be >= 1");
   config.timeline_capacity =
       static_cast<std::size_t>(cli.get_int("timeline-slots"));
+  config.flight_out = cli.get_string("flight-out");
+  if (cli.get_int("flight-events") < 1)
+    throw std::invalid_argument("serve: --flight-events must be >= 1");
+  config.flight_capacity =
+      static_cast<std::uint32_t>(cli.get_int("flight-events"));
   // An interrupted broadcast should still go off air cleanly (drain, close,
   // write the export files below) instead of losing its telemetry.
   config.install_signal_handlers = true;
@@ -521,7 +532,16 @@ int tune_main(int argc, const char* const* argv) {
   cli.add_int("slots", 0,
               "stop after observing N slots (0 = until the server closes)");
   cli.add_int("timeout-ms", 10000, "per-read timeout");
+  cli.add_int("requests", 0,
+              "issue N traced page requests spread across the observed span "
+              "and measure each journey against its promised deadline "
+              "(needs --slots)");
   cli.add_flag("json", "print the summary as one JSON object on stdout");
+  cli.add_string("out-dir", "",
+                 "write a manifest + request trace + clock-offset sidecar "
+                 "into DIR (fuse with the server's via 'tcsactl trace "
+                 "merge')");
+  cli.add_string("run-id", "", "artifact run id (default: clock + pid)");
   if (!cli.parse(argc, argv)) return 0;
 
   TuneClient::Options options;
@@ -533,14 +553,60 @@ int tune_main(int argc, const char* const* argv) {
   options.channel_mask =
       channel < 0 ? net::kAllChannels : (1ull << channel);
   options.io_timeout_ms = static_cast<int>(cli.get_int("timeout-ms"));
+  const auto requests = static_cast<std::uint64_t>(cli.get_int("requests"));
+  const auto slots = static_cast<std::uint64_t>(cli.get_int("slots"));
+  if (requests > 0 && slots == 0)
+    throw std::invalid_argument("tune: --requests needs --slots N");
+  std::string out_dir = cli.get_string("out-dir");
+#if TCSA_OBS_COMPILED
+  if (!out_dir.empty()) obs::set_tracing_enabled(true);
+#else
+  if (!out_dir.empty()) {
+    std::cerr << "tcsactl tune: warning: built with TCSA_OBS=OFF; "
+                 "--out-dir trace artifacts are ignored\n";
+    out_dir.clear();
+  }
+#endif
 
   TuneClient client(options);
   std::cerr << "tcsactl tune: generation " << client.generation() << ", "
             << client.channels() << " channels, cycle "
             << client.cycle_length() << ", slot " << client.slot_us()
             << "us, tuned in at slot " << client.tune_in_slot() << '\n';
-  client.run(static_cast<std::uint64_t>(cli.get_int("slots")));
+  if (requests > 0)
+    client.run_with_requests(slots, requests);
+  else
+    client.run(slots);
   const TuneSummary summary = client.summary();
+#if TCSA_OBS_COMPILED
+  if (!out_dir.empty()) {
+    std::filesystem::create_directories(out_dir);
+    std::string run_id = cli.get_string("run-id");
+    if (run_id.empty()) run_id = default_run_id();
+    const std::string digest =
+        fnv_digest("tune|host=" + options.host +
+                   "|port=" + std::to_string(options.port) +
+                   "|requests=" + std::to_string(requests));
+    obs::RunManifest manifest =
+        obs::make_manifest(run_id, 0, 1, digest, "tune");
+    manifest.trace_file = "tune.trace.json";
+    obs::set_tracing_enabled(false);
+    write_trace_file(out_dir + "/" + manifest.trace_file);
+    write_text_file(out_dir + "/tune.manifest.json",
+                    obs::manifest_to_json(manifest));
+    write_text_file(out_dir + "/tune.summary.json", summary.to_json() + "\n");
+    // Clock-offset sidecar: 'tcsactl trace merge' picks up
+    // <stem>.offset.json next to <stem>.manifest.json and corrects this
+    // shard's timeline by the measured offset.
+    const TuneRequestStats& r = summary.requests;
+    write_text_file(
+        out_dir + "/tune.offset.json",
+        std::string("{\"schema\": \"tcsa-clock-offset/v1\", ") +
+            "\"offset_us\": " + std::to_string(r.clock_offset_us) +
+            ", \"rtt_us\": " + std::to_string(r.clock_rtt_us) +
+            ", \"samples\": " + std::to_string(r.clock_samples) + "}\n");
+  }
+#endif
   if (cli.get_flag("json")) {
     std::cout << summary.to_json() << '\n';
   } else {
@@ -551,6 +617,18 @@ int tune_main(int argc, const char* const* argv) {
               << "\ndeadline misses: " << summary.deadline_misses
               << "\nmean access time: " << summary.mean_access_time
               << " slots\n";
+    if (summary.requests.sent > 0) {
+      const TuneRequestStats& r = summary.requests;
+      std::cout << "requests: " << r.sent << " sent, " << r.completed
+                << " completed, " << r.misses << " missed deadline\n"
+                << "request delay p50/p99/max: " << r.delay_p50_us << '/'
+                << r.delay_p99_us << '/' << r.delay_max_us
+                << " us; slack p50/min: " << r.slack_p50_us << '/'
+                << r.slack_min_us << " us\n"
+                << "clock offset: " << r.clock_offset_us << " us (rtt "
+                << r.clock_rtt_us << " us over " << r.clock_samples
+                << " samples)\n";
+    }
     for (std::size_t g = 0; g < summary.groups.size(); ++g) {
       const TuneGroupStats& s = summary.groups[g];
       std::cout << "group " << g + 1 << ": t=" << s.expected_time
@@ -622,6 +700,10 @@ int loadgen_main(int argc, const char* const* argv) {
   cli.add_double("slo-p99-us", 0.0,
                  "exit 1 when p99 jitter exceeds this many microseconds "
                  "(0 = report only)");
+  cli.add_int("request-every", 64,
+              "each session issues a traced page request every N pages "
+              "during the window; the report gains per-request deadline "
+              "miss rate and delay/slack percentiles (0 = no requests)");
   cli.add_string("json-out", "",
                  "write the report to FILE as a metrics-snapshot JSON "
                  "document (diffable with 'tcsactl obs diff')");
@@ -647,6 +729,10 @@ int loadgen_main(int argc, const char* const* argv) {
     throw std::invalid_argument("loadgen: --connect-batch must be >= 1");
   config.connect_batch = static_cast<std::size_t>(cli.get_int("connect-batch"));
   config.slo_p99_us = cli.get_double("slo-p99-us");
+  if (cli.get_int("request-every") < 0)
+    throw std::invalid_argument("loadgen: --request-every must be >= 0");
+  config.request_every =
+      static_cast<std::uint64_t>(cli.get_int("request-every"));
 
   const LoadGenReport report = run_loadgen(config);
   std::cerr << "tcsactl loadgen: " << report.sessions_connected << '/'
@@ -657,6 +743,14 @@ int loadgen_main(int argc, const char* const* argv) {
             << " us, " << report.early_closes << " early closes, ~"
             << static_cast<std::uint64_t>(report.rss_per_session_bytes)
             << " RSS bytes/session\n";
+  if (report.requests_sent > 0)
+    std::cerr << "tcsactl loadgen: " << report.requests_sent
+              << " traced requests, " << report.request_completions
+              << " completed, miss rate " << report.request_miss_rate
+              << ", delay p50/p99 " << report.request_delay_p50_us << '/'
+              << report.request_delay_p99_us << " us, slack p50/min "
+              << report.request_slack_p50_us << '/'
+              << report.request_slack_min_us << " us\n";
 
   if (const std::string json_out = cli.get_string("json-out");
       !json_out.empty())
@@ -896,6 +990,154 @@ int obs_main(int argc, const char* const* argv) {
                               " (expected merge | diff | report)");
 }
 
+// --------------------------------------------- trace subcommand family
+
+/// `tcsactl trace merge --dir DIR` — fuse the server's and the client's
+/// request traces onto one timeline. Unlike `obs merge` (shards of ONE
+/// run), serve and tune are separate runs with separate run ids and config
+/// digests, so this collector is lenient: it pairs every *.manifest.json
+/// with its trace, forges a common run identity, re-indexes the shards
+/// (server first — it is the clock reference), and corrects each client
+/// shard's timestamps by its measured clock offset (<stem>.offset.json,
+/// written by `tcsactl tune --out-dir`).
+int trace_merge(int argc, const char* const* argv) {
+  Cli cli("tcsactl trace merge",
+          "fuse client + server request traces into one Chrome trace with "
+          "measured clock-offset alignment");
+  cli.add_string("dir", "",
+                 "directory holding serve + tune manifests/traces "
+                 "(+ optional *.offset.json sidecars)");
+  cli.add_string("out", "", "output file (default: DIR/journey.trace.json)");
+  if (!cli.parse(argc, argv)) return 0;
+  const std::string dir = cli.get_string("dir");
+  if (dir.empty()) throw std::invalid_argument("trace merge needs --dir DIR");
+  std::string out = cli.get_string("out");
+  if (out.empty()) out = dir + "/journey.trace.json";
+
+  namespace fs = std::filesystem;
+  struct Entry {
+    obs::RunManifest manifest;
+    std::string stem;  // "<stem>.manifest.json" -> offset is "<stem>.offset.json"
+  };
+  std::vector<Entry> found;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    constexpr const char* kSuffix = ".manifest.json";
+    if (name.size() < 14 || name.compare(name.size() - 14, 14, kSuffix) != 0)
+      continue;
+    Entry e;
+    e.manifest = obs::manifest_from_json(slurp_file(entry.path().string()));
+    e.stem = name.substr(0, name.size() - 14);
+    if (!e.manifest.trace_file.empty()) found.push_back(std::move(e));
+  }
+  if (found.empty())
+    throw std::invalid_argument("no *.manifest.json with a trace in " + dir);
+  // The serving process is the reference timeline: its shard lands first
+  // and offsets are corrections towards its clock.
+  std::stable_sort(found.begin(), found.end(),
+                   [](const Entry& a, const Entry& b) {
+                     return (a.manifest.command == "serve") >
+                            (b.manifest.command == "serve");
+                   });
+  const std::uint64_t reference_wall = found.front().manifest.wall_epoch_us;
+
+  std::vector<obs::TraceShard> shards;
+  std::uint64_t corrected = 0;
+  for (std::size_t i = 0; i < found.size(); ++i) {
+    obs::TraceShard shard;
+    shard.manifest = found[i].manifest;
+    shard.manifest.run_id = "journey";       // forged common identity
+    shard.manifest.config_digest = "journey";
+    shard.manifest.shard_index = static_cast<int>(i);
+    shard.manifest.shard_count = static_cast<int>(found.size());
+    shard.trace_json = slurp_file(
+        (fs::path(dir) / found[i].manifest.trace_file).string());
+    const fs::path sidecar = fs::path(dir) / (found[i].stem + ".offset.json");
+    if (i > 0 && fs::exists(sidecar)) {
+      const obs::JsonValue doc = obs::json_parse(slurp_file(sidecar.string()))
+                                     .expect_object("offset sidecar");
+      if (doc.at("schema").expect_string("schema") != "tcsa-clock-offset/v1")
+        throw std::invalid_argument("unknown offset sidecar schema in " +
+                                    sidecar.string());
+      if (doc.at("samples").expect_uint("samples") > 0) {
+        // The estimator measured (reference trace clock - our trace clock).
+        // The merge already shifts by the wall-epoch difference, so the
+        // correction is the measured offset minus what the wall clocks
+        // claimed; with honest same-host clocks it collapses to ~0.
+        const auto measured = static_cast<std::int64_t>(
+            doc.at("offset_us").expect_number("offset_us"));
+        shard.clock_offset_us =
+            measured - static_cast<std::int64_t>(
+                           shard.manifest.wall_epoch_us - reference_wall);
+        ++corrected;
+      }
+    }
+    shards.push_back(std::move(shard));
+  }
+  write_text_file(out, obs::merge_chrome_traces(shards));
+  std::cerr << "trace merge: fused " << shards.size() << " timelines ("
+            << corrected << " clock-corrected) -> " << out << '\n';
+  return 0;
+}
+
+/// `tcsactl trace flight --in FILE` — replay a flight-recorder ring dumped
+/// by a (possibly SIGKILL'd) server.
+int trace_flight(int argc, const char* const* argv) {
+  Cli cli("tcsactl trace flight",
+          "replay a crash-safe flight-recorder dump (serve --flight-out)");
+  cli.add_string("in", "", "flight-recorder file to replay");
+  cli.add_flag("json", "print events as one JSON array on stdout");
+  if (!cli.parse(argc, argv)) return 0;
+  const std::string in = cli.get_string("in");
+  if (in.empty()) throw std::invalid_argument("trace flight needs --in FILE");
+
+  bool sealed = false;
+  const std::vector<obs::FlightEvent> events = obs::flight_load(in, &sealed);
+  if (cli.get_flag("json")) {
+    std::string doc = "[";
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      const obs::FlightEvent& e = events[i];
+      if (i) doc += ",\n ";
+      doc += "{\"ordinal\": " + std::to_string(e.ordinal) +
+             ", \"trace_id\": " + std::to_string(e.trace_id) +
+             ", \"stage\": \"" +
+             obs::req_stage_name(static_cast<obs::ReqStage>(e.stage)) +
+             "\", \"t_us\": " + std::to_string(e.t_us) +
+             ", \"arg\": " + std::to_string(e.arg) + "}";
+    }
+    doc += "]\n";
+    std::cout << doc;
+  } else {
+    Table table({"ordinal", "stage", "trace id", "t (us)", "arg"});
+    for (const obs::FlightEvent& e : events) {
+      std::ostringstream id;
+      id << std::hex << e.trace_id;
+      table.begin_row()
+          .add(e.ordinal)
+          .add(obs::req_stage_name(static_cast<obs::ReqStage>(e.stage)))
+          .add(id.str())
+          .add(e.t_us)
+          .add(e.arg);
+    }
+    std::cout << table;
+    std::cout << events.size() << " events, "
+              << (sealed ? "sealed cleanly" : "NOT sealed (hard kill or "
+                                              "still running)")
+              << '\n';
+  }
+  return 0;
+}
+
+int trace_main(int argc, const char* const* argv) {
+  if (argc < 1)
+    throw std::invalid_argument("usage: tcsactl trace <merge|flight> ...");
+  const std::string sub = argv[0];
+  if (sub == "merge") return trace_merge(argc, argv);
+  if (sub == "flight") return trace_flight(argc, argv);
+  throw std::invalid_argument("unknown trace subcommand: " + sub +
+                              " (expected merge | flight)");
+}
+
 // ------------------------------------------------------------ live stat
 
 /// One fetch + render cycle of `tcsactl stat`. Throws on transport errors;
@@ -1025,6 +1267,7 @@ int run(int argc, const char* const* argv) {
   if (argc >= 2 && argv[1][0] != '-') {
     const std::string sub = argv[1];
     if (sub == "obs") return obs_main(argc - 2, argv + 2);
+    if (sub == "trace") return trace_main(argc - 2, argv + 2);
     if (sub == "serve") return serve_main(argc - 1, argv + 1);
     if (sub == "tune") return tune_main(argc - 1, argv + 1);
     if (sub == "swap") return swap_main(argc - 1, argv + 1);
@@ -1032,7 +1275,7 @@ int run(int argc, const char* const* argv) {
     if (sub == "stat") return stat_main(argc - 1, argv + 1);
     throw std::invalid_argument(
         "unknown subcommand: " + sub +
-        " (expected serve | tune | swap | loadgen | stat | obs, or "
+        " (expected serve | tune | swap | loadgen | stat | obs | trace, or "
         "--cmd ...)");
   }
 

@@ -30,6 +30,19 @@
 //   kSwapReply (server -> client): u8 accepted, u32 generation,
 //       u64 activation_slot, i64 seam_lateness, then an error string (empty
 //       when accepted).
+//   kReq (client -> server, wire v2): u64 trace_id, u32 page. Declares
+//       interest in one page so the server can trace its journey and the
+//       client can account the deadline; delivery still rides the normal
+//       broadcast (the request does not schedule anything extra).
+//   kReqAck (server -> client, wire v2): u64 trace_id, u64 recv_us,
+//       u64 send_us (server trace-clock stamps of request arrival and ack
+//       departure — the t1/t2 of the NTP-style offset exchange),
+//       u64 next_slot (next global slot to air), u32 page,
+//       u32 expected_slots (the page's promised wait t_p under the airing
+//       generation), u32 generation.
+//
+// Wire v2 added kReq/kReqAck for request-journey tracing; v1 peers are
+// refused at the version check (both endpoints live in this tree).
 #pragma once
 
 #include <cstddef>
@@ -40,7 +53,7 @@
 namespace tcsa::net {
 
 inline constexpr std::uint32_t kWireMagic = 0x41534354;  // "TCSA" LE
-inline constexpr std::uint8_t kWireVersion = 1;
+inline constexpr std::uint8_t kWireVersion = 2;
 inline constexpr std::size_t kFrameHeaderSize = 12;
 inline constexpr std::uint32_t kMaxPayload = 1u << 24;  // 16 MiB
 
@@ -57,6 +70,8 @@ enum class FrameType : std::uint8_t {
   kSwap = 4,       ///< client -> server hot program swap request
   kSwapReply = 5,  ///< server -> client swap verdict
   kAnnounce = 6,   ///< server -> client new generation activated
+  kReq = 7,        ///< client -> server traced page request
+  kReqAck = 8,     ///< server -> client request receipt + clock stamps
 };
 
 /// One decoded frame. `payload` aliases the decoder's internal buffer and

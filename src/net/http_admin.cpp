@@ -31,15 +31,21 @@ const char* reason_phrase(int status) {
   }
 }
 
-std::string serialize(const HttpResponse& response) {
+std::string serialize_head(const HttpResponse& response) {
   std::string out = "HTTP/1.0 " + std::to_string(response.status) + ' ' +
                     reason_phrase(response.status) + "\r\n";
   out += "Content-Type: " + response.content_type + "\r\n";
   out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
   out += "Connection: close\r\n\r\n";
-  out += response.body;
   return out;
 }
+
+/// Bodies are queued in buffers of at most this size. A /metrics scrape
+/// grows with the registry (histograms alone are a dozen lines each), so
+/// responses must not assume they fit any fixed cap — chunking bounds the
+/// largest single allocation and lets flush_queue write the rest as the
+/// socket drains.
+constexpr std::size_t kResponseChunk = 16 * 1024;
 
 }  // namespace
 
@@ -157,7 +163,11 @@ void HttpAdmin::on_conn_event(int fd, std::uint32_t events) {
 
 void HttpAdmin::respond(Conn& conn, const HttpResponse& response) {
   conn.responded = true;
-  conn.out.push(SharedBuf::wrap(serialize(response)));
+  conn.out.push(SharedBuf::wrap(serialize_head(response)));
+  for (std::size_t off = 0; off < response.body.size();
+       off += kResponseChunk)
+    conn.out.push(SharedBuf::wrap(
+        response.body.substr(off, kResponseChunk)));
 }
 
 void HttpAdmin::flush_conn(Conn& conn) {

@@ -276,7 +276,12 @@ std::string merge_chrome_traces(const std::vector<TraceShard>& shards) {
   std::string metadata;
   for (const TraceShard& shard : shards) {
     const RunManifest& m = shard.manifest;
-    const std::uint64_t shift = m.wall_epoch_us - base_wall;
+    // Wall-epoch shift plus the shard's measured clock correction. Signed:
+    // a shard whose clock runs ahead corrects backwards, clamped at the
+    // merged origin so the document stays a valid Chrome trace.
+    const std::int64_t shift =
+        static_cast<std::int64_t>(m.wall_epoch_us - base_wall) +
+        shard.clock_offset_us;
     const std::int64_t pid = m.shard_index + 1;  // re-keyed, collision-free
 
     // Perfetto/chrome://tracing shows this as the process title.
@@ -293,7 +298,11 @@ std::string merge_chrome_traces(const std::vector<TraceShard>& shards) {
     for (const JsonValue& raw :
          doc.at("traceEvents").expect_array("traceEvents").array) {
       JsonValue event = raw.expect_object("trace event");
-      const std::uint64_t ts = event.at("ts").expect_uint("event ts") + shift;
+      const std::int64_t shifted =
+          static_cast<std::int64_t>(event.at("ts").expect_uint("event ts")) +
+          shift;
+      const std::uint64_t ts =
+          shifted < 0 ? 0 : static_cast<std::uint64_t>(shifted);
       bool saw_pid = false;
       for (auto& [key, member] : event.object) {
         if (key == "ts") {

@@ -96,13 +96,20 @@ double histogram_quantile(const HistogramSnapshot& hist, double q);
 struct TraceShard {
   RunManifest manifest;
   std::string trace_json;  ///< the shard's write_chrome_trace document
+  /// Measured clock correction added to every event timestamp on top of
+  /// the wall-epoch shift. Cross-host (or cross-clock) shards align their
+  /// wall epochs only as well as the two system clocks agree; a measured
+  /// offset (obs::ClockOffsetEstimator over request acks) corrects the
+  /// residual. 0 = trust the wall clocks.
+  std::int64_t clock_offset_us = 0;
 };
 
 /// Merges shard timelines into one Chrome trace_event document. Events keep
 /// their names/tids/args; pid becomes shard_index + 1 (with process_name
 /// metadata naming the shard and its host pid) and ts shifts onto the
-/// earliest shard's axis via the manifest wall epochs. Shards must agree on
-/// run_id and config_digest.
+/// earliest shard's axis via the manifest wall epochs plus each shard's
+/// measured clock_offset_us (clamped at 0). Shards must agree on run_id
+/// and config_digest.
 std::string merge_chrome_traces(const std::vector<TraceShard>& shards);
 
 // ------------------------------------------------------------------ diff

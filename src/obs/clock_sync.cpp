@@ -1,0 +1,28 @@
+#include "obs/clock_sync.hpp"
+
+namespace tcsa::obs {
+
+void ClockOffsetEstimator::add_sample(std::uint64_t t0, std::uint64_t t1,
+                                      std::uint64_t t2,
+                                      std::uint64_t t3) noexcept {
+  // Signed legs: the clocks are unrelated, so t1 - t0 and t2 - t3 can be
+  // any sign; only the client-side span (t3 - t0) and server-side span
+  // (t2 - t1) are required to be non-negative on sane inputs.
+  if (t3 < t0 || t2 < t1) return;
+  const std::uint64_t client_span = t3 - t0;
+  const std::uint64_t server_span = t2 - t1;
+  if (server_span > client_span) return;  // server held it longer than the
+                                          // whole exchange: clock misuse
+  const std::uint64_t rtt = client_span - server_span;
+  const std::int64_t leg_out =
+      static_cast<std::int64_t>(t1) - static_cast<std::int64_t>(t0);
+  const std::int64_t leg_back =
+      static_cast<std::int64_t>(t2) - static_cast<std::int64_t>(t3);
+  const std::int64_t offset = (leg_out + leg_back) / 2;
+  // Keep the exchange with the least room for path asymmetry. Ties go to
+  // the newer sample so a long-lived client tracks drift.
+  if (samples_ == 0 || rtt <= best_.rtt_us) best_ = {offset, rtt};
+  ++samples_;
+}
+
+}  // namespace tcsa::obs

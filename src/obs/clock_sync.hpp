@@ -1,0 +1,61 @@
+// clock_sync.hpp — RTT-symmetric clock-offset estimation between a tune
+// client and the air server.
+//
+// Request-journey traces span two processes whose span timestamps come
+// from two different steady clocks (each process's obs trace epoch). The
+// run-manifest wall epochs give a coarse alignment (PR 3's merge), but
+// wall clocks are only millisecond-trustworthy across hosts and the whole
+// point of per-request tracing is microsecond attribution. So the client
+// measures the offset directly, NTP-style, from the four timestamps every
+// request/ack exchange already produces:
+//
+//   t0  client sends the request            (client trace clock)
+//   t1  server receives it                  (server trace clock)
+//   t2  server sends the ack                (server trace clock)
+//   t3  client receives the ack             (client trace clock)
+//
+//   offset = ((t1 - t0) + (t2 - t3)) / 2      rtt = (t3 - t0) - (t2 - t1)
+//
+// `offset` estimates (server clock − client clock) at the exchange's
+// midpoint, exact when the two network legs take equally long; an
+// asymmetric path biases it by at most rtt/2. The estimator therefore
+// keeps the minimum-RTT sample — the exchange with the least room for
+// asymmetry — and refines it as more acks arrive, exactly the filter NTP
+// applies to its sample clock. The result feeds `tcsactl trace merge`,
+// which shifts the client shard's spans onto the server's axis.
+#pragma once
+
+#include <cstdint>
+
+namespace tcsa::obs {
+
+/// One request/ack exchange reduced to its offset and round trip.
+struct ClockSample {
+  std::int64_t offset_us = 0;  ///< server clock minus client clock
+  std::uint64_t rtt_us = 0;    ///< total network time of the exchange
+};
+
+/// Minimum-RTT filter over request/ack clock samples. Not thread-safe;
+/// each client connection owns one.
+class ClockOffsetEstimator {
+ public:
+  /// Folds one exchange in. Timestamps are microseconds on each side's own
+  /// monotonic clock (t0/t3 client, t1/t2 server). Samples whose ack
+  /// arrived before the request left (clock misuse) are dropped.
+  void add_sample(std::uint64_t t0, std::uint64_t t1, std::uint64_t t2,
+                  std::uint64_t t3) noexcept;
+
+  bool has_estimate() const noexcept { return samples_ > 0; }
+  /// Best (minimum-RTT) estimate of server clock − client clock.
+  std::int64_t offset_us() const noexcept { return best_.offset_us; }
+  /// Round trip of the sample backing offset_us() — the bound on its
+  /// asymmetry error is rtt_us() / 2.
+  std::uint64_t rtt_us() const noexcept { return best_.rtt_us; }
+  std::uint64_t samples() const noexcept { return samples_; }
+
+ private:
+  ClockSample best_{};
+  std::uint64_t samples_ = 0;
+};
+
+}  // namespace tcsa::obs

@@ -20,6 +20,7 @@
 #include "obs/artifact.hpp"
 #include "model/serialize.hpp"
 #include "model/validate.hpp"
+#include "obs/reqtrace.hpp"
 #include "obs/trace.hpp"
 #include "online/adaptive.hpp"
 #include "util/contracts.hpp"
@@ -44,6 +45,9 @@ struct ServerMetrics {
   obs::MetricId swaps;
   obs::MetricId swaps_rejected;
   obs::MetricId tunes;
+  obs::MetricId reqs;
+  obs::MetricId reqs_completed;
+  obs::MetricId reqs_dropped;
   obs::MetricId lag_hist;
   obs::MetricId sessions_gauge;
   obs::MetricId generation_gauge;
@@ -84,6 +88,14 @@ const ServerMetrics& server_metrics() {
                             "Hot swap requests rejected"),
       obs::register_counter("tcsa_server_tunes_total",
                             "TUNE (subscription) frames processed"),
+      obs::register_counter("tcsa_server_reqs_total",
+                            "Traced page requests (kReq) received"),
+      obs::register_counter("tcsa_server_reqs_completed_total",
+                            "Traced requests whose page aired and flushed "
+                            "to the requesting session"),
+      obs::register_counter("tcsa_server_reqs_dropped_total",
+                            "Traced requests dropped from a session's "
+                            "pending set (per-session cap exceeded)"),
       obs::register_histogram(
           "tcsa_server_slot_lag_us",
           "How late each slot aired vs its drift-free deadline (us)",
@@ -100,6 +112,20 @@ const ServerMetrics& server_metrics() {
                           "across"),
   };
   return metrics;
+}
+
+/// Server-side per-request service time (kReq receipt -> egress flush of
+/// the airing slot), with exact p50/p99/p999/p9999 gauges recomputed every
+/// few completions (requests are rare next to page sends, so the sort in
+/// publish() stays off the per-slot path in spirit and cheap in practice).
+obs::ReqPercentiles& server_req_delay() {
+  static obs::ReqPercentiles percentiles(
+      "tcsa_server_req_delay", "us",
+      "Traced request service time from kReq receipt to the flush of the "
+      "slot airing its page",
+      {100, 250, 500, 1000, 2500, 5000, 10000, 25000, 50000, 100000, 250000,
+       1000000});
+  return percentiles;
 }
 #endif
 
@@ -222,6 +248,11 @@ AirServer::AirServer(Workload workload, AirServerConfig config)
   current_->workload_binary = workload_to_binary(current_->workload);
   generation_id_.store(1, std::memory_order_relaxed);
   note_generation(1);
+  // Touch the lazily-constructed request-delay percentiles NOW, while the
+  // server is still single-threaded: their constructor registers metrics,
+  // and the registry's definition table must not grow while worker loops
+  // are concurrently bumping counters.
+  server_req_delay();
   publish_hello(*current_);
 
   group_ = std::make_unique<net::LoopGroup>(loop_count_);
@@ -277,11 +308,18 @@ AirServer::~AirServer() {
 }
 
 void AirServer::publish_hello(const Generation& gen) {
+  // Built outside the lock: O(pages), and only a handful of generations
+  // ever go on air.
+  auto expected = std::make_shared<std::vector<SlotCount>>();
+  expected->reserve(static_cast<std::size_t>(gen.workload.total_pages()));
+  for (PageId p = 0; p < gen.workload.total_pages(); ++p)
+    expected->push_back(gen.workload.expected_time_of(p));
   const std::lock_guard<std::mutex> lock(hello_mutex_);
   hello_.id = gen.id;
   hello_.channels = static_cast<std::uint32_t>(gen.program.channels());
   hello_.cycle = static_cast<std::uint32_t>(gen.program.cycle_length());
   hello_.workload_binary = gen.workload_binary;
+  hello_.expected_times = std::move(expected);
 }
 
 std::string AirServer::hello_payload_now(std::uint32_t* gen_out) const {
@@ -316,6 +354,18 @@ std::vector<std::size_t> AirServer::sessions_per_loop() const {
 }
 
 void AirServer::run() {
+  if (!config_.flight_out.empty()) {
+    obs::FlightRecorder& flight = obs::FlightRecorder::instance();
+    if (flight.open(config_.flight_out,
+                    std::max<std::uint32_t>(config_.flight_capacity, 1))) {
+      obs::flight_install_signal_handlers();
+      TCSA_LOG(kInfo) << "air server: flight recorder on ("
+                      << config_.flight_out << ", "
+                      << config_.flight_capacity << " events)";
+    } else {
+      TCSA_LOG(kWarn) << "air server: " << flight.error();
+    }
+  }
   clock_ = std::make_unique<net::SlotClock>(config_.slot_us);
   on_air_epoch_us_ = clock_->now_us();
 #if TCSA_OBS_COMPILED
@@ -351,6 +401,9 @@ void AirServer::run() {
   shard0.loop->remove(timer_.fd());
   group_->join_workers();  // rethrows the first worker failure, if any
   if (swap_worker_.joinable()) swap_worker_.join();
+  // Clean exit: seal and sync the black box (a killed process skips this
+  // and the MAP_SHARED ring survives unsealed — that is the design).
+  if (!config_.flight_out.empty()) obs::FlightRecorder::instance().close();
   if (error) std::rethrow_exception(error);
 }
 
@@ -629,10 +682,13 @@ void AirServer::air_slot() {
     // unless a slow session still shares last cycle's buffer, which forces
     // one fresh encode (queued bytes are immutable).
     std::uint64_t aired_mask = 0;
+    std::vector<PageId> pages(static_cast<std::size_t>(channel_count),
+                              kNoPage);
     for (SlotCount ch = 0; ch < channel_count; ++ch) {
       if (((audience >> ch) & 1) == 0) continue;
       const PageId page = gen.program.at(ch, column);
       if (page == kNoPage) continue;
+      pages[static_cast<std::size_t>(ch)] = page;
       net::SharedBuf& cached =
           frame_cache_[static_cast<std::size_t>(ch) * cycle + column];
       if (!cached.patch_u64(net::kFrameHeaderSize, next_slot_)) {
@@ -665,12 +721,17 @@ void AirServer::air_slot() {
                       frame_cache_[static_cast<std::size_t>(ch) * cycle +
                                    column]);
       }
+      if (!session.pending.empty())
+        note_request_encodes(session, next_slot_, hit, pages);
       fds.push_back(fd);
     }
     // Flush after the fan-out; flushing may evict, so walk by fd lookup.
     for (const int fd : fds) {
       const auto it = shard.sessions.find(fd);
-      if (it != shard.sessions.end()) flush_session(shard, it->second);
+      if (it == shard.sessions.end()) continue;
+      if (flush_session(shard, it->second) &&
+          !it->second.pending.empty())
+        finish_requests(it->second);
     }
 
     std::size_t queued = 0;
@@ -689,12 +750,16 @@ void AirServer::air_slot() {
     // worker loop. Per-slot cost: O(channels) encodes here, O(sessions/K)
     // queue appends on each loop.
     auto frames = std::make_shared<SlotFrames>();
+    frames->slot = next_slot_;
     frames->by_channel.resize(channel_count);
+    frames->page_by_channel.assign(static_cast<std::size_t>(channel_count),
+                                   kNoPage);
     std::uint64_t aired_mask = 0;
     for (SlotCount ch = 0; ch < channel_count; ++ch) {
       if (((audience >> ch) & 1) == 0) continue;
       const PageId page = gen.program.at(ch, column);
       if (page == kNoPage) continue;
+      frames->page_by_channel[static_cast<std::size_t>(ch)] = page;
       std::string payload;
       wire_put_u64(payload, next_slot_);
       wire_put_u32(payload, gen.id);
@@ -745,12 +810,17 @@ void AirServer::deliver_slot(LoopShard& shard, const SlotFrames& frames) {
     for (SlotCount ch = 0; ch < channel_count; ++ch) {
       if ((hit >> ch) & 1) enqueue_buf(session, frames.by_channel[ch]);
     }
+    if (!session.pending.empty())
+      note_request_encodes(session, frames.slot, hit,
+                           frames.page_by_channel);
     fds.push_back(fd);
   }
   // Flush after the fan-out; flushing may evict, so walk by fd lookup.
   for (const int fd : fds) {
     const auto it = shard.sessions.find(fd);
-    if (it != shard.sessions.end()) flush_session(shard, it->second);
+    if (it == shard.sessions.end()) continue;
+    if (flush_session(shard, it->second) && !it->second.pending.empty())
+      finish_requests(it->second);
   }
   std::size_t queued = 0;
   for (const auto& [fd, session] : shard.sessions)
@@ -849,6 +919,14 @@ void AirServer::handle_frame(LoopShard& shard, int fd,
 #endif
       return;
     }
+    case net::FrameType::kReq: {
+      WireReader reader(frame.payload);
+      const std::uint64_t trace_id = reader.read_u64();
+      const PageId page = reader.read_u32();
+      reader.expect_done();
+      handle_page_request(shard, session, trace_id, page);
+      return;
+    }
     case net::FrameType::kSwap: {
       // Seam planning and generation activation are single-writer on
       // loop 0; sessions elsewhere forward the request and get the reply
@@ -867,6 +945,86 @@ void AirServer::handle_frame(LoopShard& shard, int fd,
     default:
       throw std::invalid_argument("unexpected frame type from client");
   }
+}
+
+void AirServer::handle_page_request(LoopShard& shard, Session& session,
+                                    std::uint64_t trace_id, PageId page) {
+  const std::uint64_t t_recv = obs::trace_now_us();
+  TCSA_REQ_EVENT(trace_id, obs::ReqStage::kServerRecv, t_recv, page);
+#if TCSA_OBS_COMPILED
+  TCSA_METRIC_ADD(server_metrics().reqs, 1);
+#endif
+  // Promise + generation under the airing program, from the published
+  // hello snapshot — worker loops must not touch loop-0 program state.
+  std::uint32_t gen_id = 0;
+  std::uint32_t expected_slots = 0;
+  {
+    const std::lock_guard<std::mutex> lock(hello_mutex_);
+    gen_id = hello_.id;
+    if (hello_.expected_times &&
+        static_cast<std::size_t>(page) < hello_.expected_times->size())
+      expected_slots = static_cast<std::uint32_t>(
+          (*hello_.expected_times)[static_cast<std::size_t>(page)]);
+  }
+  if (session.pending.size() >= kMaxPendingReqs) {
+    session.pending.erase(session.pending.begin());
+#if TCSA_OBS_COMPILED
+    TCSA_METRIC_ADD(server_metrics().reqs_dropped, 1);
+#endif
+  }
+  session.pending.push_back(PendingReq{trace_id, page, t_recv,
+                                       kReqUnmatched});
+
+  const std::uint64_t next_slot = slots_aired_.load(std::memory_order_acquire);
+  std::string payload;
+  wire_put_u64(payload, trace_id);
+  wire_put_u64(payload, t_recv);
+  const std::uint64_t t_send = obs::trace_now_us();
+  wire_put_u64(payload, t_send);
+  wire_put_u64(payload, next_slot);
+  wire_put_u32(payload, page);
+  wire_put_u32(payload, expected_slots);
+  wire_put_u32(payload, gen_id);
+  TCSA_REQ_EVENT(trace_id, obs::ReqStage::kServerSched, t_send, next_slot);
+  queue_frame(session, net::FrameType::kReqAck, payload);
+  flush_session(shard, session);  // may close; caller re-checks the map
+}
+
+void AirServer::note_request_encodes(
+    Session& session, std::uint64_t slot, std::uint64_t hit_mask,
+    const std::vector<PageId>& page_by_channel) {
+  for (PendingReq& req : session.pending) {
+    if (req.encoded_slot != kReqUnmatched) continue;
+    for (std::size_t ch = 0; ch < page_by_channel.size(); ++ch) {
+      if (((hit_mask >> ch) & 1) == 0 || page_by_channel[ch] != req.page)
+        continue;
+      req.encoded_slot = slot;
+      TCSA_REQ_EVENT(req.trace_id, obs::ReqStage::kServerEncoded,
+                     obs::trace_now_us(), slot);
+      break;
+    }
+  }
+}
+
+void AirServer::finish_requests(Session& session) {
+  const std::uint64_t now = obs::trace_now_us();
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < session.pending.size(); ++i) {
+    PendingReq& req = session.pending[i];
+    if (req.encoded_slot == kReqUnmatched) {
+      session.pending[kept++] = req;
+      continue;
+    }
+    TCSA_REQ_EVENT(req.trace_id, obs::ReqStage::kServerFlushed, now,
+                   session.out.bytes());
+#if TCSA_OBS_COMPILED
+    TCSA_METRIC_ADD(server_metrics().reqs_completed, 1);
+    obs::ReqPercentiles& delay = server_req_delay();
+    delay.record(static_cast<double>(now - req.recv_us));
+    if (delay.count() % 64 == 1) delay.publish();
+#endif
+  }
+  session.pending.resize(kept);
 }
 
 void AirServer::handle_swap_request(SessionRef requester,

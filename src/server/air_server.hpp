@@ -85,6 +85,14 @@ struct AirServerConfig {
   /// into loop 0) so an interrupted server still goes off air cleanly.
   /// Process-global — one signal-handling AirServer per process.
   bool install_signal_handlers = false;
+
+  // --- request tracing ---
+  /// Flight-recorder ring path (obs::FlightRecorder). Empty = off. When
+  /// set, run() opens the ring, installs the SIGQUIT/fatal-signal sealers,
+  /// and every request-journey event lands in the file as it happens — a
+  /// SIGKILL'd server still leaves its black box behind.
+  std::string flight_out;
+  std::uint32_t flight_capacity = 4096;  ///< ring size in events
 };
 
 /// Outcome of seam planning for a major-cycle-boundary swap: air the new
@@ -169,6 +177,23 @@ class AirServer {
   std::vector<std::size_t> sessions_per_loop() const;
 
  private:
+  static constexpr std::uint64_t kReqUnmatched = ~0ull;
+  /// Open requests a session may hold; the oldest is dropped beyond this
+  /// (a client re-requesting faster than pages air is misbehaving).
+  static constexpr std::size_t kMaxPendingReqs = 64;
+
+  /// One open traced page request (kReq), session-local so completion needs
+  /// no cross-shard lookups: the request resolves when its page next airs
+  /// on a channel the session subscribes to. `encoded_slot` flips from
+  /// kReqUnmatched when that slot's frame enters the session's queue, and
+  /// the entry retires after the same slot's flush.
+  struct PendingReq {
+    std::uint64_t trace_id = 0;
+    PageId page = 0;
+    std::uint64_t recv_us = 0;     // server trace clock at kReq parse
+    std::uint64_t encoded_slot = kReqUnmatched;
+  };
+
   struct Session {
     net::Fd fd;
     net::FrameDecoder decoder;
@@ -177,6 +202,7 @@ class AirServer {
     std::uint64_t mask = 0;       // subscribed channel mask (0 = none yet)
     std::uint32_t hello_generation = 0;  // gen the session last heard about
     bool want_write = false;      // EPOLLOUT currently armed
+    std::vector<PendingReq> pending;  // open traced requests (usually empty)
   };
 
   /// Everything one loop owns. Only that loop's thread touches the
@@ -205,10 +231,14 @@ class AirServer {
   };
 
   /// One aired slot, shipped to worker loops as a refcounted token: the
-  /// frame (if any) per channel, and the mask of channels that aired.
+  /// frame (if any) per channel, the mask of channels that aired, and the
+  /// page each aired channel carried (so shards can resolve their own
+  /// sessions' pending traced requests without touching program state).
   struct SlotFrames {
+    std::uint64_t slot = 0;
     std::uint64_t aired_mask = 0;
     std::vector<net::SharedBuf> by_channel;
+    std::vector<PageId> page_by_channel;
   };
 
   /// One program generation: what is on air between two swaps.
@@ -230,6 +260,9 @@ class AirServer {
     std::uint32_t channels = 0;
     std::uint32_t cycle = 0;
     std::string workload_binary;
+    /// Promised wait t_p per page under this generation, shared so any
+    /// loop can stamp a request ack without reparsing the workload.
+    std::shared_ptr<const std::vector<SlotCount>> expected_times;
   };
 
   void on_timer();
@@ -241,6 +274,19 @@ class AirServer {
   void on_accept(LoopShard& shard);
   void on_session_event(LoopShard& shard, int fd, std::uint32_t events);
   void handle_frame(LoopShard& shard, int fd, const net::Frame& frame);
+  /// Parses a kReq, opens a pending entry, and acks immediately with the
+  /// server-side clock stamps (t1/t2 of the offset exchange). Runs on the
+  /// session's own loop — may close the session while flushing the ack.
+  void handle_page_request(LoopShard& shard, Session& session,
+                           std::uint64_t trace_id, PageId page);
+  /// Marks pending requests satisfied by this slot's fan-out (the page hit
+  /// a subscribed, aired channel) and records their encode-stage events.
+  void note_request_encodes(Session& session, std::uint64_t slot,
+                            std::uint64_t hit_mask,
+                            const std::vector<PageId>& page_by_channel);
+  /// Retires requests whose airing slot just flushed: records the flush
+  /// event, feeds the service-delay stats, and erases the entries.
+  void finish_requests(Session& session);
   /// Runs on loop 0 only (other loops forward via post()).
   void handle_swap_request(SessionRef requester, const std::string& payload);
   /// Delivers framed reply bytes to a session wherever it lives; drops the

@@ -20,6 +20,8 @@
 #include "net/event_loop.hpp"
 #include "net/framing.hpp"
 #include "net/socket.hpp"
+#include "obs/reqtrace.hpp"
+#include "obs/trace.hpp"
 #include "util/contracts.hpp"
 #include "util/log.hpp"
 #include "util/wire.hpp"
@@ -52,6 +54,22 @@ enum Phase : int { kRamp = 0, kMeasure = 1, kDone = 2 };
 /// realistic page rate without unbounded memory.
 constexpr std::size_t kSampleCap = 1 << 17;
 
+/// One traced kReq a loadgen session has in flight. Mirrors TuneClient's
+/// OpenReq: the deadline lands with the ack (t0 + expected_slots * slot_us
+/// on this client's trace clock) and the journey completes when the page
+/// next arrives after the ack.
+struct LgOpenReq {
+  std::uint64_t trace_id = 0;
+  std::uint32_t page = 0;
+  std::uint64_t t0_us = 0;
+  std::uint64_t deadline_us = 0;
+  bool acked = false;
+};
+
+/// Open requests one session may hold; beyond this the oldest is dropped
+/// (its ack/page raced the measurement window closing).
+constexpr std::size_t kMaxOpenReqs = 8;
+
 struct ClientSession {
   net::Fd fd;
   net::FrameDecoder decoder;
@@ -59,6 +77,10 @@ struct ClientSession {
   bool connected = false;  // non-blocking connect completed
   bool greeted = false;    // hello parsed, TUNE sent
   std::string outbox;      // unsent TUNE bytes (kernel buffer was full)
+  std::uint64_t pages_seen = 0;      // kPage frames, any window
+  std::uint32_t last_page = 0;       // most recent page on our channel
+  bool has_page = false;
+  std::vector<LgOpenReq> open_reqs;  // traced requests in flight
 };
 
 struct ThreadResult {
@@ -71,6 +93,13 @@ struct ThreadResult {
   std::vector<double> offsets;  // decimated arrival offsets (us)
   double min_offset = std::numeric_limits<double>::infinity();
   double max_offset = -std::numeric_limits<double>::infinity();
+  std::uint64_t requests_sent = 0;
+  std::uint64_t request_acks = 0;
+  std::uint64_t request_completions = 0;
+  std::uint64_t request_misses = 0;
+  std::vector<double> req_delays;  // us, one per completion (small counts)
+  std::vector<double> req_slacks;  // us, signed (negative = missed)
+  double req_slack_min = std::numeric_limits<double>::infinity();
 };
 
 /// One client I/O thread: dials its quota in bounded batches, greets and
@@ -142,6 +171,27 @@ void client_thread_body(const LoadGenConfig& config, std::size_t first_index,
     return true;
   };
 
+  // Issues one traced kReq for the session's last-seen page. Queued through
+  // the outbox so a full kernel buffer never blocks the loop.
+  const auto issue_request = [&](ClientSession& session) -> bool {
+    const std::uint64_t trace_id = obs::mint_trace_id();
+    const std::uint64_t t0 = obs::trace_now_us();
+    std::string payload;
+    wire_put_u64(payload, trace_id);
+    wire_put_u32(payload, session.last_page);
+    std::string bytes;
+    net::append_frame(bytes, net::FrameType::kReq, payload);
+    if (session.open_reqs.size() >= kMaxOpenReqs)
+      session.open_reqs.erase(session.open_reqs.begin());
+    session.open_reqs.push_back(
+        LgOpenReq{trace_id, session.last_page, t0, 0, false});
+    ++result.requests_sent;
+    session.outbox += bytes;
+    TCSA_REQ_EVENT(trace_id, obs::ReqStage::kClientSent, t0,
+                   session.last_page);
+    return flush_outbox(session.fd.get(), session);
+  };
+
   const auto handle_frame = [&](ClientSession& session,
                                 const net::Frame& frame) -> bool {
     ++result.frames;
@@ -168,14 +218,76 @@ void client_thread_body(const LoadGenConfig& config, std::size_t first_index,
         return true;
       }
       case net::FrameType::kPage: {
-        if (phase.load(std::memory_order_acquire) == kMeasure &&
-            slot_us != 0) {
-          WireReader reader(frame.payload);
-          const std::uint64_t slot = reader.read_u64();
+        WireReader reader(frame.payload);
+        const std::uint64_t slot = reader.read_u64();
+        (void)reader.read_u32();  // generation
+        (void)reader.read_u32();  // channel
+        const std::uint32_t page = reader.read_u32();
+        session.last_page = page;
+        session.has_page = true;
+        ++session.pages_seen;
+        const bool measuring =
+            phase.load(std::memory_order_acquire) == kMeasure;
+        if (measuring && slot_us != 0) {
           ++result.pages;
           sample_offset(static_cast<double>(mono_us()) -
                         static_cast<double>(slot) *
                             static_cast<double>(slot_us));
+        }
+        if (!session.open_reqs.empty()) {
+          const std::uint64_t now = obs::trace_now_us();
+          for (auto it = session.open_reqs.begin();
+               it != session.open_reqs.end();) {
+            if (it->page != page || !it->acked) {
+              ++it;
+              continue;
+            }
+            TCSA_REQ_EVENT(it->trace_id, obs::ReqStage::kClientFirstByte,
+                           now, slot);
+            TCSA_REQ_EVENT(it->trace_id, obs::ReqStage::kClientDecoded, now,
+                           page);
+            const double slack = static_cast<double>(it->deadline_us) -
+                                 static_cast<double>(now);
+            ++result.request_completions;
+            if (slack < 0.0) ++result.request_misses;
+            if (result.req_delays.size() < kSampleCap) {
+              result.req_delays.push_back(
+                  static_cast<double>(now - it->t0_us));
+              result.req_slacks.push_back(slack);
+            }
+            result.req_slack_min = std::min(result.req_slack_min, slack);
+            TCSA_REQ_EVENT(it->trace_id, obs::ReqStage::kClientDone, now,
+                           static_cast<std::uint64_t>(
+                               static_cast<std::int64_t>(slack)));
+            it = session.open_reqs.erase(it);
+          }
+        }
+        // One request per request_every pages, asked for the page we just
+        // saw — the next cycle must bring it back within its promise.
+        if (measuring && config.request_every != 0 && session.has_page &&
+            session.pages_seen % config.request_every == 0)
+          return issue_request(session);
+        return true;
+      }
+      case net::FrameType::kReqAck: {
+        WireReader reader(frame.payload);
+        const std::uint64_t trace_id = reader.read_u64();
+        (void)reader.read_u64();  // t1 (server recv stamp)
+        (void)reader.read_u64();  // t2 (server send stamp)
+        const std::uint64_t next_slot = reader.read_u64();
+        (void)reader.read_u32();  // page
+        const std::uint32_t expected_slots = reader.read_u32();
+        (void)reader.read_u32();  // generation
+        const std::uint64_t t3 = obs::trace_now_us();
+        for (LgOpenReq& req : session.open_reqs) {
+          if (req.trace_id != trace_id) continue;
+          req.acked = true;
+          req.deadline_us = req.t0_us + std::uint64_t{expected_slots} *
+                                            std::uint64_t{slot_us};
+          ++result.request_acks;
+          TCSA_REQ_EVENT(trace_id, obs::ReqStage::kClientAcked, t3,
+                         next_slot);
+          break;
         }
         return true;
       }
@@ -326,6 +438,15 @@ obs::MetricsSnapshot LoadGenReport::to_snapshot() const {
   counter("tcsa_loadgen_pages_total",
           "Page frames received inside the measurement window", pages);
   counter("tcsa_loadgen_bytes_total", "Wire bytes received", bytes);
+  counter("tcsa_loadgen_requests_total",
+          "Traced page requests issued inside the measurement window",
+          requests_sent);
+  counter("tcsa_loadgen_request_acks_total",
+          "Request acks received (deadline granted)", request_acks);
+  counter("tcsa_loadgen_request_completions_total",
+          "Requested pages received after their ack", request_completions);
+  counter("tcsa_loadgen_request_misses_total",
+          "Requests completed after their promised deadline", request_misses);
   gauge("tcsa_loadgen_sessions_requested", "Sessions the campaign asked for",
         static_cast<double>(sessions_requested));
   gauge("tcsa_loadgen_jitter_p50_us",
@@ -342,6 +463,16 @@ obs::MetricsSnapshot LoadGenReport::to_snapshot() const {
   gauge("tcsa_loadgen_rss_per_session_bytes",
         "Process RSS growth across the ramp divided by sessions",
         rss_per_session_bytes);
+  gauge("tcsa_loadgen_request_miss_rate",
+        "Deadline misses over completed traced requests", request_miss_rate);
+  gauge("tcsa_loadgen_request_delay_p50_us",
+        "Median request-to-reception delay", request_delay_p50_us);
+  gauge("tcsa_loadgen_request_delay_p99_us", "p99 request-to-reception delay",
+        request_delay_p99_us);
+  gauge("tcsa_loadgen_request_slack_p50_us",
+        "Median slack against the promised deadline", request_slack_p50_us);
+  gauge("tcsa_loadgen_request_slack_min_us",
+        "Tightest (or most blown) request deadline", request_slack_min_us);
   return snap;
 }
 
@@ -399,6 +530,31 @@ LoadGenReport run_loadgen(const LoadGenConfig& config) {
     offsets.insert(offsets.end(), r.offsets.begin(), r.offsets.end());
     min_offset = std::min(min_offset, r.min_offset);
     max_offset = std::max(max_offset, r.max_offset);
+  }
+  std::vector<double> req_delays;
+  std::vector<double> req_slacks;
+  double req_slack_min = std::numeric_limits<double>::infinity();
+  for (const ThreadResult& r : results) {
+    report.requests_sent += r.requests_sent;
+    report.request_acks += r.request_acks;
+    report.request_completions += r.request_completions;
+    report.request_misses += r.request_misses;
+    req_delays.insert(req_delays.end(), r.req_delays.begin(),
+                      r.req_delays.end());
+    req_slacks.insert(req_slacks.end(), r.req_slacks.begin(),
+                      r.req_slacks.end());
+    req_slack_min = std::min(req_slack_min, r.req_slack_min);
+  }
+  if (report.request_completions > 0) {
+    report.request_miss_rate =
+        static_cast<double>(report.request_misses) /
+        static_cast<double>(report.request_completions);
+    std::sort(req_delays.begin(), req_delays.end());
+    std::sort(req_slacks.begin(), req_slacks.end());
+    report.request_delay_p50_us = percentile(req_delays, 0.50);
+    report.request_delay_p99_us = percentile(req_delays, 0.99);
+    report.request_slack_p50_us = percentile(req_slacks, 0.50);
+    report.request_slack_min_us = req_slack_min;
   }
   report.samples = offsets.size();
   if (!offsets.empty()) {

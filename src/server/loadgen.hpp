@@ -39,6 +39,11 @@ struct LoadGenConfig {
   /// Non-zero: p99 jitter above this many microseconds counts as an SLO
   /// violation in the report (the CLI turns it into a nonzero exit).
   double slo_p99_us = 0.0;
+  /// During the measurement window each session issues a traced kReq for
+  /// the last page it saw, every this-many kPage frames (0 = no requests).
+  /// The journeys feed the per-request delay/slack percentiles and the
+  /// deadline-miss rate in the report.
+  std::uint64_t request_every = 64;
 };
 
 struct LoadGenReport {
@@ -59,6 +64,17 @@ struct LoadGenReport {
   /// the process (the bench harness) it covers both sides of each session.
   double rss_per_session_bytes = 0.0;
   std::uint64_t slo_violations = 0;    ///< 0 or 1 (p99 vs config threshold)
+
+  // --- traced per-request journeys (LoadGenConfig::request_every) ---
+  std::uint64_t requests_sent = 0;
+  std::uint64_t request_acks = 0;
+  std::uint64_t request_completions = 0;
+  std::uint64_t request_misses = 0;     ///< completed after the deadline
+  double request_miss_rate = 0.0;       ///< misses / completions
+  double request_delay_p50_us = 0.0;    ///< request sent -> page received
+  double request_delay_p99_us = 0.0;
+  double request_slack_p50_us = 0.0;    ///< deadline - completion (us)
+  double request_slack_min_us = 0.0;
 
   /// Stable counters (session/close/violation counts) plus gauge-shaped
   /// measurements (jitter percentiles, RSS) — the gauges never gate.

@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <cmath>
 #include <cstring>
 #include <limits>
 #include <sstream>
@@ -12,6 +13,8 @@
 #include <utility>
 
 #include "model/serialize.hpp"
+#include "obs/reqtrace.hpp"
+#include "obs/trace.hpp"
 #include "util/wire.hpp"
 
 namespace tcsa {
@@ -28,6 +31,17 @@ std::string format_double(double value) {
   return os.str();
 }
 
+/// Exact nearest-rank percentile over an unsorted sample set (copies —
+/// request counts are small); 0 when empty.
+double nearest_rank(std::vector<double> samples, double q) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const double rank = std::ceil(q * static_cast<double>(samples.size()));
+  std::size_t index = rank <= 1.0 ? 0 : static_cast<std::size_t>(rank) - 1;
+  if (index >= samples.size()) index = samples.size() - 1;
+  return samples[index];
+}
+
 }  // namespace
 
 std::string TuneSummary::to_json() const {
@@ -40,6 +54,20 @@ std::string TuneSummary::to_json() const {
   out += ", \"retunes\": " + std::to_string(retunes);
   out += ", \"deadline_misses\": " + std::to_string(deadline_misses);
   out += ", \"mean_access_time\": " + format_double(mean_access_time);
+  out += ", \"requests\": {";
+  out += "\"sent\": " + std::to_string(requests.sent);
+  out += ", \"acked\": " + std::to_string(requests.acked);
+  out += ", \"completed\": " + std::to_string(requests.completed);
+  out += ", \"misses\": " + std::to_string(requests.misses);
+  out += ", \"delay_p50_us\": " + format_double(requests.delay_p50_us);
+  out += ", \"delay_p99_us\": " + format_double(requests.delay_p99_us);
+  out += ", \"delay_max_us\": " + format_double(requests.delay_max_us);
+  out += ", \"slack_p50_us\": " + format_double(requests.slack_p50_us);
+  out += ", \"slack_min_us\": " + format_double(requests.slack_min_us);
+  out += ", \"clock_offset_us\": " + std::to_string(requests.clock_offset_us);
+  out += ", \"clock_rtt_us\": " + std::to_string(requests.clock_rtt_us);
+  out += ", \"clock_samples\": " + std::to_string(requests.clock_samples);
+  out += "}";
   out += ", \"groups\": [";
   for (std::size_t g = 0; g < groups.size(); ++g) {
     const TuneGroupStats& s = groups[g];
@@ -130,6 +158,9 @@ void TuneClient::handle_frame(const net::Frame& frame) {
     case net::FrameType::kAnnounce:
       apply_announcement(frame.payload, /*initial=*/false);
       return;
+    case net::FrameType::kReqAck:
+      on_req_ack(frame);
+      return;
     case net::FrameType::kSwapReply: {
       WireReader reader(frame.payload);
       SwapReply reply;
@@ -204,6 +235,113 @@ void TuneClient::on_page(const net::Frame& frame) {
   }
   chain.last_slot = static_cast<std::int64_t>(slot);
   chain.promise = workload_->expected_time_of(page);
+
+  // Traced request completion: the first arrival of the requested page
+  // after its ack closes the journey. A copy already in flight when the
+  // request went out does not count — service is measured from the request,
+  // and the ack always precedes the next airing on this in-order stream.
+  if (open_reqs_.empty()) return;
+  const std::uint64_t first_byte_us = obs::trace_now_us();
+  for (auto it = open_reqs_.begin(); it != open_reqs_.end();) {
+    if (it->page != page || !it->acked) {
+      ++it;
+      continue;
+    }
+    TCSA_REQ_EVENT(it->trace_id, obs::ReqStage::kClientFirstByte,
+                   first_byte_us, slot);
+    const std::uint64_t decoded_us = obs::trace_now_us();
+    TCSA_REQ_EVENT(it->trace_id, obs::ReqStage::kClientDecoded, decoded_us,
+                   page);
+    const std::int64_t slack = static_cast<std::int64_t>(it->deadline_us) -
+                               static_cast<std::int64_t>(decoded_us);
+    req_delay_us_.push_back(static_cast<double>(decoded_us - it->t0_us));
+    req_slack_us_.push_back(static_cast<double>(slack));
+    if (slack < 0) ++req_misses_;
+    TCSA_REQ_EVENT(it->trace_id, obs::ReqStage::kClientDone, decoded_us,
+                   static_cast<std::uint64_t>(slack));
+    ++reqs_completed_;
+    it = open_reqs_.erase(it);
+  }
+}
+
+void TuneClient::on_req_ack(const net::Frame& frame) {
+  WireReader reader(frame.payload);
+  const std::uint64_t trace_id = reader.read_u64();
+  const std::uint64_t t1 = reader.read_u64();
+  const std::uint64_t t2 = reader.read_u64();
+  const std::uint64_t next_slot = reader.read_u64();
+  reader.read_u32();  // page (redundant with the open entry)
+  const std::uint32_t expected_slots = reader.read_u32();
+  reader.read_u32();  // generation, informational
+  reader.expect_done();
+  const std::uint64_t t3 = obs::trace_now_us();
+  for (OpenReq& req : open_reqs_) {
+    if (req.trace_id != trace_id) continue;
+    req.acked = true;
+    // The exchange's four stamps give one NTP sample; the promise granted
+    // at request time becomes a concrete wall deadline on our clock.
+    offset_.add_sample(req.t0_us, t1, t2, t3);
+    req.deadline_us =
+        req.t0_us + std::uint64_t{expected_slots} * slot_us_;
+    ++reqs_acked_;
+    TCSA_REQ_EVENT(trace_id, obs::ReqStage::kClientAcked, t3, next_slot);
+    return;
+  }
+  // Ack for a journey we no longer track (client restarted accounting) —
+  // harmless, drop it.
+}
+
+std::uint64_t TuneClient::request_page(PageId page) {
+  const std::uint64_t trace_id = obs::mint_trace_id();
+  std::string payload;
+  wire_put_u64(payload, trace_id);
+  wire_put_u32(payload, page);
+  std::string bytes;
+  net::append_frame(bytes, net::FrameType::kReq, payload);
+  const std::uint64_t t0 = obs::trace_now_us();
+  open_reqs_.push_back(OpenReq{trace_id, page, t0, 0, false});
+  ++reqs_sent_;
+  send_all(bytes);
+  TCSA_REQ_EVENT(trace_id, obs::ReqStage::kClientSent, t0, page);
+  // Pump until the ack lands (request_swap's pattern); pages and announces
+  // received meanwhile are processed normally.
+  net::Frame frame;
+  while (true) {
+    bool acked = false;
+    for (const OpenReq& req : open_reqs_) {
+      if (req.trace_id == trace_id) {
+        acked = req.acked;
+        break;
+      }
+    }
+    if (acked) break;
+    if (!read_frame(frame))
+      throw std::runtime_error("tune: server closed before the request ack");
+    handle_frame(frame);
+  }
+  return trace_id;
+}
+
+bool TuneClient::run_with_requests(std::uint64_t slots, std::uint64_t count) {
+  if (count == 0 || slots == 0) return run(slots);
+  const std::uint64_t target = slots_seen_ + slots;
+  const std::uint64_t stride = std::max<std::uint64_t>(1, slots / count);
+  std::uint64_t next_request_at = slots_seen_;
+  std::uint64_t issued = 0;
+  PageId next_page = 0;
+  net::Frame frame;
+  while (slots_seen_ < target) {
+    if (issued < count && slots_seen_ >= next_request_at) {
+      const auto total = static_cast<PageId>(workload_->total_pages());
+      request_page(next_page);
+      next_page = static_cast<PageId>((next_page + 1) % total);
+      ++issued;
+      next_request_at += stride;
+    }
+    if (!read_frame(frame)) return true;
+    handle_frame(frame);
+  }
+  return false;
 }
 
 bool TuneClient::run(std::uint64_t slots) {
@@ -289,6 +427,27 @@ TuneSummary TuneClient::summary() const {
   }
   out.mean_access_time =
       access_pages ? access_sum / static_cast<double>(access_pages) : 0.0;
+
+  out.requests.sent = reqs_sent_;
+  out.requests.acked = reqs_acked_;
+  out.requests.completed = reqs_completed_;
+  out.requests.misses = req_misses_;
+  out.requests.delay_p50_us = nearest_rank(req_delay_us_, 0.50);
+  out.requests.delay_p99_us = nearest_rank(req_delay_us_, 0.99);
+  out.requests.delay_max_us =
+      req_delay_us_.empty()
+          ? 0.0
+          : *std::max_element(req_delay_us_.begin(), req_delay_us_.end());
+  out.requests.slack_p50_us = nearest_rank(req_slack_us_, 0.50);
+  out.requests.slack_min_us =
+      req_slack_us_.empty()
+          ? 0.0
+          : *std::min_element(req_slack_us_.begin(), req_slack_us_.end());
+  if (offset_.has_estimate()) {
+    out.requests.clock_offset_us = offset_.offset_us();
+    out.requests.clock_rtt_us = offset_.rtt_us();
+    out.requests.clock_samples = offset_.samples();
+  }
   return out;
 }
 

@@ -31,6 +31,7 @@
 #include "model/workload.hpp"
 #include "net/framing.hpp"
 #include "net/socket.hpp"
+#include "obs/clock_sync.hpp"
 
 namespace tcsa {
 
@@ -63,6 +64,24 @@ struct TuneGroupStats {
   std::uint64_t misses = 0;     ///< gaps exceeding the promised deadline
 };
 
+/// Per-request (traced kReq) accounting: the client-side read of the
+/// paper's per-request promise. Delay = request sent -> page decoded;
+/// slack = promised deadline minus completion (negative = missed).
+struct TuneRequestStats {
+  std::uint64_t sent = 0;
+  std::uint64_t acked = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t misses = 0;          ///< completed after the deadline
+  double delay_p50_us = 0.0;         ///< exact nearest-rank over completions
+  double delay_p99_us = 0.0;
+  double delay_max_us = 0.0;
+  double slack_p50_us = 0.0;
+  double slack_min_us = 0.0;         ///< tightest (or most blown) deadline
+  std::int64_t clock_offset_us = 0;  ///< server clock - client clock
+  std::uint64_t clock_rtt_us = 0;    ///< RTT of the best offset sample
+  std::uint64_t clock_samples = 0;
+};
+
 /// Whole-session summary.
 struct TuneSummary {
   std::uint64_t frames = 0;
@@ -73,6 +92,7 @@ struct TuneSummary {
   std::uint64_t retunes = 0;
   std::uint64_t deadline_misses = 0;  ///< total over all groups
   double mean_access_time = 0.0;      ///< page-averaged E[wait]
+  TuneRequestStats requests;          ///< traced per-request journeys
   std::vector<TuneGroupStats> groups;
 
   /// Single-line JSON object (parsable by obs/json): the tcsactl tune
@@ -109,6 +129,24 @@ class TuneClient {
   /// (0 = until the server closes). Returns true on server EOF.
   bool run(std::uint64_t slots);
 
+  /// Like run(), additionally issuing `count` traced page requests spread
+  /// evenly across the span (pages round-robin from 0). Each request's
+  /// journey is recorded via obs::req_event and accounted in
+  /// TuneSummary::requests.
+  bool run_with_requests(std::uint64_t slots, std::uint64_t count);
+
+  /// Sends one traced kReq for `page` and pumps frames until its ack
+  /// arrives (folding the exchange into the clock-offset estimate).
+  /// Returns the minted trace id; the journey completes when the page next
+  /// airs on a subscribed channel.
+  std::uint64_t request_page(PageId page);
+
+  /// RTT-symmetric estimate of (server trace clock - client trace clock),
+  /// refined by every request ack.
+  const obs::ClockOffsetEstimator& clock_offset() const noexcept {
+    return offset_;
+  }
+
   /// Sends a hot-swap request and pumps frames until the reply arrives.
   /// `channels` 0 keeps the server's count; `method` < 0 lets the server
   /// choose (SUSC when the bound allows, else PAMAD).
@@ -136,10 +174,24 @@ class TuneClient {
     std::uint64_t misses = 0;
   };
 
+  /// One in-flight traced request. The deadline is granted at the ack
+  /// (the server stamps the page's promised wait t_p into it); a page
+  /// frame arriving before the ack does not complete the journey — the
+  /// request's service starts from the request, and the ack always
+  /// precedes the next airing on an in-order stream.
+  struct OpenReq {
+    std::uint64_t trace_id = 0;
+    PageId page = 0;
+    std::uint64_t t0_us = 0;        ///< client trace clock at send
+    std::uint64_t deadline_us = 0;  ///< t0 + t_p * slot_us, set by the ack
+    bool acked = false;
+  };
+
   bool read_frame(net::Frame& frame);   ///< false on orderly EOF
   void handle_frame(const net::Frame& frame);
   void apply_announcement(std::string_view payload, bool initial);
   void on_page(const net::Frame& frame);
+  void on_req_ack(const net::Frame& frame);
   void send_tune(std::uint64_t mask);
   void send_all(std::string_view bytes);
 
@@ -167,6 +219,16 @@ class TuneClient {
   std::uint64_t misses_ = 0;
 
   std::optional<SwapReply> last_swap_reply_;
+
+  // --- traced request state ---
+  std::vector<OpenReq> open_reqs_;
+  obs::ClockOffsetEstimator offset_;
+  std::vector<double> req_delay_us_;
+  std::vector<double> req_slack_us_;
+  std::uint64_t reqs_sent_ = 0;
+  std::uint64_t reqs_acked_ = 0;
+  std::uint64_t reqs_completed_ = 0;
+  std::uint64_t req_misses_ = 0;
 };
 
 }  // namespace tcsa

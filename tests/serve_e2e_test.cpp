@@ -57,6 +57,9 @@ class ServeE2E : public ::testing::Test {
   }
 
   void TearDown() override {
+    // A failed test keeps its scene — logs, artifacts, flight dumps — so
+    // CI can upload the directory (see the if: failure() step in ci.yml).
+    if (::testing::Test::HasFailure()) return;
     std::error_code ec;
     std::filesystem::remove_all(root_, ec);
   }

@@ -249,6 +249,23 @@ class HttpAdminTest : public ::testing::Test {
       response.body = "{\"query\": \"" + std::string(query) + "\"}";
       return response;
     });
+    admin_->route("/big", [](std::string_view query) {
+      // ?kb=N — a body far beyond any single write/chunk size, patterned
+      // so truncation or reordering cannot go unnoticed.
+      std::size_t kb = 64;
+      if (query.substr(0, 3) == "kb=")
+        kb = static_cast<std::size_t>(
+            std::strtoull(std::string(query.substr(3)).c_str(), nullptr, 10));
+      std::string body;
+      body.reserve(kb * 1024);
+      std::size_t line = 0;
+      while (body.size() < kb * 1024)
+        body += "line " + std::to_string(line++) + " of a deliberately "
+                "oversized admin response body\n";
+      net::HttpResponse response;
+      response.body = std::move(body);
+      return response;
+    });
     admin_->start();
     loop_thread_ = std::thread([this] {
       while (!stop_.load(std::memory_order_relaxed)) loop_.poll(20);
@@ -303,6 +320,26 @@ TEST_F(HttpAdminTest, UnknownPathIs404AndNonGetIs405) {
     reply.append(buf, static_cast<std::size_t>(n));
   }
   EXPECT_NE(reply.find("405"), std::string::npos);
+}
+
+TEST_F(HttpAdminTest, LargeResponsesArriveCompleteAndInOrder) {
+  // Regression: response bodies used to ride the queue as one monolithic
+  // buffer; they are now chunked, and a body much larger than both the
+  // chunk size and any socket buffer must still arrive byte-identical.
+  start_admin();
+  const net::HttpResponse big =
+      net::http_get("127.0.0.1", admin_->port(), "/big?kb=512");
+  ASSERT_EQ(big.status, 200);
+  EXPECT_GE(big.body.size(), 512u * 1024u);
+  // Rebuild the expected body and compare exactly: any dropped, duplicated
+  // or reordered chunk changes the line numbering somewhere.
+  std::string expected;
+  expected.reserve(big.body.size());
+  std::size_t line = 0;
+  while (expected.size() < 512u * 1024u)
+    expected += "line " + std::to_string(line++) + " of a deliberately "
+                "oversized admin response body\n";
+  EXPECT_EQ(big.body, expected);
 }
 
 TEST_F(HttpAdminTest, ServesManySequentialScrapesWithoutLeakingConns) {
