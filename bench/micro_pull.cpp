@@ -1,0 +1,156 @@
+// micro_pull.cpp — demand-table costs of the live pull plane (the per-slot
+// work `serve --pull-channels` adds to the airing loop):
+//
+//   * BM_PullDemandFill — registering one waiter per page across a cold
+//     table: the kReq-side cost when demand is all-distinct.
+//   * BM_PullFillDrainLwf / BM_PullFillDrainMaxrt — one full round of P
+//     pages x W coalesced waiters filled and then drained by pick(): the
+//     steady-state shape of a slot under each policy. Both variants pay an
+//     identical fill, so their difference isolates the policy evaluation.
+//   * BM_PullFlashCrowdLwf / BM_PullFlashCrowdMaxrt — a Zipf flash crowd
+//     arriving faster than the single pull channel drains: adds dominated
+//     by coalescing into hot pages, picks scanning a saturated table. The
+//     EXPERIMENTS.md LWF-vs-maxrt tail comparison replays this shape live.
+//
+// The *_total counters are replayed deterministically (fixed seed, fixed
+// slot count) outside the timing loop, so BENCH_micro.json stays
+// machine-independent for the CI counter gate.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "server/pull_plane.hpp"
+
+namespace {
+
+using tcsa::PageId;
+using tcsa::PullAiring;
+using tcsa::PullDemandTable;
+using tcsa::PullPolicy;
+using tcsa::PullWaiter;
+
+PullWaiter waiter(std::uint64_t session, std::uint64_t slot) {
+  return PullWaiter{session, /*trace_id=*/session ^ (slot << 20), slot,
+                    /*arrival_us=*/slot * 500};
+}
+
+void BM_PullDemandFill(benchmark::State& state) {
+  const auto pages = static_cast<PageId>(state.range(0));
+  std::uint64_t session = 0;
+  for (auto _ : state) {
+    PullDemandTable table;
+    for (PageId page = 0; page < pages; ++page)
+      table.add(page, waiter(session++, page));
+    benchmark::DoNotOptimize(table.pending_waiters());
+  }
+  state.SetItemsProcessed(state.iterations() * pages);
+  state.counters["pull_pending_pages"] = static_cast<double>(pages);
+}
+BENCHMARK(BM_PullDemandFill)->Arg(16)->Arg(256);
+
+// One round: P pages x W waiters in, P policy picks out. W is the
+// coalescing factor every airing amortizes its scan over.
+void fill_drain(benchmark::State& state, PullPolicy policy) {
+  const auto pages = static_cast<PageId>(state.range(0));
+  constexpr std::uint64_t kWaiters = 4;
+  std::uint64_t session = 0;
+  std::uint64_t airings = 0;
+  for (auto _ : state) {
+    PullDemandTable table;
+    for (PageId page = 0; page < pages; ++page)
+      for (std::uint64_t w = 0; w < kWaiters; ++w)
+        table.add(page, waiter(session++, w));
+    std::uint64_t now = kWaiters;
+    while (auto airing = table.pick(policy, now++)) {
+      benchmark::DoNotOptimize(airing->waiters.size());
+      ++airings;
+    }
+  }
+  benchmark::DoNotOptimize(airings);
+  state.SetItemsProcessed(state.iterations() * pages * kWaiters);
+  state.counters["pull_coalesced_waiters"] = static_cast<double>(kWaiters);
+}
+void BM_PullFillDrainLwf(benchmark::State& state) {
+  fill_drain(state, PullPolicy::kLongestWaitFirst);
+}
+void BM_PullFillDrainMaxrt(benchmark::State& state) {
+  fill_drain(state, PullPolicy::kMaxResponseTime);
+}
+BENCHMARK(BM_PullFillDrainLwf)->Arg(64);
+BENCHMARK(BM_PullFillDrainMaxrt)->Arg(64);
+
+// Flash crowd: 8 Zipf(0.8) demands per slot against 1 airing per slot over
+// a 64-page catalog — arrivals outrun the channel and the table saturates,
+// which is exactly when coalescing pays. Returns {airings, waiters served,
+// peak pending waiters} of one deterministic 256-slot replay.
+struct CrowdTotals {
+  std::uint64_t airings = 0;
+  std::uint64_t served = 0;
+  std::uint64_t backlog_peak = 0;
+};
+
+CrowdTotals replay_flash_crowd(PullPolicy policy, bool time_it,
+                               benchmark::State* state) {
+  constexpr PageId kPages = 64;
+  constexpr std::uint64_t kSlots = 256;
+  constexpr int kArrivalsPerSlot = 8;
+  std::vector<double> weights;
+  for (PageId page = 0; page < kPages; ++page)
+    weights.push_back(1.0 / std::pow(static_cast<double>(page + 1), 0.8));
+  std::mt19937 rng(7);
+  std::discrete_distribution<PageId> draw(weights.begin(), weights.end());
+
+  CrowdTotals totals;
+  const auto one_pass = [&](PullDemandTable& table) {
+    std::uint64_t session = 0;
+    for (std::uint64_t slot = 0; slot < kSlots; ++slot) {
+      for (int i = 0; i < kArrivalsPerSlot; ++i)
+        table.add(draw(rng), waiter(session++, slot));
+      if (auto airing = table.pick(policy, slot)) {
+        ++totals.airings;
+        totals.served += airing->waiters.size();
+      }
+      totals.backlog_peak =
+          std::max<std::uint64_t>(totals.backlog_peak,
+                                  table.pending_waiters());
+    }
+  };
+  if (!time_it) {
+    PullDemandTable table;
+    one_pass(table);
+    return totals;
+  }
+  for (auto _ : *state) {
+    PullDemandTable table;
+    one_pass(table);
+    benchmark::DoNotOptimize(table.pending_pages());
+  }
+  return totals;
+}
+
+void flash_crowd(benchmark::State& state, PullPolicy policy) {
+  // Counters from one untimed replay: rng state inside the timing loop
+  // depends on the iteration count, so the totals must not.
+  const CrowdTotals totals = replay_flash_crowd(policy, false, nullptr);
+  replay_flash_crowd(policy, true, &state);
+  state.SetItemsProcessed(state.iterations() * 256 * 8);
+  state.counters["pull_airings_total"] = static_cast<double>(totals.airings);
+  state.counters["pull_waiters_served_total"] =
+      static_cast<double>(totals.served);
+  state.counters["pull_backlog_peak"] =
+      static_cast<double>(totals.backlog_peak);
+}
+void BM_PullFlashCrowdLwf(benchmark::State& state) {
+  flash_crowd(state, PullPolicy::kLongestWaitFirst);
+}
+void BM_PullFlashCrowdMaxrt(benchmark::State& state) {
+  flash_crowd(state, PullPolicy::kMaxResponseTime);
+}
+BENCHMARK(BM_PullFlashCrowdLwf);
+BENCHMARK(BM_PullFlashCrowdMaxrt);
+
+}  // namespace

@@ -361,6 +361,13 @@ int serve_main(int argc, const char* const* argv) {
   cli.add_int("loops", 1,
               "I/O event loops; > 1 shards sessions across per-core epoll "
               "loops behind one SO_REUSEPORT listen group");
+  cli.add_int("pull-channels", 0,
+              "on-demand pull airings per slot on top of the broadcast "
+              "schedule: kReq demands enter a pending table and the pull "
+              "scheduler airs the winning pages (0 = push-only)");
+  cli.add_string("pull-policy", "lwf",
+                 "pull scheduler: lwf (longest total wait first) or maxrt "
+                 "(oldest outstanding request first)");
   cli.add_int("max-buffer-kb", 256,
               "evict a session whose write buffer exceeds this");
   cli.add_int("send-buffer", 0,
@@ -415,6 +422,13 @@ int serve_main(int argc, const char* const* argv) {
   if (loops < 1 || loops > 64)
     throw std::invalid_argument("serve: --loops must be in [1, 64]");
   config.loops = static_cast<std::size_t>(loops);
+  const long long pull_channels = cli.get_int("pull-channels");
+  if (pull_channels < 0 || pull_channels > 16)
+    throw std::invalid_argument("serve: --pull-channels must be in [0, 16]");
+  config.pull_channels = static_cast<std::size_t>(pull_channels);
+  if (!parse_pull_policy(cli.get_string("pull-policy"), &config.pull_policy))
+    throw std::invalid_argument(
+        "serve: --pull-policy must be 'lwf' or 'maxrt'");
   config.max_session_buffer =
       static_cast<std::size_t>(cli.get_int("max-buffer-kb")) * 1024;
   config.session_send_buffer = static_cast<int>(cli.get_int("send-buffer"));
@@ -474,6 +488,10 @@ int serve_main(int argc, const char* const* argv) {
             << server.port() << " (" << server.channels()
             << " channels, slot " << config.slot_us << "us, "
             << server.loops() << " loop" << (server.loops() == 1 ? "" : "s");
+  if (config.pull_channels > 0)
+    std::cerr << ", " << config.pull_channels << " pull channel"
+              << (config.pull_channels == 1 ? "" : "s") << " ["
+              << pull_policy_name(config.pull_policy) << "]";
   if (server.admin_port() != 0)
     std::cerr << ", admin http://" << config.admin_bind << ':'
               << server.admin_port();
@@ -536,6 +554,11 @@ int tune_main(int argc, const char* const* argv) {
               "issue N traced page requests spread across the observed span "
               "and measure each journey against its promised deadline "
               "(needs --slots)");
+  cli.add_int("patience-slots", -1,
+              "impatient-client mode: the --requests become wants that "
+              "watch the broadcast for this many slots before falling back "
+              "to a pull request (0 = each page's own promised wait t_p; "
+              "-1 = classic immediate requests)");
   cli.add_flag("json", "print the summary as one JSON object on stdout");
   cli.add_string("out-dir", "",
                  "write a manifest + request trace + clock-offset sidecar "
@@ -557,6 +580,9 @@ int tune_main(int argc, const char* const* argv) {
   const auto slots = static_cast<std::uint64_t>(cli.get_int("slots"));
   if (requests > 0 && slots == 0)
     throw std::invalid_argument("tune: --requests needs --slots N");
+  const long long patience = cli.get_int("patience-slots");
+  if (patience < -1)
+    throw std::invalid_argument("tune: --patience-slots must be >= -1");
   std::string out_dir = cli.get_string("out-dir");
 #if TCSA_OBS_COMPILED
   if (!out_dir.empty()) obs::set_tracing_enabled(true);
@@ -573,7 +599,9 @@ int tune_main(int argc, const char* const* argv) {
             << client.channels() << " channels, cycle "
             << client.cycle_length() << ", slot " << client.slot_us()
             << "us, tuned in at slot " << client.tune_in_slot() << '\n';
-  if (requests > 0)
+  if (requests > 0 && patience >= 0)
+    client.run_with_wants(slots, requests, patience);
+  else if (requests > 0)
     client.run_with_requests(slots, requests);
   else
     client.run(slots);
@@ -628,6 +656,18 @@ int tune_main(int argc, const char* const* argv) {
                 << "clock offset: " << r.clock_offset_us << " us (rtt "
                 << r.clock_rtt_us << " us over " << r.clock_samples
                 << " samples)\n";
+    }
+    if (summary.wants.issued > 0) {
+      const TuneWantStats& w = summary.wants;
+      std::cout << "wants: " << w.issued << " issued, "
+                << w.broadcast_served << " broadcast-served, " << w.pulled
+                << " pulled (fraction " << w.pull_fraction << "), "
+                << w.pull_completed << " pull-completed\n"
+                << "want waits (slots): broadcast mean "
+                << w.mean_broadcast_wait_slots << ", pull mean "
+                << w.mean_pull_wait_slots << "; coalescing mean "
+                << w.mean_coalesced_waiters << " over " << w.pull_frames
+                << " kPull frames\n";
     }
     for (std::size_t g = 0; g < summary.groups.size(); ++g) {
       const TuneGroupStats& s = summary.groups[g];
@@ -704,6 +744,14 @@ int loadgen_main(int argc, const char* const* argv) {
               "each session issues a traced page request every N pages "
               "during the window; the report gains per-request deadline "
               "miss rate and delay/slack percentiles (0 = no requests)");
+  cli.add_int("patience-slots", -1,
+              "impatient-client mode: requests become wants that watch the "
+              "broadcast for this many slots before falling back to a pull "
+              "request; the report splits broadcast-served vs pull-served "
+              "populations (-1 = classic immediate requests)");
+  cli.add_double("pull-slo-p99-us", 0.0,
+                 "exit 1 when p99 pull-served delay exceeds this many "
+                 "microseconds (0 = report only)");
   cli.add_string("json-out", "",
                  "write the report to FILE as a metrics-snapshot JSON "
                  "document (diffable with 'tcsactl obs diff')");
@@ -733,6 +781,11 @@ int loadgen_main(int argc, const char* const* argv) {
     throw std::invalid_argument("loadgen: --request-every must be >= 0");
   config.request_every =
       static_cast<std::uint64_t>(cli.get_int("request-every"));
+  if (cli.get_int("patience-slots") < -1)
+    throw std::invalid_argument("loadgen: --patience-slots must be >= -1");
+  config.patience_slots =
+      static_cast<std::int64_t>(cli.get_int("patience-slots"));
+  config.pull_slo_p99_us = cli.get_double("pull-slo-p99-us");
 
   const LoadGenReport report = run_loadgen(config);
   std::cerr << "tcsactl loadgen: " << report.sessions_connected << '/'
@@ -751,6 +804,17 @@ int loadgen_main(int argc, const char* const* argv) {
               << report.request_delay_p99_us << " us, slack p50/min "
               << report.request_slack_p50_us << '/'
               << report.request_slack_min_us << " us\n";
+  if (report.wants_issued > 0)
+    std::cerr << "tcsactl loadgen: " << report.wants_issued << " wants, "
+              << report.wants_broadcast << " broadcast-served, "
+              << report.wants_pulled << " pulled; " << report.pull_frames
+              << " kPull frames (coalescing mean "
+              << report.mean_coalesced_waiters << "), "
+              << report.pull_completions
+              << " pull completions, pull miss rate "
+              << report.pull_miss_rate << ", pull delay p50/p99 "
+              << report.pull_delay_p50_us << '/' << report.pull_delay_p99_us
+              << " us\n";
 
   if (const std::string json_out = cli.get_string("json-out");
       !json_out.empty())
@@ -785,6 +849,12 @@ int loadgen_main(int argc, const char* const* argv) {
   if (report.slo_violations > 0) {
     std::cerr << "tcsactl loadgen: p99 jitter " << report.jitter_p99_us
               << " us exceeds the " << config.slo_p99_us << " us SLO\n";
+    return 1;
+  }
+  if (report.pull_slo_violations > 0) {
+    std::cerr << "tcsactl loadgen: p99 pull delay "
+              << report.pull_delay_p99_us << " us exceeds the "
+              << config.pull_slo_p99_us << " us SLO\n";
     return 1;
   }
   return 0;
@@ -1187,6 +1257,32 @@ int stat_once(const std::string& host, std::uint16_t port, bool as_json) {
   table.begin_row().add("slot lag p99 (us)").add(num("slot_lag_p99_us"), 1);
   table.begin_row().add("slot lag p999 (us)").add(num("slot_lag_p999_us"), 1);
   table.begin_row().add("SLO breaches").add(uint("slo_breaches"));
+  if (uint("pull_channels") > 0) {
+    // The hybrid pull plane is on: show the live demand-table shape.
+    const obs::JsonValue* policy = h.find("pull_policy");
+    table.begin_row().add("pull channels").add(uint("pull_channels"));
+    table.begin_row()
+        .add("pull policy")
+        .add(policy != nullptr ? policy->expect_string("pull_policy")
+                               : std::string("?"));
+    table.begin_row().add("pull pending pages").add(uint("pull_pending_pages"));
+    table.begin_row()
+        .add("pull pending waiters")
+        .add(uint("pull_pending_waiters"));
+    table.begin_row()
+        .add("pull oldest wait (slots)")
+        .add(uint("pull_oldest_wait_slots"));
+    table.begin_row().add("pull airings").add(uint("pull_airings"));
+    const std::uint64_t airings = uint("pull_airings");
+    const std::uint64_t served = uint("pull_waiters_served");
+    table.begin_row().add("pull waiters served").add(served);
+    table.begin_row()
+        .add("pull coalescing factor")
+        .add(airings > 0 ? static_cast<double>(served) /
+                               static_cast<double>(airings)
+                         : 0.0,
+             2);
+  }
   std::cout << table;
 
   // The registry scrape is optional garnish (obs-off builds answer 503):
@@ -1198,7 +1294,10 @@ int stat_once(const std::string& host, std::uint16_t port, bool as_json) {
     for (const char* name :
          {"tcsa_server_frames_sent_total", "tcsa_server_bytes_queued_total",
           "tcsa_server_bytes_flushed_total", "tcsa_server_writev_calls_total",
-          "tcsa_slo_breach_total"})
+          "tcsa_slo_breach_total", "tcsa_server_pull_reqs_total",
+          "tcsa_server_pull_airings_total",
+          "tcsa_server_pull_waiters_served_total",
+          "tcsa_server_reqs_pull_served_total"})
       egress.begin_row().add(name).add(snap.counter_value(name));
     std::cout << '\n' << egress;
     std::cout << "\nbuild: " << snap.gauge_value("tcsa_uptime_seconds")

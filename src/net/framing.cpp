@@ -43,7 +43,7 @@ bool FrameDecoder::next(Frame& frame) {
                                 std::to_string(version));
   const std::uint8_t type = header.read_u8();
   if (type < static_cast<std::uint8_t>(FrameType::kHello) ||
-      type > static_cast<std::uint8_t>(FrameType::kReqAck))
+      type > static_cast<std::uint8_t>(FrameType::kPull))
     throw std::invalid_argument("framing: unknown frame type " +
                                 std::to_string(type));
   const std::uint16_t flags = header.read_u16();

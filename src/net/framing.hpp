@@ -40,9 +40,15 @@
 //       u64 next_slot (next global slot to air), u32 page,
 //       u32 expected_slots (the page's promised wait t_p under the airing
 //       generation), u32 generation.
+//   kPull (server -> client, wire v3): u64 slot, u32 generation, u32 page,
+//       u32 waiters (the airing's coalescing factor: how many pending
+//       requests this one frame satisfies). An on-demand airing on the pull
+//       channel budget; delivered to every session with a pending kReq for
+//       the page regardless of its channel mask.
 //
-// Wire v2 added kReq/kReqAck for request-journey tracing; v1 peers are
-// refused at the version check (both endpoints live in this tree).
+// Wire v2 added kReq/kReqAck for request-journey tracing; v3 added kPull
+// for the live hybrid push/pull plane. Older peers are refused at the
+// version check (both endpoints live in this tree).
 #pragma once
 
 #include <cstddef>
@@ -53,7 +59,7 @@
 namespace tcsa::net {
 
 inline constexpr std::uint32_t kWireMagic = 0x41534354;  // "TCSA" LE
-inline constexpr std::uint8_t kWireVersion = 2;
+inline constexpr std::uint8_t kWireVersion = 3;
 inline constexpr std::size_t kFrameHeaderSize = 12;
 inline constexpr std::uint32_t kMaxPayload = 1u << 24;  // 16 MiB
 
@@ -72,6 +78,7 @@ enum class FrameType : std::uint8_t {
   kAnnounce = 6,   ///< server -> client new generation activated
   kReq = 7,        ///< client -> server traced page request
   kReqAck = 8,     ///< server -> client request receipt + clock stamps
+  kPull = 9,       ///< server -> client on-demand airing (pull channel)
 };
 
 /// One decoded frame. `payload` aliases the decoder's internal buffer and

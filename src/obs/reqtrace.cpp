@@ -57,6 +57,7 @@ const char* req_stage_name(ReqStage stage) noexcept {
     case ReqStage::kServerSched: return "server.req.sched";
     case ReqStage::kServerEncoded: return "server.req.encoded";
     case ReqStage::kServerFlushed: return "server.req.flushed";
+    case ReqStage::kServerPullAired: return "server.req.pull_aired";
   }
   return "req.unknown";
 }

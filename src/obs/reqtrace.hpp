@@ -35,6 +35,9 @@
 //                          cache-patched) with this request pending
 //   server.req.flushed     that slot's bytes pushed to this session's
 //                          socket; arg = bytes still queued behind it
+//   server.req.pull_aired  the pull scheduler picked this request's page
+//                          for an on-demand kPull airing; arg = the
+//                          airing's coalescing factor (waiters satisfied)
 //
 // Writing one event is a handful of relaxed stores (~timeline-record cost,
 // benched by bench/micro_reqtrace); with TCSA_OBS=OFF the TCSA_REQ_EVENT
@@ -71,6 +74,7 @@ enum class ReqStage : std::uint32_t {
   kServerSched = 17,
   kServerEncoded = 18,
   kServerFlushed = 19,
+  kServerPullAired = 20,
 };
 
 /// Stable span name for a stage ("client.req.sent", ...); "req.unknown"

@@ -48,11 +48,21 @@ struct ServerMetrics {
   obs::MetricId reqs;
   obs::MetricId reqs_completed;
   obs::MetricId reqs_dropped;
+  obs::MetricId reqs_pull_served;
+  obs::MetricId pull_reqs;
+  obs::MetricId pull_dups;
+  obs::MetricId pull_unknown;
+  obs::MetricId pull_airings;
+  obs::MetricId pull_waiters_served;
+  obs::MetricId pull_waiters_dropped;
   obs::MetricId lag_hist;
   obs::MetricId sessions_gauge;
   obs::MetricId generation_gauge;
   obs::MetricId queue_depth_gauge;
   obs::MetricId loops_gauge;
+  obs::MetricId pull_pending_pages_gauge;
+  obs::MetricId pull_pending_waiters_gauge;
+  obs::MetricId pull_oldest_wait_gauge;
 };
 
 const ServerMetrics& server_metrics() {
@@ -96,6 +106,29 @@ const ServerMetrics& server_metrics() {
       obs::register_counter("tcsa_server_reqs_dropped_total",
                             "Traced requests dropped from a session's "
                             "pending set (per-session cap exceeded)"),
+      obs::register_counter("tcsa_server_reqs_pull_served_total",
+                            "Traced requests resolved by an on-demand kPull "
+                            "airing (the broadcast-served complement is "
+                            "reqs_completed minus this)"),
+      obs::register_counter("tcsa_server_pull_reqs_total",
+                            "Page demands entering the pull demand table"),
+      obs::register_counter("tcsa_server_pull_reqs_duplicate_total",
+                            "Demands from a session already waiting for the "
+                            "same page (coalesced away, not re-added)"),
+      obs::register_counter("tcsa_server_pull_unknown_page_total",
+                            "Demands for pages outside the on-air workload "
+                            "(acked but never aired)"),
+      obs::register_counter("tcsa_server_pull_airings_total",
+                            "On-demand kPull airings on the pull channel "
+                            "budget"),
+      obs::register_counter("tcsa_server_pull_waiters_served_total",
+                            "Coalesced waiters satisfied across all pull "
+                            "airings (divided by airings = mean coalescing "
+                            "factor)"),
+      obs::register_counter("tcsa_server_pull_waiters_dropped_total",
+                            "Pending pull waiters dropped before airing "
+                            "(requester disconnect or a swap shrinking the "
+                            "page universe)"),
       obs::register_histogram(
           "tcsa_server_slot_lag_us",
           "How late each slot aired vs its drift-free deadline (us)",
@@ -110,6 +143,12 @@ const ServerMetrics& server_metrics() {
       obs::register_gauge("tcsa_server_loops",
                           "Per-core I/O loops the server shards sessions "
                           "across"),
+      obs::register_gauge("tcsa_server_pull_pending_pages",
+                          "Distinct pages with pending pull demand"),
+      obs::register_gauge("tcsa_server_pull_pending_waiters",
+                          "Coalesced waiters pending across all pages"),
+      obs::register_gauge("tcsa_server_pull_oldest_wait_slots",
+                          "Age (slots) of the oldest pending pull demand"),
   };
   return metrics;
 }
@@ -123,6 +162,18 @@ obs::ReqPercentiles& server_req_delay() {
       "tcsa_server_req_delay", "us",
       "Traced request service time from kReq receipt to the flush of the "
       "slot airing its page",
+      {100, 250, 500, 1000, 2500, 5000, 10000, 25000, 50000, 100000, 250000,
+       1000000});
+  return percentiles;
+}
+
+/// Same service-time lens restricted to requests the pull plane resolved:
+/// the on-demand tail the broadcast alone would have blown.
+obs::ReqPercentiles& server_pull_delay() {
+  static obs::ReqPercentiles percentiles(
+      "tcsa_server_pull_delay", "us",
+      "Traced request service time for requests resolved by a kPull airing "
+      "(kReq receipt to the flush of the pull slot)",
       {100, 250, 500, 1000, 2500, 5000, 10000, 25000, 50000, 100000, 250000,
        1000000});
   return percentiles;
@@ -231,6 +282,8 @@ AirServer::AirServer(Workload workload, AirServerConfig config)
   loop_count_ = config_.loops;
   TCSA_REQUIRE(loop_count_ >= 1 && loop_count_ <= 64,
                "AirServer: loops must be in [1, 64]");
+  TCSA_REQUIRE(config_.pull_channels <= 16,
+               "AirServer: pull_channels must be in [0, 16]");
 
   const ScheduleOutcome outcome =
       config_.auto_method ? choose_schedule(workload, channels_)
@@ -248,11 +301,17 @@ AirServer::AirServer(Workload workload, AirServerConfig config)
   current_->workload_binary = workload_to_binary(current_->workload);
   generation_id_.store(1, std::memory_order_relaxed);
   note_generation(1);
+#if TCSA_OBS_COMPILED
   // Touch the lazily-constructed request-delay percentiles NOW, while the
-  // server is still single-threaded: their constructor registers metrics,
+  // server is still single-threaded: their constructors register metrics,
   // and the registry's definition table must not grow while worker loops
   // are concurrently bumping counters.
   server_req_delay();
+  server_pull_delay();
+#endif
+  if (config_.pull_channels > 0)
+    pull_estimator_ = std::make_unique<ToleranceEstimator>(
+        current_->workload.group_count());
   publish_hello(*current_);
 
   group_ = std::make_unique<net::LoopGroup>(loop_count_);
@@ -520,6 +579,22 @@ std::string AirServer::healthz_json() const {
   out += std::to_string(watchdog_.p999_us());
   out += ",\n  \"slo_breaches\": ";
   out += std::to_string(watchdog_.breaches());
+  out += ",\n  \"pull_channels\": ";
+  out += std::to_string(config_.pull_channels);
+  if (config_.pull_channels > 0) {
+    out += ",\n  \"pull_policy\": \"";
+    out += pull_policy_name(config_.pull_policy);
+    out += "\",\n  \"pull_pending_pages\": ";
+    out += std::to_string(pull_table_.pending_pages());
+    out += ",\n  \"pull_pending_waiters\": ";
+    out += std::to_string(pull_table_.pending_waiters());
+    out += ",\n  \"pull_oldest_wait_slots\": ";
+    out += std::to_string(pull_table_.oldest_wait(next_slot_));
+    out += ",\n  \"pull_airings\": ";
+    out += std::to_string(pull_airings());
+    out += ",\n  \"pull_waiters_served\": ";
+    out += std::to_string(pull_waiters_served());
+  }
   out += "\n}\n";
   return out;
 }
@@ -605,6 +680,22 @@ void AirServer::maybe_activate_swap() {
   current_ = std::move(pending_);
   generation_id_.store(current_->id, std::memory_order_relaxed);
   note_generation(current_->id);
+  // The demand table keys by page id, which survives the swap — pending
+  // pulls keep their place in line across generations. Only demand for
+  // pages beyond the new workload's universe is orphaned, and dropped.
+  if (config_.pull_channels > 0) {
+    const std::size_t orphaned = pull_table_.drop_pages_at_or_above(
+        static_cast<PageId>(current_->workload.total_pages()));
+    if (orphaned > 0) {
+#if TCSA_OBS_COMPILED
+      TCSA_METRIC_ADD(server_metrics().pull_waiters_dropped, orphaned);
+#endif
+      TCSA_LOG(kWarn) << "air server: swap to generation " << current_->id
+                      << " dropped " << orphaned
+                      << " pending pull waiter(s) for pages beyond the new "
+                         "workload";
+    }
+  }
   publish_hello(*current_);
 #if TCSA_OBS_COMPILED
   TCSA_METRIC_ADD(server_metrics().swaps, 1);
@@ -709,6 +800,12 @@ void AirServer::air_slot() {
     span.set_arg("channels", aired_mask);
     slot_aired_mask = aired_mask;
 
+    // On-demand airings for this slot, picked before the fan-out so a pull
+    // frame reaches its waiters in the same flush as the broadcast frames.
+    SlotFrames pulls;
+    pulls.slot = next_slot_;
+    schedule_pulls(pulls);
+
     LoopShard& shard = *shards_[0];
     std::vector<int> fds;
     fds.reserve(shard.sessions.size());
@@ -725,6 +822,7 @@ void AirServer::air_slot() {
         note_request_encodes(session, next_slot_, hit, pages);
       fds.push_back(fd);
     }
+    if (!pulls.pull_frames.empty()) deliver_pull_frames(shard, pulls, fds);
     // Flush after the fan-out; flushing may evict, so walk by fd lookup.
     for (const int fd : fds) {
       const auto it = shard.sessions.find(fd);
@@ -776,6 +874,9 @@ void AirServer::air_slot() {
     frames->aired_mask = aired_mask;
     span.set_arg("channels", aired_mask);
     slot_aired_mask = aired_mask;
+    // Pull airings ride the same refcounted token; each shard matches them
+    // against its own sessions' pending requests.
+    schedule_pulls(*frames);
 
     const std::shared_ptr<const SlotFrames> token = std::move(frames);
     for (std::size_t i = 1; i < loop_count_; ++i)
@@ -815,6 +916,7 @@ void AirServer::deliver_slot(LoopShard& shard, const SlotFrames& frames) {
                            frames.page_by_channel);
     fds.push_back(fd);
   }
+  if (!frames.pull_frames.empty()) deliver_pull_frames(shard, frames, fds);
   // Flush after the fan-out; flushing may evict, so walk by fd lookup.
   for (const int fd : fds) {
     const auto it = shard.sessions.find(fd);
@@ -973,7 +1075,21 @@ void AirServer::handle_page_request(LoopShard& shard, Session& session,
 #endif
   }
   session.pending.push_back(PendingReq{trace_id, page, t_recv,
-                                       kReqUnmatched});
+                                       kReqUnmatched, false});
+
+  // With the pull plane on, the request is real demand, not just a tracing
+  // hook: forward it to loop 0's demand table (the same single-writer
+  // forwarding discipline as swap requests).
+  if (config_.pull_channels > 0) {
+    const std::uint64_t session_id = session.id;
+    if (shard.index == 0) {
+      note_pull_demand(session_id, trace_id, page);
+    } else {
+      shards_[0]->loop->post([this, session_id, trace_id, page] {
+        note_pull_demand(session_id, trace_id, page);
+      });
+    }
+  }
 
   const std::uint64_t next_slot = slots_aired_.load(std::memory_order_acquire);
   std::string payload;
@@ -1019,12 +1135,121 @@ void AirServer::finish_requests(Session& session) {
                    session.out.bytes());
 #if TCSA_OBS_COMPILED
     TCSA_METRIC_ADD(server_metrics().reqs_completed, 1);
-    obs::ReqPercentiles& delay = server_req_delay();
+    if (req.via_pull) TCSA_METRIC_ADD(server_metrics().reqs_pull_served, 1);
+    // Separate service-time populations: the pull plane exists exactly for
+    // the requests whose broadcast wait was unacceptable, so mixing them
+    // into one distribution would hide the tail it fixes.
+    obs::ReqPercentiles& delay =
+        req.via_pull ? server_pull_delay() : server_req_delay();
     delay.record(static_cast<double>(now - req.recv_us));
     if (delay.count() % 64 == 1) delay.publish();
 #endif
   }
   session.pending.resize(kept);
+}
+
+void AirServer::note_pull_demand(std::uint64_t session_id,
+                                 std::uint64_t trace_id, PageId page) {
+  // Loop-0 thread: current_ is this thread's own state.
+  if (page >= static_cast<PageId>(current_->workload.total_pages())) {
+    // The kReqAck already went out (with expected_slots = 0); nothing can
+    // ever air for this page, so the demand is counted and dropped rather
+    // than parked in the table forever.
+#if TCSA_OBS_COMPILED
+    TCSA_METRIC_ADD(server_metrics().pull_unknown, 1);
+#endif
+    return;
+  }
+  const PullAdd outcome = pull_table_.add(
+      page,
+      PullWaiter{session_id, trace_id, next_slot_, obs::trace_now_us()});
+#if TCSA_OBS_COMPILED
+  if (outcome == PullAdd::kDuplicate)
+    TCSA_METRIC_ADD(server_metrics().pull_dups, 1);
+  else
+    TCSA_METRIC_ADD(server_metrics().pull_reqs, 1);
+#else
+  (void)outcome;
+#endif
+}
+
+void AirServer::schedule_pulls(SlotFrames& frames) {
+  if (config_.pull_channels == 0) return;
+  [[maybe_unused]] const std::uint64_t now_us = obs::trace_now_us();
+  for (std::size_t i = 0; i < config_.pull_channels; ++i) {
+    std::optional<PullAiring> airing =
+        pull_table_.pick(config_.pull_policy, next_slot_);
+    if (!airing) break;
+    std::string payload;
+    wire_put_u64(payload, next_slot_);
+    wire_put_u32(payload, current_->id);
+    wire_put_u32(payload, airing->page);
+    wire_put_u32(payload, static_cast<std::uint32_t>(airing->waiters.size()));
+    std::string bytes;
+    net::append_frame(bytes, net::FrameType::kPull, payload);
+    frames.pull_frames.push_back(net::SharedBuf::wrap(std::move(bytes)));
+    frames.pull_pages.push_back(airing->page);
+    pull_airings_.fetch_add(1, std::memory_order_relaxed);
+    pull_waiters_served_.fetch_add(airing->waiters.size(),
+                                   std::memory_order_relaxed);
+#if TCSA_OBS_COMPILED
+    TCSA_METRIC_ADD(server_metrics().frames_encoded, 1);
+    TCSA_METRIC_ADD(server_metrics().pull_airings, 1);
+    TCSA_METRIC_ADD(server_metrics().pull_waiters_served,
+                    airing->waiters.size());
+#endif
+    // Observed pull waits feed popularity re-estimation: each waiter's
+    // wait is a genuine demand-pressure sample for the page's deadline
+    // class (clamped — a swap may have changed the class count since the
+    // estimator was sized).
+    const GroupId cls = std::min<GroupId>(
+        current_->workload.group_of(airing->page),
+        static_cast<GroupId>(pull_estimator_->classes() - 1));
+    for (const PullWaiter& waiter : airing->waiters) {
+      TCSA_REQ_EVENT(waiter.trace_id, obs::ReqStage::kServerPullAired,
+                     now_us, airing->waiters.size());
+      const std::uint64_t waited = next_slot_ - waiter.arrival_slot;
+      pull_estimator_->add_sample(
+          cls, std::max<SlotCount>(1, static_cast<SlotCount>(waited)));
+    }
+  }
+#if TCSA_OBS_COMPILED
+  obs::gauge_set(server_metrics().pull_pending_pages_gauge,
+                 static_cast<double>(pull_table_.pending_pages()));
+  obs::gauge_set(server_metrics().pull_pending_waiters_gauge,
+                 static_cast<double>(pull_table_.pending_waiters()));
+  obs::gauge_set(server_metrics().pull_oldest_wait_gauge,
+                 static_cast<double>(pull_table_.oldest_wait(next_slot_)));
+#endif
+}
+
+void AirServer::deliver_pull_frames(LoopShard& shard, const SlotFrames& frames,
+                                    std::vector<int>& flush_fds) {
+  for (auto& [fd, session] : shard.sessions) {
+    if (session.pending.empty()) continue;
+    bool delivered = false;
+    for (std::size_t i = 0; i < frames.pull_pages.size(); ++i) {
+      bool matched = false;
+      for (PendingReq& req : session.pending) {
+        if (req.page != frames.pull_pages[i] ||
+            req.encoded_slot != kReqUnmatched)
+          continue;
+        // A duplicate pending entry for the same page resolves off the
+        // same frame: one airing, every waiter.
+        req.encoded_slot = frames.slot;
+        req.via_pull = true;
+        TCSA_REQ_EVENT(req.trace_id, obs::ReqStage::kServerEncoded,
+                       obs::trace_now_us(), frames.slot);
+        matched = true;
+      }
+      if (!matched) continue;
+      enqueue_buf(session, frames.pull_frames[i]);
+      delivered = true;
+    }
+    // May duplicate an fd already queued by the broadcast fan-out; the
+    // flush walk re-looks sessions up by fd, so a double flush is a no-op.
+    if (delivered) flush_fds.push_back(fd);
+  }
 }
 
 void AirServer::handle_swap_request(SessionRef requester,
@@ -1241,6 +1466,24 @@ void AirServer::close_session(LoopShard& shard, int fd, const char* reason) {
   if (it == shard.sessions.end()) return;
   TCSA_LOG(kDebug) << "air server: closing session fd=" << fd << " ("
                    << reason << ")";
+  // No dangling waiters: the session's pull demands die with it, on loop 0
+  // (the id — not the reusable fd — names the session there).
+  if (config_.pull_channels > 0) {
+    const std::uint64_t session_id = it->second.id;
+    auto drop = [this, session_id] {
+      const std::size_t dropped = pull_table_.drop_session(session_id);
+#if TCSA_OBS_COMPILED
+      if (dropped > 0)
+        TCSA_METRIC_ADD(server_metrics().pull_waiters_dropped, dropped);
+#else
+      (void)dropped;
+#endif
+    };
+    if (shard.index == 0)
+      drop();
+    else
+      shards_[0]->loop->post(std::move(drop));
+  }
   set_mask(shard, it->second, 0);  // keep the audience union exact
   shard.loop->remove(fd);
   shard.sessions.erase(it);  // Fd destructor closes the socket

@@ -60,6 +60,8 @@
 #include "obs/metrics.hpp"
 #include "obs/timeline.hpp"
 #include "obs/watchdog.hpp"
+#include "online/estimator.hpp"
+#include "server/pull_plane.hpp"
 
 namespace tcsa {
 
@@ -74,6 +76,15 @@ struct AirServerConfig {
   std::size_t max_session_buffer = 256 * 1024;  ///< eviction threshold
   int session_send_buffer = 0;  ///< SO_SNDBUF per session; 0 = default
   std::size_t loops = 1;        ///< per-core I/O loops (1 = classic single)
+
+  // --- pull plane (hybrid push/pull) ---
+  /// On-demand airings per slot on top of the broadcast program. 0 keeps
+  /// the classic push-only server: kReq frames are acked for tracing but
+  /// schedule nothing. With N > 0, loop 0 owns a per-page demand table;
+  /// each slot it pops up to N pages by `pull_policy` and airs them as
+  /// kPull frames to every session with a pending request for the page.
+  std::size_t pull_channels = 0;
+  PullPolicy pull_policy = PullPolicy::kLongestWaitFirst;
 
   // --- telemetry plane ---
   int admin_port = -1;          ///< HTTP admin port; 0 = ephemeral, -1 = off
@@ -176,6 +187,23 @@ class AirServer {
   /// Live session count per loop shard (index = loop).
   std::vector<std::size_t> sessions_per_loop() const;
 
+  // --- pull-plane introspection ---
+  /// kPull airings served so far.
+  std::uint64_t pull_airings() const noexcept {
+    return pull_airings_.load(std::memory_order_relaxed);
+  }
+  /// Waiters satisfied across all pull airings; divided by pull_airings()
+  /// this is the mean coalescing factor.
+  std::uint64_t pull_waiters_served() const noexcept {
+    return pull_waiters_served_.load(std::memory_order_relaxed);
+  }
+  /// Demand-driven tolerance estimator fed by pull waits, or nullptr with
+  /// the pull plane off. Loop-0 state: read only after run() returns (or
+  /// from loop-0 callbacks).
+  const ToleranceEstimator* pull_estimator() const noexcept {
+    return pull_estimator_.get();
+  }
+
  private:
   static constexpr std::uint64_t kReqUnmatched = ~0ull;
   /// Open requests a session may hold; the oldest is dropped beyond this
@@ -192,6 +220,7 @@ class AirServer {
     PageId page = 0;
     std::uint64_t recv_us = 0;     // server trace clock at kReq parse
     std::uint64_t encoded_slot = kReqUnmatched;
+    bool via_pull = false;         // resolved by a kPull airing, not broadcast
   };
 
   struct Session {
@@ -239,6 +268,11 @@ class AirServer {
     std::uint64_t aired_mask = 0;
     std::vector<net::SharedBuf> by_channel;
     std::vector<PageId> page_by_channel;
+    // On-demand airings riding the same token (usually empty): shards
+    // deliver pull_frames[i] to every local session with a pending kReq
+    // for pull_pages[i], independent of the session's channel mask.
+    std::vector<net::SharedBuf> pull_frames;
+    std::vector<PageId> pull_pages;
   };
 
   /// One program generation: what is on air between two swaps.
@@ -284,6 +318,21 @@ class AirServer {
   void note_request_encodes(Session& session, std::uint64_t slot,
                             std::uint64_t hit_mask,
                             const std::vector<PageId>& page_by_channel);
+  /// Registers pull demand in the loop-0 demand table (other loops forward
+  /// via post(), like swap requests). Unknown pages are counted and
+  /// dropped — the kReqAck already went out; nothing airs for them.
+  void note_pull_demand(std::uint64_t session_id, std::uint64_t trace_id,
+                        PageId page);
+  /// Pops up to pull_channels pages from the demand table by the configured
+  /// policy and encodes their kPull frames into `frames`. Loop 0 only;
+  /// feeds the estimator and the pull metrics, and emits the per-waiter
+  /// kServerPullAired journey events.
+  void schedule_pulls(SlotFrames& frames);
+  /// Fans this slot's pull frames into the shard's sessions that hold an
+  /// unmatched pending request for the page (mask-independent), appending
+  /// delivered fds to `flush_fds`. Runs on the shard's thread.
+  void deliver_pull_frames(LoopShard& shard, const SlotFrames& frames,
+                           std::vector<int>& flush_fds);
   /// Retires requests whose airing slot just flushed: records the flush
   /// event, feeds the service-delay stats, and erases the entries.
   void finish_requests(Session& session);
@@ -368,6 +417,13 @@ class AirServer {
   bool swap_inflight_ = false;
   SessionRef swap_requester_;
 
+  // --- pull plane (loop-0-only, like the program state) ---
+  PullDemandTable pull_table_;
+  /// Pull-pressure tolerance estimator, one class per workload group (null
+  /// with the pull plane off). Observed pull waits are the genuine demand
+  /// signal the adaptive path re-estimates popularity from.
+  std::unique_ptr<ToleranceEstimator> pull_estimator_;
+
   mutable std::mutex hello_mutex_;
   HelloSnapshot hello_;
 
@@ -379,6 +435,8 @@ class AirServer {
   std::uint64_t on_air_epoch_us_ = 0;  // clock_->now_us() when airing began
 
   std::atomic<std::uint64_t> next_session_id_{0};
+  std::atomic<std::uint64_t> pull_airings_{0};
+  std::atomic<std::uint64_t> pull_waiters_served_{0};
   std::atomic<std::uint64_t> slots_aired_{0};
   std::atomic<std::uint32_t> generation_id_{0};
   std::atomic<std::uint64_t> evicted_{0};

@@ -70,6 +70,13 @@ struct LgOpenReq {
 /// (its ack/page raced the measurement window closing).
 constexpr std::size_t kMaxOpenReqs = 8;
 
+/// One impatient want (patience_slots >= 0): watch the broadcast for the
+/// page, convert to a kReq when the patience runs out.
+struct LgWant {
+  std::uint32_t page = 0;
+  std::uint64_t issue_slot = 0;
+};
+
 struct ClientSession {
   net::Fd fd;
   net::FrameDecoder decoder;
@@ -81,6 +88,7 @@ struct ClientSession {
   std::uint32_t last_page = 0;       // most recent page on our channel
   bool has_page = false;
   std::vector<LgOpenReq> open_reqs;  // traced requests in flight
+  std::vector<LgWant> wants;         // impatient wants still watching
 };
 
 struct ThreadResult {
@@ -100,6 +108,16 @@ struct ThreadResult {
   std::vector<double> req_delays;  // us, one per completion (small counts)
   std::vector<double> req_slacks;  // us, signed (negative = missed)
   double req_slack_min = std::numeric_limits<double>::infinity();
+  std::uint64_t wants_issued = 0;
+  std::uint64_t wants_broadcast = 0;
+  std::uint64_t wants_pulled = 0;
+  std::uint64_t pull_frames = 0;
+  std::uint64_t pull_waiters = 0;  // coalescing factors summed
+  std::uint64_t pull_completions = 0;
+  std::uint64_t pull_misses = 0;
+  std::vector<double> pull_delays;
+  std::vector<double> pull_slacks;
+  double pull_slack_min = std::numeric_limits<double>::infinity();
 };
 
 /// One client I/O thread: dials its quota in bounded batches, greets and
@@ -171,25 +189,85 @@ void client_thread_body(const LoadGenConfig& config, std::size_t first_index,
     return true;
   };
 
-  // Issues one traced kReq for the session's last-seen page. Queued through
-  // the outbox so a full kernel buffer never blocks the loop.
-  const auto issue_request = [&](ClientSession& session) -> bool {
+  // Issues one traced kReq for `page`. Queued through the outbox so a full
+  // kernel buffer never blocks the loop.
+  const auto issue_request = [&](ClientSession& session,
+                                 std::uint32_t page) -> bool {
     const std::uint64_t trace_id = obs::mint_trace_id();
     const std::uint64_t t0 = obs::trace_now_us();
     std::string payload;
     wire_put_u64(payload, trace_id);
-    wire_put_u32(payload, session.last_page);
+    wire_put_u32(payload, page);
     std::string bytes;
     net::append_frame(bytes, net::FrameType::kReq, payload);
     if (session.open_reqs.size() >= kMaxOpenReqs)
       session.open_reqs.erase(session.open_reqs.begin());
-    session.open_reqs.push_back(
-        LgOpenReq{trace_id, session.last_page, t0, 0, false});
+    session.open_reqs.push_back(LgOpenReq{trace_id, page, t0, 0, false});
     ++result.requests_sent;
     session.outbox += bytes;
-    TCSA_REQ_EVENT(trace_id, obs::ReqStage::kClientSent, t0,
-                   session.last_page);
+    TCSA_REQ_EVENT(trace_id, obs::ReqStage::kClientSent, t0, page);
     return flush_outbox(session.fd.get(), session);
+  };
+
+  // Converts wants whose patience ran out into pull requests. The decision
+  // is made against the broadcast slot clock (decision-time accounting,
+  // like sim/hybrid's impatient clients). false = the session died while
+  // flushing (the caller must not touch it again).
+  const auto expire_wants = [&](ClientSession& session,
+                                std::uint64_t slot) -> bool {
+    for (auto it = session.wants.begin(); it != session.wants.end();) {
+      if (slot <= it->issue_slot +
+                      static_cast<std::uint64_t>(config.patience_slots)) {
+        ++it;
+        continue;
+      }
+      const std::uint32_t page = it->page;
+      it = session.wants.erase(it);
+      ++result.wants_pulled;
+      if (!issue_request(session, page)) return false;
+    }
+    return true;
+  };
+
+  // Closes every acked open request for `page`, attributing the completion
+  // to the broadcast or the pull population by the frame that carried it.
+  const auto complete_reqs = [&](ClientSession& session, std::uint32_t page,
+                                 std::uint64_t slot, bool via_pull) {
+    if (session.open_reqs.empty()) return;
+    const std::uint64_t now = obs::trace_now_us();
+    for (auto it = session.open_reqs.begin();
+         it != session.open_reqs.end();) {
+      if (it->page != page || !it->acked) {
+        ++it;
+        continue;
+      }
+      TCSA_REQ_EVENT(it->trace_id, obs::ReqStage::kClientFirstByte, now,
+                     slot);
+      TCSA_REQ_EVENT(it->trace_id, obs::ReqStage::kClientDecoded, now, page);
+      const double slack = static_cast<double>(it->deadline_us) -
+                           static_cast<double>(now);
+      if (via_pull) {
+        ++result.pull_completions;
+        if (slack < 0.0) ++result.pull_misses;
+        if (result.pull_delays.size() < kSampleCap) {
+          result.pull_delays.push_back(static_cast<double>(now - it->t0_us));
+          result.pull_slacks.push_back(slack);
+        }
+        result.pull_slack_min = std::min(result.pull_slack_min, slack);
+      } else {
+        ++result.request_completions;
+        if (slack < 0.0) ++result.request_misses;
+        if (result.req_delays.size() < kSampleCap) {
+          result.req_delays.push_back(static_cast<double>(now - it->t0_us));
+          result.req_slacks.push_back(slack);
+        }
+        result.req_slack_min = std::min(result.req_slack_min, slack);
+      }
+      TCSA_REQ_EVENT(it->trace_id, obs::ReqStage::kClientDone, now,
+                     static_cast<std::uint64_t>(
+                         static_cast<std::int64_t>(slack)));
+      it = session.open_reqs.erase(it);
+    }
   };
 
   const auto handle_frame = [&](ClientSession& session,
@@ -234,39 +312,48 @@ void client_thread_body(const LoadGenConfig& config, std::size_t first_index,
                         static_cast<double>(slot) *
                             static_cast<double>(slot_us));
         }
-        if (!session.open_reqs.empty()) {
-          const std::uint64_t now = obs::trace_now_us();
-          for (auto it = session.open_reqs.begin();
-               it != session.open_reqs.end();) {
-            if (it->page != page || !it->acked) {
+        // Impatient wants: expire first (decision-time accounting), then
+        // credit the broadcast for any want whose page aired in time.
+        if (!session.wants.empty()) {
+          if (!expire_wants(session, slot)) return false;
+          for (auto it = session.wants.begin(); it != session.wants.end();) {
+            if (it->page != page) {
               ++it;
               continue;
             }
-            TCSA_REQ_EVENT(it->trace_id, obs::ReqStage::kClientFirstByte,
-                           now, slot);
-            TCSA_REQ_EVENT(it->trace_id, obs::ReqStage::kClientDecoded, now,
-                           page);
-            const double slack = static_cast<double>(it->deadline_us) -
-                                 static_cast<double>(now);
-            ++result.request_completions;
-            if (slack < 0.0) ++result.request_misses;
-            if (result.req_delays.size() < kSampleCap) {
-              result.req_delays.push_back(
-                  static_cast<double>(now - it->t0_us));
-              result.req_slacks.push_back(slack);
-            }
-            result.req_slack_min = std::min(result.req_slack_min, slack);
-            TCSA_REQ_EVENT(it->trace_id, obs::ReqStage::kClientDone, now,
-                           static_cast<std::uint64_t>(
-                               static_cast<std::int64_t>(slack)));
-            it = session.open_reqs.erase(it);
+            ++result.wants_broadcast;
+            it = session.wants.erase(it);
           }
         }
+        complete_reqs(session, page, slot, /*via_pull=*/false);
         // One request per request_every pages, asked for the page we just
-        // saw — the next cycle must bring it back within its promise.
+        // saw — the next cycle must bring it back within its promise. In
+        // impatient mode the request becomes a want that watches the
+        // broadcast first and only falls back to the pull channel.
         if (measuring && config.request_every != 0 && session.has_page &&
-            session.pages_seen % config.request_every == 0)
-          return issue_request(session);
+            session.pages_seen % config.request_every == 0) {
+          if (config.patience_slots >= 0) {
+            if (session.wants.size() < kMaxOpenReqs) {
+              session.wants.push_back(LgWant{page, slot});
+              ++result.wants_issued;
+            }
+            return true;
+          }
+          return issue_request(session, session.last_page);
+        }
+        return true;
+      }
+      case net::FrameType::kPull: {
+        WireReader reader(frame.payload);
+        const std::uint64_t slot = reader.read_u64();
+        (void)reader.read_u32();  // generation
+        const std::uint32_t page = reader.read_u32();
+        const std::uint32_t waiters = reader.read_u32();
+        ++result.pull_frames;
+        result.pull_waiters += waiters;
+        // An on-demand airing: it answers requests (the pull-served
+        // population) but never counts as a broadcast reception.
+        complete_reqs(session, page, slot, /*via_pull=*/true);
         return true;
       }
       case net::FrameType::kReqAck: {
@@ -447,6 +534,25 @@ obs::MetricsSnapshot LoadGenReport::to_snapshot() const {
           "Requested pages received after their ack", request_completions);
   counter("tcsa_loadgen_request_misses_total",
           "Requests completed after their promised deadline", request_misses);
+  counter("tcsa_loadgen_wants_total",
+          "Impatient wants issued (watch the broadcast, pull on timeout)",
+          wants_issued);
+  counter("tcsa_loadgen_wants_broadcast_total",
+          "Wants whose page aired within patience (broadcast-served)",
+          wants_broadcast);
+  counter("tcsa_loadgen_wants_pulled_total",
+          "Wants whose patience ran out (converted to pull requests)",
+          wants_pulled);
+  counter("tcsa_loadgen_pull_frames_total",
+          "On-demand kPull airings received", pull_frames);
+  counter("tcsa_loadgen_pull_completions_total",
+          "Requested pages delivered by the pull channel", pull_completions);
+  counter("tcsa_loadgen_pull_misses_total",
+          "Pull-served requests completed after their promised deadline",
+          pull_misses);
+  counter("tcsa_loadgen_pull_slo_violations_total",
+          "1 when p99 pull-served delay exceeded the configured SLO",
+          pull_slo_violations);
   gauge("tcsa_loadgen_sessions_requested", "Sessions the campaign asked for",
         static_cast<double>(sessions_requested));
   gauge("tcsa_loadgen_jitter_p50_us",
@@ -473,6 +579,19 @@ obs::MetricsSnapshot LoadGenReport::to_snapshot() const {
         "Median slack against the promised deadline", request_slack_p50_us);
   gauge("tcsa_loadgen_request_slack_min_us",
         "Tightest (or most blown) request deadline", request_slack_min_us);
+  gauge("tcsa_loadgen_pull_miss_rate",
+        "Deadline misses over pull-served completions", pull_miss_rate);
+  gauge("tcsa_loadgen_pull_delay_p50_us",
+        "Median request-to-kPull delay (pull-served population)",
+        pull_delay_p50_us);
+  gauge("tcsa_loadgen_pull_delay_p99_us",
+        "p99 request-to-kPull delay (pull-served population)",
+        pull_delay_p99_us);
+  gauge("tcsa_loadgen_pull_slack_min_us",
+        "Tightest (or most blown) pull-served deadline", pull_slack_min_us);
+  gauge("tcsa_loadgen_pull_coalesced_waiters_mean",
+        "Average coalescing factor over received kPull frames",
+        mean_coalesced_waiters);
   return snap;
 }
 
@@ -534,6 +653,9 @@ LoadGenReport run_loadgen(const LoadGenConfig& config) {
   std::vector<double> req_delays;
   std::vector<double> req_slacks;
   double req_slack_min = std::numeric_limits<double>::infinity();
+  std::vector<double> pull_delays;
+  double pull_slack_min = std::numeric_limits<double>::infinity();
+  std::uint64_t pull_waiters = 0;
   for (const ThreadResult& r : results) {
     report.requests_sent += r.requests_sent;
     report.request_acks += r.request_acks;
@@ -544,6 +666,16 @@ LoadGenReport run_loadgen(const LoadGenConfig& config) {
     req_slacks.insert(req_slacks.end(), r.req_slacks.begin(),
                       r.req_slacks.end());
     req_slack_min = std::min(req_slack_min, r.req_slack_min);
+    report.wants_issued += r.wants_issued;
+    report.wants_broadcast += r.wants_broadcast;
+    report.wants_pulled += r.wants_pulled;
+    report.pull_frames += r.pull_frames;
+    report.pull_completions += r.pull_completions;
+    report.pull_misses += r.pull_misses;
+    pull_delays.insert(pull_delays.end(), r.pull_delays.begin(),
+                       r.pull_delays.end());
+    pull_slack_min = std::min(pull_slack_min, r.pull_slack_min);
+    pull_waiters += r.pull_waiters;
   }
   if (report.request_completions > 0) {
     report.request_miss_rate =
@@ -556,6 +688,21 @@ LoadGenReport run_loadgen(const LoadGenConfig& config) {
     report.request_slack_p50_us = percentile(req_slacks, 0.50);
     report.request_slack_min_us = req_slack_min;
   }
+  if (report.pull_completions > 0) {
+    report.pull_miss_rate = static_cast<double>(report.pull_misses) /
+                            static_cast<double>(report.pull_completions);
+    std::sort(pull_delays.begin(), pull_delays.end());
+    report.pull_delay_p50_us = percentile(pull_delays, 0.50);
+    report.pull_delay_p99_us = percentile(pull_delays, 0.99);
+    report.pull_slack_min_us = pull_slack_min;
+  }
+  if (report.pull_frames > 0)
+    report.mean_coalesced_waiters =
+        static_cast<double>(pull_waiters) /
+        static_cast<double>(report.pull_frames);
+  if (config.pull_slo_p99_us > 0.0 && report.pull_completions > 0 &&
+      report.pull_delay_p99_us > config.pull_slo_p99_us)
+    report.pull_slo_violations = 1;
   report.samples = offsets.size();
   if (!offsets.empty()) {
     // The epoch estimate is the luckiest frame ever observed: jitter is

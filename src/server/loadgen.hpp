@@ -44,6 +44,15 @@ struct LoadGenConfig {
   /// The journeys feed the per-request delay/slack percentiles and the
   /// deadline-miss rate in the report.
   std::uint64_t request_every = 64;
+  /// >= 0: impatient-client mode. The request cadence registers *wants*
+  /// instead of immediate requests: the session watches the broadcast for
+  /// its page for this many slots and only sends the kReq (feeding the
+  /// server's pull plane) once the patience runs out — the hybrid
+  /// push/pull protocol. -1 keeps the classic immediate-request mode.
+  std::int64_t patience_slots = -1;
+  /// Non-zero: p99 pull-served request delay above this many microseconds
+  /// counts as a pull SLO violation in the report.
+  double pull_slo_p99_us = 0.0;
 };
 
 struct LoadGenReport {
@@ -66,15 +75,32 @@ struct LoadGenReport {
   std::uint64_t slo_violations = 0;    ///< 0 or 1 (p99 vs config threshold)
 
   // --- traced per-request journeys (LoadGenConfig::request_every) ---
+  // The request_* population covers journeys completed off the broadcast
+  // schedule (kPage); pull_* covers journeys completed by an on-demand
+  // kPull airing. With patience_slots < 0 the pull side stays zero.
   std::uint64_t requests_sent = 0;
   std::uint64_t request_acks = 0;
-  std::uint64_t request_completions = 0;
+  std::uint64_t request_completions = 0;  ///< broadcast-served completions
   std::uint64_t request_misses = 0;     ///< completed after the deadline
   double request_miss_rate = 0.0;       ///< misses / completions
   double request_delay_p50_us = 0.0;    ///< request sent -> page received
   double request_delay_p99_us = 0.0;
   double request_slack_p50_us = 0.0;    ///< deadline - completion (us)
   double request_slack_min_us = 0.0;
+
+  // --- impatient-want / pull-channel population (patience_slots >= 0) ---
+  std::uint64_t wants_issued = 0;
+  std::uint64_t wants_broadcast = 0;  ///< page aired within patience
+  std::uint64_t wants_pulled = 0;     ///< patience ran out -> kReq sent
+  std::uint64_t pull_frames = 0;      ///< kPull frames received
+  std::uint64_t pull_completions = 0; ///< pull-served completions
+  std::uint64_t pull_misses = 0;
+  double pull_miss_rate = 0.0;        ///< pull misses / pull completions
+  double pull_delay_p50_us = 0.0;     ///< request sent -> kPull received
+  double pull_delay_p99_us = 0.0;
+  double pull_slack_min_us = 0.0;
+  double mean_coalesced_waiters = 0.0;  ///< avg waiters per kPull frame
+  std::uint64_t pull_slo_violations = 0;  ///< 0 or 1 (pull p99 vs config)
 
   /// Stable counters (session/close/violation counts) plus gauge-shaped
   /// measurements (jitter percentiles, RSS) — the gauges never gate.

@@ -1,0 +1,112 @@
+#include "server/pull_plane.hpp"
+
+#include <algorithm>
+
+namespace tcsa {
+
+bool parse_pull_policy(const std::string& name, PullPolicy* out) noexcept {
+  if (name == "lwf") {
+    *out = PullPolicy::kLongestWaitFirst;
+    return true;
+  }
+  if (name == "maxrt") {
+    *out = PullPolicy::kMaxResponseTime;
+    return true;
+  }
+  return false;
+}
+
+const char* pull_policy_name(PullPolicy policy) noexcept {
+  switch (policy) {
+    case PullPolicy::kLongestWaitFirst: return "lwf";
+    case PullPolicy::kMaxResponseTime: return "maxrt";
+  }
+  return "?";
+}
+
+PullAdd PullDemandTable::add(PageId page, const PullWaiter& waiter) {
+  auto [it, inserted] = entries_.try_emplace(page);
+  Entry& entry = it->second;
+  if (inserted) {
+    entry.first_request_slot = waiter.arrival_slot;
+  } else {
+    for (const PullWaiter& existing : entry.waiters)
+      if (existing.session_id == waiter.session_id) return PullAdd::kDuplicate;
+  }
+  entry.sum_arrival_slots += waiter.arrival_slot;
+  entry.waiters.push_back(waiter);
+  ++waiters_;
+  return inserted ? PullAdd::kNewPage : PullAdd::kCoalesced;
+}
+
+std::size_t PullDemandTable::drop_session(std::uint64_t session_id) {
+  std::size_t dropped = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    Entry& entry = it->second;
+    auto keep = std::remove_if(
+        entry.waiters.begin(), entry.waiters.end(),
+        [&](const PullWaiter& w) {
+          if (w.session_id != session_id) return false;
+          entry.sum_arrival_slots -= w.arrival_slot;
+          ++dropped;
+          return true;
+        });
+    entry.waiters.erase(keep, entry.waiters.end());
+    it = entry.waiters.empty() ? entries_.erase(it) : std::next(it);
+  }
+  waiters_ -= dropped;
+  return dropped;
+}
+
+std::size_t PullDemandTable::drop_pages_at_or_above(PageId page_limit) {
+  std::size_t dropped = 0;
+  for (auto it = entries_.lower_bound(page_limit); it != entries_.end();) {
+    dropped += it->second.waiters.size();
+    it = entries_.erase(it);
+  }
+  waiters_ -= dropped;
+  return dropped;
+}
+
+std::optional<PullAiring> PullDemandTable::pick(PullPolicy policy,
+                                                std::uint64_t now_slot) {
+  if (entries_.empty()) return std::nullopt;
+  auto best = entries_.begin();
+  std::uint64_t best_score = 0;
+  bool first = true;
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    const Entry& entry = it->second;
+    std::uint64_t score = 0;
+    if (policy == PullPolicy::kLongestWaitFirst) {
+      // Total accumulated wait: each of the k waiters has waited
+      // (now - arrival), so the sum is k*now - Σ arrivals. Arrivals are
+      // <= now by construction, so the subtraction cannot wrap.
+      score = entry.waiters.size() * now_slot - entry.sum_arrival_slots;
+    } else {
+      score = now_slot - entry.first_request_slot;
+    }
+    // Strict > keeps the first (lowest page id) of any tied set.
+    if (first || score > best_score) {
+      best = it;
+      best_score = score;
+      first = false;
+    }
+  }
+  PullAiring airing;
+  airing.page = best->first;
+  airing.first_request_slot = best->second.first_request_slot;
+  airing.waiters = std::move(best->second.waiters);
+  waiters_ -= airing.waiters.size();
+  entries_.erase(best);
+  return airing;
+}
+
+std::uint64_t PullDemandTable::oldest_wait(
+    std::uint64_t now_slot) const noexcept {
+  std::uint64_t oldest = 0;
+  for (const auto& [page, entry] : entries_)
+    oldest = std::max(oldest, now_slot - entry.first_request_slot);
+  return oldest;
+}
+
+}  // namespace tcsa

@@ -1,0 +1,122 @@
+// pull_plane.hpp — the on-demand half of hybrid push/pull serving.
+//
+// The paper's Section-1 scenario has impatient clients fall back to an
+// explicit request when the broadcast wait would blow their deadline. This
+// module is the server side of that fallback: a per-page pending-request
+// table (the "demand table") plus the online policy that picks which page
+// the dedicated pull channel airs next.
+//
+// Two policies from the online-scheduling literature (PAPERS.md):
+//  - Longest-Wait-First (Edmonds et al., arXiv:0906.2395): air the page with
+//    the largest TOTAL accumulated waiting time across its coalesced
+//    waiters. Optimizes average flow time; a popular page with many waiters
+//    accrues wait k times faster than a lone request.
+//  - Max-response-time (Chang et al., arXiv:0906.2048): air the page whose
+//    OLDEST waiter has waited longest (FIFO by first request). Optimizes the
+//    worst-case response time; immune to starvation by popular pages.
+//
+// Coalescing is the whole point of pull-over-broadcast: one airing satisfies
+// every pending waiter of that page, so the table keys demand by page and a
+// pick() pops the page together with all of its waiters.
+//
+// Threading: the table is NOT thread-safe. AirServer gives exclusive
+// ownership to loop 0 (the airing plane); other loops forward demands via
+// loop->post(), the same discipline as swap requests (DESIGN.md §7).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "model/types.hpp"
+
+namespace tcsa {
+
+/// Online pull-scheduling policy, selected by `serve --pull-policy`.
+enum class PullPolicy : std::uint8_t {
+  kLongestWaitFirst,  ///< max total accumulated wait ("lwf", default)
+  kMaxResponseTime,   ///< max oldest-waiter age ("maxrt")
+};
+
+/// Parses "lwf" / "maxrt". Returns false (leaving `out` untouched) on any
+/// other spelling so the CLI can report the bad flag value.
+bool parse_pull_policy(const std::string& name, PullPolicy* out) noexcept;
+
+/// Canonical spelling of a policy, inverse of parse_pull_policy.
+const char* pull_policy_name(PullPolicy policy) noexcept;
+
+/// One pending requester of a page. `session_id` is the server's monotonic
+/// session id (stable across fd reuse); `trace_id` threads the request
+/// journey through to the kPull airing span.
+struct PullWaiter {
+  std::uint64_t session_id = 0;
+  std::uint64_t trace_id = 0;
+  std::uint64_t arrival_slot = 0;
+  std::uint64_t arrival_us = 0;
+};
+
+/// Outcome of PullDemandTable::add, in metric terms.
+enum class PullAdd : std::uint8_t {
+  kNewPage,    ///< first pending demand for this page
+  kCoalesced,  ///< joined an existing page entry (another session)
+  kDuplicate,  ///< same session already waits for this page; not re-added
+};
+
+/// A popped airing decision: the page plus every coalesced waiter it
+/// satisfies. `waiters.size()` is the coalescing factor of this airing.
+struct PullAiring {
+  PageId page = 0;
+  std::uint64_t first_request_slot = 0;
+  std::vector<PullWaiter> waiters;
+};
+
+/// Per-page pending-request table with O(pages) policy evaluation. The
+/// pending-page population is bounded by the workload's page count (demand
+/// coalesces), so a linear scan per airing slot is cheap and keeps the
+/// aggregate LWF statistic (count·now − Σ arrivals) exact without a heap
+/// whose keys decay with time.
+class PullDemandTable {
+ public:
+  /// Registers demand for `page` at `now_slot`. A session already waiting
+  /// for the page is NOT added twice — the airing would satisfy it once.
+  PullAdd add(PageId page, const PullWaiter& waiter);
+
+  /// Removes every waiter belonging to `session_id` (requester disconnect).
+  /// Pages left with no waiters disappear from the table entirely, so a
+  /// vanished audience can never win a pull slot. Returns waiters removed.
+  std::size_t drop_session(std::uint64_t session_id);
+
+  /// Drops every entry for pages >= `page_limit` — the swap hook: a new
+  /// generation may shrink the page universe, and demand for pages no
+  /// longer in any program must not dangle. Returns waiters dropped.
+  std::size_t drop_pages_at_or_above(PageId page_limit);
+
+  /// Pops the page the policy would air at `now_slot`, with all of its
+  /// waiters. Empty table -> nullopt. Ties break toward the lower page id
+  /// so picks are deterministic under test.
+  std::optional<PullAiring> pick(PullPolicy policy, std::uint64_t now_slot);
+
+  std::size_t pending_pages() const noexcept { return entries_.size(); }
+  std::size_t pending_waiters() const noexcept { return waiters_; }
+
+  /// Age (slots) of the oldest pending request; 0 when the table is empty.
+  std::uint64_t oldest_wait(std::uint64_t now_slot) const noexcept;
+
+  bool has_page(PageId page) const { return entries_.count(page) != 0; }
+
+ private:
+  struct Entry {
+    std::uint64_t first_request_slot = 0;
+    std::uint64_t sum_arrival_slots = 0;  // LWF: Σ arrival over waiters
+    std::vector<PullWaiter> waiters;
+  };
+
+  // Ordered map: deterministic iteration gives deterministic tie-breaks.
+  std::map<PageId, Entry> entries_;
+  std::size_t waiters_ = 0;
+};
+
+}  // namespace tcsa

@@ -68,6 +68,21 @@ std::string TuneSummary::to_json() const {
   out += ", \"clock_rtt_us\": " + std::to_string(requests.clock_rtt_us);
   out += ", \"clock_samples\": " + std::to_string(requests.clock_samples);
   out += "}";
+  out += ", \"wants\": {";
+  out += "\"issued\": " + std::to_string(wants.issued);
+  out += ", \"broadcast_served\": " + std::to_string(wants.broadcast_served);
+  out += ", \"pulled\": " + std::to_string(wants.pulled);
+  out += ", \"pull_completed\": " + std::to_string(wants.pull_completed);
+  out += ", \"undecided\": " + std::to_string(wants.undecided);
+  out += ", \"pull_fraction\": " + format_double(wants.pull_fraction);
+  out += ", \"mean_broadcast_wait_slots\": " +
+         format_double(wants.mean_broadcast_wait_slots);
+  out += ", \"mean_pull_wait_slots\": " +
+         format_double(wants.mean_pull_wait_slots);
+  out += ", \"pull_frames\": " + std::to_string(wants.pull_frames);
+  out += ", \"mean_coalesced_waiters\": " +
+         format_double(wants.mean_coalesced_waiters);
+  out += "}";
   out += ", \"groups\": [";
   for (std::size_t g = 0; g < groups.size(); ++g) {
     const TuneGroupStats& s = groups[g];
@@ -161,6 +176,9 @@ void TuneClient::handle_frame(const net::Frame& frame) {
     case net::FrameType::kReqAck:
       on_req_ack(frame);
       return;
+    case net::FrameType::kPull:
+      on_pull(frame);
+      return;
     case net::FrameType::kSwapReply: {
       WireReader reader(frame.payload);
       SwapReply reply;
@@ -199,6 +217,28 @@ void TuneClient::apply_announcement(std::string_view payload, bool initial) {
   stats_.resize(n);
 }
 
+void TuneClient::note_slot(std::uint64_t slot) {
+  if (static_cast<std::int64_t>(slot) != last_slot_seen_) {
+    ++slots_seen_;
+    last_slot_seen_ = static_cast<std::int64_t>(slot);
+  }
+  if (open_wants_.empty()) return;
+  // Patience expiry runs before page matching: a want whose deadline passed
+  // converts to a pull request even if its page happens to air this very
+  // slot — the broadcast/pull decision is made at deadline time, exactly
+  // like sim/hybrid's impatient clients (decision-time accounting).
+  const auto now = static_cast<std::int64_t>(slot);
+  for (auto it = open_wants_.begin(); it != open_wants_.end();) {
+    if (now <= it->issue_slot + it->patience) {
+      ++it;
+      continue;
+    }
+    ++wants_pulled_;
+    send_request(it->page, it->issue_slot);
+    it = open_wants_.erase(it);
+  }
+}
+
 void TuneClient::on_page(const net::Frame& frame) {
   WireReader reader(frame.payload);
   const std::uint64_t slot = reader.read_u64();
@@ -208,12 +248,23 @@ void TuneClient::on_page(const net::Frame& frame) {
   reader.expect_done();
 
   ++frames_;
-  if (static_cast<std::int64_t>(slot) != last_slot_seen_) {
-    ++slots_seen_;
-    last_slot_seen_ = static_cast<std::int64_t>(slot);
-  }
+  note_slot(slot);
   if (options_.record_pages)
     pages_.push_back(ReceivedPage{slot, generation, channel, page});
+
+  // Wants watching for this page are broadcast-served: it aired within
+  // patience (anything expired strictly before this slot already converted
+  // in note_slot above).
+  for (auto it = open_wants_.begin(); it != open_wants_.end();) {
+    if (it->page != page) {
+      ++it;
+      continue;
+    }
+    ++wants_broadcast_;
+    want_broadcast_wait_slots_ +=
+        static_cast<double>(static_cast<std::int64_t>(slot) - it->issue_slot);
+    it = open_wants_.erase(it);
+  }
 
   if (static_cast<std::size_t>(page) >= chains_.size()) return;
   Chain& chain = chains_[page];
@@ -236,10 +287,35 @@ void TuneClient::on_page(const net::Frame& frame) {
   chain.last_slot = static_cast<std::int64_t>(slot);
   chain.promise = workload_->expected_time_of(page);
 
-  // Traced request completion: the first arrival of the requested page
-  // after its ack closes the journey. A copy already in flight when the
-  // request went out does not count — service is measured from the request,
-  // and the ack always precedes the next airing on this in-order stream.
+  complete_open_reqs(page, slot, /*via_pull=*/false);
+}
+
+void TuneClient::on_pull(const net::Frame& frame) {
+  WireReader reader(frame.payload);
+  const std::uint64_t slot = reader.read_u64();
+  reader.read_u32();  // generation, informational
+  const PageId page = reader.read_u32();
+  const std::uint32_t waiters = reader.read_u32();
+  reader.expect_done();
+
+  ++frames_;
+  note_slot(slot);
+  ++pull_frames_;
+  pull_waiters_sum_ += waiters;
+  // A pull airing is an on-demand, out-of-band delivery: it completes the
+  // requests that asked for the page but does not extend the page's
+  // broadcast reception chain — validity condition (2) is a property of
+  // the periodic schedule, not of the pull channel.
+  complete_open_reqs(page, slot, /*via_pull=*/true);
+}
+
+// Traced request completion: the first arrival of the requested page after
+// its ack closes the journey — whether it rode the broadcast schedule or a
+// pull airing. A copy already in flight when the request went out does not
+// count — service is measured from the request, and the ack always precedes
+// the next airing on this in-order stream.
+void TuneClient::complete_open_reqs(PageId page, std::uint64_t slot,
+                                    bool via_pull) {
   if (open_reqs_.empty()) return;
   const std::uint64_t first_byte_us = obs::trace_now_us();
   for (auto it = open_reqs_.begin(); it != open_reqs_.end();) {
@@ -260,6 +336,11 @@ void TuneClient::on_page(const net::Frame& frame) {
     TCSA_REQ_EVENT(it->trace_id, obs::ReqStage::kClientDone, decoded_us,
                    static_cast<std::uint64_t>(slack));
     ++reqs_completed_;
+    if (via_pull && it->want_issue_slot >= 0) {
+      ++pulls_completed_;
+      want_pull_wait_slots_ += static_cast<double>(
+          static_cast<std::int64_t>(slot) - it->want_issue_slot);
+    }
     it = open_reqs_.erase(it);
   }
 }
@@ -291,7 +372,8 @@ void TuneClient::on_req_ack(const net::Frame& frame) {
   // harmless, drop it.
 }
 
-std::uint64_t TuneClient::request_page(PageId page) {
+std::uint64_t TuneClient::send_request(PageId page,
+                                       std::int64_t want_issue_slot) {
   const std::uint64_t trace_id = obs::mint_trace_id();
   std::string payload;
   wire_put_u64(payload, trace_id);
@@ -299,10 +381,16 @@ std::uint64_t TuneClient::request_page(PageId page) {
   std::string bytes;
   net::append_frame(bytes, net::FrameType::kReq, payload);
   const std::uint64_t t0 = obs::trace_now_us();
-  open_reqs_.push_back(OpenReq{trace_id, page, t0, 0, false});
+  open_reqs_.push_back(
+      OpenReq{trace_id, page, t0, 0, false, want_issue_slot});
   ++reqs_sent_;
   send_all(bytes);
   TCSA_REQ_EVENT(trace_id, obs::ReqStage::kClientSent, t0, page);
+  return trace_id;
+}
+
+std::uint64_t TuneClient::request_page(PageId page) {
+  const std::uint64_t trace_id = send_request(page, /*want_issue_slot=*/-1);
   // Pump until the ack lands (request_swap's pattern); pages and announces
   // received meanwhile are processed normally.
   net::Frame frame;
@@ -320,6 +408,45 @@ std::uint64_t TuneClient::request_page(PageId page) {
     handle_frame(frame);
   }
   return trace_id;
+}
+
+void TuneClient::want_page(PageId page, std::int64_t patience_slots) {
+  std::int64_t patience = patience_slots;
+  if (patience <= 0 &&
+      static_cast<std::size_t>(page) < static_cast<std::size_t>(
+                                           workload_->total_pages()))
+    patience = static_cast<std::int64_t>(workload_->expected_time_of(page));
+  // Issue time is the latest slot this client has observed — wants are
+  // decided against the broadcast clock as seen from the receiver.
+  const std::int64_t issue =
+      last_slot_seen_ >= 0 ? last_slot_seen_
+                           : static_cast<std::int64_t>(tune_in_slot_);
+  open_wants_.push_back(
+      Want{page, issue, std::max<std::int64_t>(1, patience)});
+  ++wants_issued_;
+}
+
+bool TuneClient::run_with_wants(std::uint64_t slots, std::uint64_t count,
+                                std::int64_t patience_slots) {
+  if (count == 0 || slots == 0) return run(slots);
+  const std::uint64_t target = slots_seen_ + slots;
+  const std::uint64_t stride = std::max<std::uint64_t>(1, slots / count);
+  std::uint64_t next_want_at = slots_seen_;
+  std::uint64_t issued = 0;
+  PageId next_page = 0;
+  net::Frame frame;
+  while (slots_seen_ < target) {
+    if (issued < count && slots_seen_ >= next_want_at) {
+      const auto total = static_cast<PageId>(workload_->total_pages());
+      want_page(next_page, patience_slots);
+      next_page = static_cast<PageId>((next_page + 1) % total);
+      ++issued;
+      next_want_at += stride;
+    }
+    if (!read_frame(frame)) return true;
+    handle_frame(frame);
+  }
+  return false;
 }
 
 bool TuneClient::run_with_requests(std::uint64_t slots, std::uint64_t count) {
@@ -448,6 +575,30 @@ TuneSummary TuneClient::summary() const {
     out.requests.clock_rtt_us = offset_.rtt_us();
     out.requests.clock_samples = offset_.samples();
   }
+
+  out.wants.issued = wants_issued_;
+  out.wants.broadcast_served = wants_broadcast_;
+  out.wants.pulled = wants_pulled_;
+  out.wants.pull_completed = pulls_completed_;
+  out.wants.undecided = open_wants_.size();
+  const std::uint64_t decided = wants_broadcast_ + wants_pulled_;
+  out.wants.pull_fraction =
+      decided ? static_cast<double>(wants_pulled_) /
+                    static_cast<double>(decided)
+              : 0.0;
+  out.wants.mean_broadcast_wait_slots =
+      wants_broadcast_
+          ? want_broadcast_wait_slots_ / static_cast<double>(wants_broadcast_)
+          : 0.0;
+  out.wants.mean_pull_wait_slots =
+      pulls_completed_
+          ? want_pull_wait_slots_ / static_cast<double>(pulls_completed_)
+          : 0.0;
+  out.wants.pull_frames = pull_frames_;
+  out.wants.mean_coalesced_waiters =
+      pull_frames_ ? static_cast<double>(pull_waiters_sum_) /
+                         static_cast<double>(pull_frames_)
+                   : 0.0;
   return out;
 }
 

@@ -82,6 +82,24 @@ struct TuneRequestStats {
   std::uint64_t clock_samples = 0;
 };
 
+/// Impatient-client ("want") accounting: each want watches the broadcast
+/// for a page, and converts to a pull request (kReq) only after waiting out
+/// its patience — the client-side half of the hybrid push/pull protocol.
+/// pull_fraction is decided at timeout time (exactly like sim/hybrid's
+/// impatient clients), not at completion time.
+struct TuneWantStats {
+  std::uint64_t issued = 0;
+  std::uint64_t broadcast_served = 0;  ///< page aired within patience
+  std::uint64_t pulled = 0;            ///< timed out -> converted to kReq
+  std::uint64_t pull_completed = 0;    ///< timed-out wants whose kPull landed
+  std::uint64_t undecided = 0;         ///< still waiting when the run ended
+  double pull_fraction = 0.0;  ///< pulled / (broadcast_served + pulled)
+  double mean_broadcast_wait_slots = 0.0;
+  double mean_pull_wait_slots = 0.0;  ///< want issue -> kPull airing slot
+  std::uint64_t pull_frames = 0;      ///< kPull frames received
+  double mean_coalesced_waiters = 0.0;  ///< avg coalescing factor observed
+};
+
 /// Whole-session summary.
 struct TuneSummary {
   std::uint64_t frames = 0;
@@ -93,6 +111,7 @@ struct TuneSummary {
   std::uint64_t deadline_misses = 0;  ///< total over all groups
   double mean_access_time = 0.0;      ///< page-averaged E[wait]
   TuneRequestStats requests;          ///< traced per-request journeys
+  TuneWantStats wants;                ///< impatient-client hybrid accounting
   std::vector<TuneGroupStats> groups;
 
   /// Single-line JSON object (parsable by obs/json): the tcsactl tune
@@ -141,6 +160,20 @@ class TuneClient {
   /// airs on a subscribed channel.
   std::uint64_t request_page(PageId page);
 
+  /// Registers an impatient want for `page`: watch the broadcast, and only
+  /// if the page does not air within `patience_slots` send a traced kReq so
+  /// the server's pull plane schedules it. `patience_slots` 0 uses the
+  /// page's own promised wait t_p under the current generation (the
+  /// sim/hybrid impatient-client rule). Resolution happens inside the
+  /// normal frame pump (run / run_with_wants).
+  void want_page(PageId page, std::int64_t patience_slots = 0);
+
+  /// Like run(), additionally issuing `count` impatient wants (pages
+  /// round-robin from 0) spread evenly across the span, each with
+  /// `patience_slots` patience (0 = per-page t_p).
+  bool run_with_wants(std::uint64_t slots, std::uint64_t count,
+                      std::int64_t patience_slots = 0);
+
   /// RTT-symmetric estimate of (server trace clock - client trace clock),
   /// refined by every request ack.
   const obs::ClockOffsetEstimator& clock_offset() const noexcept {
@@ -185,13 +218,25 @@ class TuneClient {
     std::uint64_t t0_us = 0;        ///< client trace clock at send
     std::uint64_t deadline_us = 0;  ///< t0 + t_p * slot_us, set by the ack
     bool acked = false;
+    std::int64_t want_issue_slot = -1;  ///< >= 0: born from a timed-out want
+  };
+
+  /// One impatient want still watching the broadcast.
+  struct Want {
+    PageId page = 0;
+    std::int64_t issue_slot = 0;
+    std::int64_t patience = 0;  ///< slots granted before falling back to pull
   };
 
   bool read_frame(net::Frame& frame);   ///< false on orderly EOF
   void handle_frame(const net::Frame& frame);
   void apply_announcement(std::string_view payload, bool initial);
   void on_page(const net::Frame& frame);
+  void on_pull(const net::Frame& frame);
   void on_req_ack(const net::Frame& frame);
+  void note_slot(std::uint64_t slot);   ///< slot bookkeeping + want timeouts
+  void complete_open_reqs(PageId page, std::uint64_t slot, bool via_pull);
+  std::uint64_t send_request(PageId page, std::int64_t want_issue_slot);
   void send_tune(std::uint64_t mask);
   void send_all(std::string_view bytes);
 
@@ -219,6 +264,17 @@ class TuneClient {
   std::uint64_t misses_ = 0;
 
   std::optional<SwapReply> last_swap_reply_;
+
+  // --- impatient-want state ---
+  std::vector<Want> open_wants_;
+  std::uint64_t wants_issued_ = 0;
+  std::uint64_t wants_broadcast_ = 0;
+  std::uint64_t wants_pulled_ = 0;
+  std::uint64_t pulls_completed_ = 0;
+  double want_broadcast_wait_slots_ = 0.0;  ///< sum, finalized to a mean
+  double want_pull_wait_slots_ = 0.0;       ///< sum, finalized to a mean
+  std::uint64_t pull_frames_ = 0;
+  std::uint64_t pull_waiters_sum_ = 0;
 
   // --- traced request state ---
   std::vector<OpenReq> open_reqs_;
