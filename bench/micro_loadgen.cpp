@@ -34,6 +34,12 @@ struct CampaignOutcome {
   tcsa::LoadGenReport report;
   double slot_lag_mean_us = 0.0;
   std::uint64_t slots_over_100ms = 0;  // +Inf bucket of the lag histogram
+  // Egress-path composition (PR 10): how many page frames were re-encoded
+  // versus revived from the epoch cache, and how the flush syscalls split.
+  std::uint64_t frames_encoded = 0;
+  std::uint64_t frame_cache_hits = 0;
+  std::uint64_t uring_enters = 0;
+  std::uint64_t uring_sqes = 0;
 };
 
 CampaignOutcome run_campaign(std::size_t loops, std::size_t sessions,
@@ -66,6 +72,13 @@ CampaignOutcome run_campaign(std::size_t loops, std::size_t sessions,
     if (lag->total() > 0) outcome.slot_lag_mean_us = lag->sum / lag->total();
     if (!lag->counts.empty()) outcome.slots_over_100ms = lag->counts.back();
   }
+  outcome.frames_encoded =
+      delta.counter_value("tcsa_server_frames_encoded_total");
+  outcome.frame_cache_hits =
+      delta.counter_value("tcsa_server_frame_cache_hits_total");
+  outcome.uring_enters = delta.counter_value("tcsa_server_uring_enter_total");
+  outcome.uring_sqes =
+      delta.counter_value("tcsa_server_uring_sqe_batched_total");
   return outcome;
 }
 
@@ -91,6 +104,16 @@ void attach_timing_counters(benchmark::State& state,
       benchmark::Counter(static_cast<double>(outcome.report.pages));
   state.counters["rss_per_session_bytes"] =
       benchmark::Counter(outcome.report.rss_per_session_bytes);
+  // Slot counts vary with wall-clock duration, so the egress composition
+  // rides as informational (non-gated) counters.
+  state.counters["server_frames_encoded"] =
+      benchmark::Counter(static_cast<double>(outcome.frames_encoded));
+  state.counters["server_frame_cache_hits"] =
+      benchmark::Counter(static_cast<double>(outcome.frame_cache_hits));
+  state.counters["server_uring_enters"] =
+      benchmark::Counter(static_cast<double>(outcome.uring_enters));
+  state.counters["server_uring_sqes"] =
+      benchmark::Counter(static_cast<double>(outcome.uring_sqes));
 }
 
 /// One small throwaway campaign before measuring: the first campaign in a

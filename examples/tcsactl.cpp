@@ -361,6 +361,10 @@ int serve_main(int argc, const char* const* argv) {
   cli.add_int("loops", 1,
               "I/O event loops; > 1 shards sessions across per-core epoll "
               "loops behind one SO_REUSEPORT listen group");
+  cli.add_string("uring", "auto",
+                 "io_uring batched egress: auto (use it when the kernel "
+                 "offers it), on (fail if unavailable) or off (always "
+                 "sendmsg)");
   cli.add_int("pull-channels", 0,
               "on-demand pull airings per slot on top of the broadcast "
               "schedule: kReq demands enter a pending table and the pull "
@@ -422,6 +426,14 @@ int serve_main(int argc, const char* const* argv) {
   if (loops < 1 || loops > 64)
     throw std::invalid_argument("serve: --loops must be in [1, 64]");
   config.loops = static_cast<std::size_t>(loops);
+  if (const std::string uring = cli.get_string("uring"); uring == "auto")
+    config.uring = UringMode::kAuto;
+  else if (uring == "on")
+    config.uring = UringMode::kOn;
+  else if (uring == "off")
+    config.uring = UringMode::kOff;
+  else
+    throw std::invalid_argument("serve: --uring must be auto, on or off");
   const long long pull_channels = cli.get_int("pull-channels");
   if (pull_channels < 0 || pull_channels > 16)
     throw std::invalid_argument("serve: --pull-channels must be in [0, 16]");

@@ -64,16 +64,17 @@ FlushResult flush_queue(int fd, OutQueue& queue) {
       continue;
     }
     if (n == 0) {  // cannot happen for a nonempty iovec; treat as stalled
-      ++result.syscalls;
+      ++result.eagain_calls;
       result.would_block = true;
       break;
     }
     if (errno == EINTR) continue;
-    ++result.syscalls;
     if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      ++result.eagain_calls;
       result.would_block = true;
       break;
     }
+    ++result.syscalls;  // a fatal errno still cost a productive-path call
     result.error = errno;
     break;
   }

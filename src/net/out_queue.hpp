@@ -75,11 +75,19 @@ class OutQueue {
   std::size_t bytes_ = 0;
 };
 
-/// Outcome of one flush_queue() drain attempt.
+/// Outcome of one flush_queue() drain attempt. Productive calls and
+/// would-block probes are ledgered separately: `syscalls` counts only the
+/// sendmsg calls that moved bytes, so a syscalls-per-flushed-byte ratio is
+/// honest even for a session that probes a full socket every slot, while
+/// `eagain_calls` counts the attempts the kernel refused (EAGAIN, or the
+/// cannot-happen zero return) — pure overhead the caller may want on its
+/// own meter.
 struct FlushResult {
   std::size_t bytes_sent = 0;     ///< summed sendmsg return values
   std::size_t bytes_retired = 0;  ///< bytes of chunks that fully retired
-  std::size_t syscalls = 0;       ///< sendmsg calls issued (incl. EAGAIN)
+  std::size_t syscalls = 0;   ///< productive sendmsg calls (moved bytes, or
+                              ///< failed fatally — never a would-block probe)
+  std::size_t eagain_calls = 0;  ///< calls that moved nothing (EAGAIN/0)
   bool would_block = false;       ///< stopped on EAGAIN/EWOULDBLOCK
   int error = 0;                  ///< fatal errno (0 = none); queue intact
 };

@@ -36,10 +36,15 @@ struct ServerMetrics {
   obs::MetricId sessions_closed;
   obs::MetricId frames_sent;
   obs::MetricId frames_encoded;
+  obs::MetricId frame_cache_hits;
   obs::MetricId bytes_queued;
   obs::MetricId bytes_sent;
   obs::MetricId bytes_flushed;
   obs::MetricId writev_calls;
+  obs::MetricId flush_eagain;
+  obs::MetricId uring_enters;
+  obs::MetricId uring_sqes;
+  obs::MetricId uring_saved;
   obs::MetricId slots_aired;
   obs::MetricId evictions;
   obs::MetricId swaps;
@@ -77,6 +82,9 @@ const ServerMetrics& server_metrics() {
                             "Frame bodies encoded (shared by reference "
                             "across subscribers; cache slot-patches do "
                             "not count)"),
+      obs::register_counter("tcsa_server_frame_cache_hits_total",
+                            "Page frames aired by patching the cached "
+                            "buffer's slot word instead of re-encoding"),
       obs::register_counter("tcsa_server_bytes_queued_total",
                             "Wire bytes queued to session egress queues"),
       obs::register_counter("tcsa_server_bytes_sent_total",
@@ -86,7 +94,23 @@ const ServerMetrics& server_metrics() {
                             "Wire bytes of frames fully retired from "
                             "session egress queues"),
       obs::register_counter("tcsa_server_writev_calls_total",
-                            "Vectored flush syscalls issued"),
+                            "Productive vectored flush syscalls (moved "
+                            "bytes; would-block probes are counted in "
+                            "flush_eagain instead)"),
+      obs::register_counter("tcsa_server_flush_eagain_total",
+                            "Flush attempts the kernel refused outright "
+                            "(EAGAIN — syscall overhead that moved no "
+                            "bytes)"),
+      obs::register_counter("tcsa_server_uring_enter_total",
+                            "io_uring_enter syscalls submitting batched "
+                            "slot-fanout flushes"),
+      obs::register_counter("tcsa_server_uring_sqe_batched_total",
+                            "sendmsg SQEs submitted through batched "
+                            "flushes (one per dirty session per round)"),
+      obs::register_counter("tcsa_server_uring_syscalls_saved_total",
+                            "Syscalls the batched flush avoided vs the "
+                            "one-sendmsg-per-session path (SQEs minus "
+                            "enters)"),
       obs::register_counter("tcsa_server_slots_aired_total",
                             "Broadcast slots aired"),
       obs::register_counter("tcsa_server_evictions_total",
@@ -257,6 +281,17 @@ extern "C" void tcsa_on_signal(int) {
   }
 }
 
+/// Submission slots per shard ring: one SQE per dirty session per round,
+/// so a 2000-session shard drains in ceil(2000/256) = 8 enters — and the
+/// SQE array stays a page-scale mapping per loop.
+constexpr unsigned kUringEntries = 256;
+
+/// Gathered iovecs per session per SQE. Slot fan-out queues are a handful
+/// of frames deep; a backlogged session finishes in later rounds (or on
+/// its own EPOLLOUT wakeup), keeping the per-batch iovec arena to
+/// sessions x 32 x 16 B instead of sessions x IOV_MAX.
+constexpr std::size_t kUringIovPerTarget = 32;
+
 obs::SloWatchdogConfig watchdog_config(const AirServerConfig& config) {
   obs::SloWatchdogConfig wd;
   wd.window = std::max<std::size_t>(config.slo_window, 1);
@@ -321,6 +356,35 @@ AirServer::AirServer(Workload workload, AirServerConfig config)
     shard->index = i;
     shard->loop = &group_->loop(i);
     shards_.push_back(std::move(shard));
+  }
+
+  // Egress backend resolution — the runtime rung of the fallback ladder.
+  // kOn demands the ring (a probe or setup failure is a config error);
+  // kAuto quietly keeps the sendmsg path when the kernel says no.
+  if (config_.uring != UringMode::kOff) {
+    const bool available = net::UringFlusher::supported();
+    if (!available && config_.uring == UringMode::kOn)
+      throw std::runtime_error(
+          "AirServer: io_uring egress requested (--uring on) but "
+          "unavailable on this kernel/build (probe failed)");
+    if (available) {
+      try {
+        for (auto& shard : shards_)
+          shard->uring = std::make_unique<net::UringFlusher>(kUringEntries);
+        uring_active_ = true;
+        TCSA_LOG(kInfo) << "air server: io_uring egress on (" << loop_count_
+                        << " ring(s) x " << shards_[0]->uring->capacity()
+                        << " entries)";
+      } catch (const std::exception& e) {
+        if (config_.uring == UringMode::kOn) throw;
+        for (auto& shard : shards_) shard->uring.reset();
+        TCSA_LOG(kWarn) << "air server: io_uring setup failed (" << e.what()
+                        << "); falling back to sendmsg flush";
+      }
+    } else if (config_.uring == UringMode::kAuto) {
+      TCSA_LOG(kInfo)
+          << "air server: io_uring unavailable, using sendmsg flush";
+    }
   }
   if (loop_count_ == 1) {
     shards_[0]->listener = net::listen_tcp(config_.bind_address, config_.port);
@@ -435,6 +499,9 @@ void AirServer::run() {
   shard0.loop->add(shard0.listener.get(), EPOLLIN,
                    [this, &shard0](std::uint32_t) { on_accept(shard0); });
   shard0.loop->add(timer_.fd(), EPOLLIN, [this](std::uint32_t) { on_timer(); });
+  if (shard0.uring)
+    shard0.loop->add(shard0.uring->event_fd(), EPOLLIN,
+                     [this, &shard0](std::uint32_t) { harvest_uring(shard0); });
   // Admin goes live only now: its handlers read loop-0 state (clock_,
   // next_slot_) that exists from here on, and loop 0 first polls below.
   if (admin_) admin_->start();
@@ -561,6 +628,8 @@ std::string AirServer::healthz_json() const {
   out += std::to_string(generation());
   out += ",\n  \"loops\": ";
   out += std::to_string(loop_count_);
+  out += ",\n  \"uring_egress\": ";
+  out += uring_active_ ? "true" : "false";
   out += ",\n  \"sessions\": ";
   out += std::to_string(total_sessions());
   out += ",\n  \"sessions_per_loop\": [";
@@ -630,6 +699,9 @@ void AirServer::worker_body(std::size_t index) {
   shard.running = true;
   shard.loop->add(shard.listener.get(), EPOLLIN,
                   [this, &shard](std::uint32_t) { on_accept(shard); });
+  if (shard.uring)
+    shard.loop->add(shard.uring->event_fd(), EPOLLIN,
+                    [this, &shard](std::uint32_t) { harvest_uring(shard); });
   while (shard.running) shard.loop->poll(-1);
   drain_and_close(shard);
 }
@@ -649,6 +721,7 @@ void AirServer::drain_and_close(LoopShard& shard) {
   fds.reserve(shard.sessions.size());
   for (const auto& [fd, session] : shard.sessions) fds.push_back(fd);
   for (const int fd : fds) close_session(shard, fd, "server shutdown");
+  if (shard.uring) shard.loop->remove(shard.uring->event_fd());
   shard.loop->remove(shard.listener.get());
 }
 
@@ -754,24 +827,20 @@ void AirServer::air_slot() {
     audience |= shard->audience.load(std::memory_order_acquire);
   const SlotCount channel_count = gen.program.channels();
 
-  if (loop_count_ == 1) {
-    // Single-loop airing: the classic in-place path, including the
-    // sole-owner slot-word patch (safe here — every refcount release
-    // happens on this thread).
-    //
-    // A new generation invalidates the frame cache: cached bodies bake in
-    // the generation id and placement. Buffers a slow session still has
-    // queued stay alive through their refcounts until that queue drains.
-    if (frame_cache_generation_ != gen.id) {
-      frame_cache_generation_ = gen.id;
-      frame_cache_.assign(
-          static_cast<std::size_t>(channel_count) * cycle, net::SharedBuf());
-    }
+  // A new generation invalidates the frame cache: cached bodies bake in
+  // the generation id and placement. Buffers a slow session still has
+  // queued stay alive through their refcounts until that queue drains.
+  if (frame_cache_generation_ != gen.id)
+    reset_frame_cache(gen.id, channel_count, cycle);
+  // One acquire sweep per slot: the epoch floor below which every worker
+  // loop has provably dropped its token references (see slot_frame).
+  const std::uint64_t floor = delivered_floor();
 
-    // Encode each occupied, subscribed channel cell at most once per
-    // generation; each later cycle only re-stamps the slot word in place —
-    // unless a slow session still shares last cycle's buffer, which forces
-    // one fresh encode (queued bytes are immutable).
+  if (loop_count_ == 1) {
+    // Single-loop airing: the classic in-place path — fan straight out of
+    // the cache into the local sessions, no cross-loop token. (floor is
+    // UINT64_MAX here, so slot_frame degenerates to the pure sole-owner
+    // patch: byte-identical to the pre-multi-loop-cache behavior.)
     std::uint64_t aired_mask = 0;
     std::vector<PageId> pages(static_cast<std::size_t>(channel_count),
                               kNoPage);
@@ -780,21 +849,7 @@ void AirServer::air_slot() {
       const PageId page = gen.program.at(ch, column);
       if (page == kNoPage) continue;
       pages[static_cast<std::size_t>(ch)] = page;
-      net::SharedBuf& cached =
-          frame_cache_[static_cast<std::size_t>(ch) * cycle + column];
-      if (!cached.patch_u64(net::kFrameHeaderSize, next_slot_)) {
-        std::string payload;
-        wire_put_u64(payload, next_slot_);
-        wire_put_u32(payload, gen.id);
-        wire_put_u32(payload, static_cast<std::uint32_t>(ch));
-        wire_put_u32(payload, page);
-        std::string bytes;
-        net::append_frame(bytes, net::FrameType::kPage, payload);
-        cached = net::SharedBuf::wrap(std::move(bytes));
-#if TCSA_OBS_COMPILED
-        TCSA_METRIC_ADD(server_metrics().frames_encoded, 1);
-#endif
-      }
+      slot_frame(gen, ch, column, cycle, page, floor);  // stamps the cell
       aired_mask |= 1ull << ch;
     }
     span.set_arg("channels", aired_mask);
@@ -823,14 +878,7 @@ void AirServer::air_slot() {
       fds.push_back(fd);
     }
     if (!pulls.pull_frames.empty()) deliver_pull_frames(shard, pulls, fds);
-    // Flush after the fan-out; flushing may evict, so walk by fd lookup.
-    for (const int fd : fds) {
-      const auto it = shard.sessions.find(fd);
-      if (it == shard.sessions.end()) continue;
-      if (flush_session(shard, it->second) &&
-          !it->second.pending.empty())
-        finish_requests(it->second);
-    }
+    flush_fanout(shard, fds);
 
     std::size_t queued = 0;
     for (const auto& [fd, session] : shard.sessions)
@@ -842,11 +890,11 @@ void AirServer::air_slot() {
     obs::gauge_set(loop_queue_gauges_[0], static_cast<double>(queued));
 #endif
   } else {
-    // Multi-loop airing: encode the slot's frame set once (fresh — the
-    // patch cache's sole-owner check cannot see another loop's refcount
-    // release in time, see the header) and ship one refcounted token per
-    // worker loop. Per-slot cost: O(channels) encodes here, O(sessions/K)
-    // queue appends on each loop.
+    // Multi-loop airing: build the slot's frame set out of the epoch-
+    // stamped cache (a steady-state cycle is all slot-word patches, zero
+    // encodes) and ship one refcounted token per worker loop. Per-slot
+    // cost: O(channels) patches here, O(sessions/K) queue appends per
+    // loop.
     auto frames = std::make_shared<SlotFrames>();
     frames->slot = next_slot_;
     frames->by_channel.resize(channel_count);
@@ -858,17 +906,7 @@ void AirServer::air_slot() {
       const PageId page = gen.program.at(ch, column);
       if (page == kNoPage) continue;
       frames->page_by_channel[static_cast<std::size_t>(ch)] = page;
-      std::string payload;
-      wire_put_u64(payload, next_slot_);
-      wire_put_u32(payload, gen.id);
-      wire_put_u32(payload, static_cast<std::uint32_t>(ch));
-      wire_put_u32(payload, page);
-      std::string bytes;
-      net::append_frame(bytes, net::FrameType::kPage, payload);
-      frames->by_channel[ch] = net::SharedBuf::wrap(std::move(bytes));
-#if TCSA_OBS_COMPILED
-      TCSA_METRIC_ADD(server_metrics().frames_encoded, 1);
-#endif
+      frames->by_channel[ch] = slot_frame(gen, ch, column, cycle, page, floor);
       aired_mask |= 1ull << ch;
     }
     frames->aired_mask = aired_mask;
@@ -878,11 +916,21 @@ void AirServer::air_slot() {
     // against its own sessions' pending requests.
     schedule_pulls(*frames);
 
-    const std::shared_ptr<const SlotFrames> token = std::move(frames);
+    std::shared_ptr<const SlotFrames> token = std::move(frames);
     for (std::size_t i = 1; i < loop_count_; ++i)
-      shards_[i]->loop->post(
-          [this, i, token] { deliver_slot(*shards_[i], *token); });
+      shards_[i]->loop->post([this, i, token]() mutable {
+        const std::uint64_t slot = token->slot;
+        deliver_slot(*shards_[i], *token);
+        // Drop the token reference BEFORE publishing the epoch:
+        // drain_posted() destroys this closure only after the whole posted
+        // batch runs, so the implicit release at destruction would lag the
+        // floor and turn every patch check into a miss.
+        token.reset();
+        shards_[i]->delivered_through.store(slot + 1,
+                                            std::memory_order_release);
+      });
     deliver_slot(*shards_[0], *token);
+    token.reset();
 
 #if TCSA_OBS_COMPILED
     // Worker depths are one token behind — a gauge reads "after the last
@@ -898,6 +946,64 @@ void AirServer::air_slot() {
   note_slot_aired(lag_us, slot_aired_mask);
   slots_aired_.fetch_add(1, std::memory_order_release);
   ++next_slot_;
+}
+
+std::uint64_t AirServer::delivered_floor() const noexcept {
+  // loops == 1: the airing loop owns every reference itself, so the
+  // refcount check alone is authoritative — an unbounded floor keeps the
+  // classic path classic.
+  std::uint64_t floor = std::numeric_limits<std::uint64_t>::max();
+  for (std::size_t i = 1; i < loop_count_; ++i)
+    floor = std::min(
+        floor, shards_[i]->delivered_through.load(std::memory_order_acquire));
+  return floor;
+}
+
+void AirServer::reset_frame_cache(std::uint32_t gen_id,
+                                  SlotCount channel_count, SlotCount cycle) {
+  frame_cache_generation_ = gen_id;
+  const std::size_t cells = static_cast<std::size_t>(channel_count) * cycle;
+  frame_cache_.assign(cells, net::SharedBuf());
+  frame_cache_slot_.assign(cells, 0);
+  // The per-generation hit counter starts over: a hot swap must never air
+  // a stale-generation frame, and the counter resetting is how tests pin
+  // that the cache really was invalidated.
+  frame_cache_gen_hits_.store(0, std::memory_order_relaxed);
+}
+
+net::SharedBuf AirServer::slot_frame(const Generation& gen, SlotCount ch,
+                                     SlotCount column, SlotCount cycle,
+                                     PageId page, std::uint64_t floor) {
+  const std::size_t cell = static_cast<std::size_t>(ch) * cycle + column;
+  net::SharedBuf& cached = frame_cache_[cell];
+  // Patch-eligible only when (a) the epoch floor proves every worker loop
+  // released the token references from this cell's last airing, and (b)
+  // the refcount shows no session queue anywhere still drains the buffer.
+  // Either failing means one fresh encode — correctness never depends on
+  // the cache hitting.
+  const bool epoch_ok = floor > frame_cache_slot_[cell];
+  if (epoch_ok && cached.patch_u64(net::kFrameHeaderSize, next_slot_)) {
+    frame_cache_hits_.fetch_add(1, std::memory_order_relaxed);
+    frame_cache_gen_hits_.fetch_add(1, std::memory_order_relaxed);
+#if TCSA_OBS_COMPILED
+    TCSA_METRIC_ADD(server_metrics().frame_cache_hits, 1);
+#endif
+  } else {
+    std::string payload;
+    wire_put_u64(payload, next_slot_);
+    wire_put_u32(payload, gen.id);
+    wire_put_u32(payload, static_cast<std::uint32_t>(ch));
+    wire_put_u32(payload, page);
+    std::string bytes;
+    net::append_frame(bytes, net::FrameType::kPage, payload);
+    cached = net::SharedBuf::wrap(std::move(bytes));
+    frames_encoded_.fetch_add(1, std::memory_order_relaxed);
+#if TCSA_OBS_COMPILED
+    TCSA_METRIC_ADD(server_metrics().frames_encoded, 1);
+#endif
+  }
+  frame_cache_slot_[cell] = next_slot_;
+  return cached;
 }
 
 void AirServer::deliver_slot(LoopShard& shard, const SlotFrames& frames) {
@@ -917,13 +1023,7 @@ void AirServer::deliver_slot(LoopShard& shard, const SlotFrames& frames) {
     fds.push_back(fd);
   }
   if (!frames.pull_frames.empty()) deliver_pull_frames(shard, frames, fds);
-  // Flush after the fan-out; flushing may evict, so walk by fd lookup.
-  for (const int fd : fds) {
-    const auto it = shard.sessions.find(fd);
-    if (it == shard.sessions.end()) continue;
-    if (flush_session(shard, it->second) && !it->second.pending.empty())
-      finish_requests(it->second);
-  }
+  flush_fanout(shard, fds);
   std::size_t queued = 0;
   for (const auto& [fd, session] : shard.sessions)
     queued += session.out.bytes();
@@ -932,6 +1032,147 @@ void AirServer::deliver_slot(LoopShard& shard, const SlotFrames& frames) {
   obs::gauge_set(loop_queue_gauges_[shard.index],
                  static_cast<double>(queued));
 #endif
+}
+
+void AirServer::flush_fanout(LoopShard& shard, const std::vector<int>& fds) {
+  if (shard.uring) {
+    // The pull fan-out may append an fd the broadcast fan-out already
+    // queued; the batch must not stage two SQEs gathering the same bytes.
+    std::vector<int> dirty(fds);
+    std::sort(dirty.begin(), dirty.end());
+    dirty.erase(std::unique(dirty.begin(), dirty.end()), dirty.end());
+    flush_fanout_uring(shard, std::move(dirty));
+    return;
+  }
+  // Classic path: one flush_session per fd. Flushing may evict, so walk
+  // by fd lookup (a duplicate fd's second flush is a cheap no-op).
+  for (const int fd : fds) {
+    const auto it = shard.sessions.find(fd);
+    if (it == shard.sessions.end()) continue;
+    if (flush_session(shard, it->second) && !it->second.pending.empty())
+      finish_requests(it->second);
+  }
+}
+
+void AirServer::flush_fanout_uring(LoopShard& shard, std::vector<int> dirty) {
+  net::UringFlusher& ring = *shard.uring;
+  const std::size_t cap = ring.capacity();
+  // Per-batch arenas: the msghdr/iovec arrays must outlive the enter that
+  // submits them — with MSG_DONTWAIT every completion is harvested before
+  // the window below finishes, so stack scope is exactly right.
+  std::vector<struct iovec> iov;
+  std::vector<struct msghdr> msgs;
+  std::vector<int> window_fds;
+  std::vector<net::UringFlusher::Completion> cqes;
+  std::vector<int> round = std::move(dirty);
+  std::vector<int> next_round;
+  const std::vector<int> all_fds = round;  // post-flush bookkeeping walk
+
+  while (!round.empty()) {
+    next_round.clear();
+    for (std::size_t base = 0; base < round.size(); base += cap) {
+      const std::size_t n = std::min(cap, round.size() - base);
+      iov.resize(n * kUringIovPerTarget);
+      msgs.assign(n, msghdr{});
+      window_fds.clear();
+      for (std::size_t i = 0; i < n; ++i) {
+        const int fd = round[base + i];
+        const auto it = shard.sessions.find(fd);
+        if (it == shard.sessions.end() || it->second.out.empty()) continue;
+        const std::size_t k = window_fds.size();
+        struct iovec* vecs = &iov[k * kUringIovPerTarget];
+        struct msghdr& msg = msgs[k];
+        msg.msg_iov = vecs;
+        msg.msg_iovlen = it->second.out.gather(vecs, kUringIovPerTarget);
+        if (!ring.push_sendmsg(fd, &msg, k)) break;  // cannot happen: n<=cap
+        window_fds.push_back(fd);
+      }
+      if (window_fds.empty()) continue;
+      std::size_t enters = ring.submit_and_wait(
+          static_cast<unsigned>(window_fds.size()));
+      cqes.clear();
+      ring.harvest(cqes);
+      // Defensive tail: an op the kernel decided to finish asynchronously
+      // (should not happen under MSG_DONTWAIT) is waited out here so the
+      // arenas above never outlive their references.
+      while (ring.inflight() > 0) {
+        enters += ring.submit_and_wait(ring.inflight());
+        ring.harvest(cqes);
+      }
+      const std::size_t sqes = window_fds.size();
+      uring_enters_.fetch_add(enters, std::memory_order_relaxed);
+      uring_sqes_.fetch_add(sqes, std::memory_order_relaxed);
+#if TCSA_OBS_COMPILED
+      TCSA_METRIC_ADD(server_metrics().uring_enters, enters);
+      TCSA_METRIC_ADD(server_metrics().uring_sqes, sqes);
+      if (sqes > enters)
+        TCSA_METRIC_ADD(server_metrics().uring_saved, sqes - enters);
+#endif
+      // CQE processing mirrors flush_queue's ledger: positive results
+      // consume queue bytes, -EAGAIN parks the session for its own
+      // EPOLLOUT wakeup (classic flush path), anything else is fatal.
+      for (const net::UringFlusher::Completion& cqe : cqes) {
+        const int fd = window_fds[static_cast<std::size_t>(cqe.user_data)];
+        const auto it = shard.sessions.find(fd);
+        if (it == shard.sessions.end()) continue;
+        Session& session = it->second;
+        if (cqe.res > 0) {
+          const std::size_t sent = static_cast<std::size_t>(cqe.res);
+          const std::size_t retired = session.out.consume(sent);
+          bytes_flushed_total_.fetch_add(retired, std::memory_order_relaxed);
+#if TCSA_OBS_COMPILED
+          TCSA_METRIC_ADD(server_metrics().bytes_sent, sent);
+          TCSA_METRIC_ADD(server_metrics().bytes_flushed, retired);
+#endif
+          if (!session.out.empty()) next_round.push_back(fd);
+        } else if (cqe.res == -EAGAIN || cqe.res == -EWOULDBLOCK ||
+                   cqe.res == 0) {
+#if TCSA_OBS_COMPILED
+          TCSA_METRIC_ADD(server_metrics().flush_eagain, 1);
+#endif
+        } else if (cqe.res == -EINTR) {
+          next_round.push_back(fd);
+        } else {
+          errno = -cqe.res;
+          close_session(shard, fd, "send error");
+        }
+      }
+    }
+    std::swap(round, next_round);
+  }
+
+  // Post-flush bookkeeping, classic flush_session semantics per session:
+  // evict over-cap queues, rearm EPOLLOUT for the still-dirty, retire
+  // flushed traced requests for the survivors.
+  for (const int fd : all_fds) {
+    const auto it = shard.sessions.find(fd);
+    if (it == shard.sessions.end()) continue;
+    Session& session = it->second;
+    if (should_evict(session.out.bytes(), config_.max_session_buffer)) {
+      evicted_.fetch_add(1, std::memory_order_relaxed);
+#if TCSA_OBS_COMPILED
+      TCSA_METRIC_ADD(server_metrics().evictions, 1);
+#endif
+      TCSA_LOG(kWarn) << "air server: evicting slow client (queued "
+                      << session.out.bytes() << " > cap "
+                      << config_.max_session_buffer << ")";
+      close_session(shard, fd, "slow client evicted");
+      continue;
+    }
+    update_write_interest(shard, session);
+    if (!session.pending.empty()) finish_requests(session);
+  }
+}
+
+void AirServer::harvest_uring(LoopShard& shard) {
+  shard.uring->drain_event_fd();
+  std::vector<net::UringFlusher::Completion> cqes;
+  if (shard.uring->harvest(cqes) > 0) {
+    // Unreachable in the current design (batches wait for their own
+    // completions); a stray CQE's bytes were counted by nobody, so say so.
+    TCSA_LOG(kWarn) << "air server: harvested " << cqes.size()
+                    << " stray uring completion(s) outside a batch";
+  }
 }
 
 void AirServer::on_accept(LoopShard& shard) {
@@ -1192,6 +1433,7 @@ void AirServer::schedule_pulls(SlotFrames& frames) {
     pull_airings_.fetch_add(1, std::memory_order_relaxed);
     pull_waiters_served_.fetch_add(airing->waiters.size(),
                                    std::memory_order_relaxed);
+    frames_encoded_.fetch_add(1, std::memory_order_relaxed);
 #if TCSA_OBS_COMPILED
     TCSA_METRIC_ADD(server_metrics().frames_encoded, 1);
     TCSA_METRIC_ADD(server_metrics().pull_airings, 1);
@@ -1417,6 +1659,11 @@ bool AirServer::flush_session(LoopShard& shard, Session& session) {
     TCSA_METRIC_ADD(server_metrics().bytes_sent, result.bytes_sent);
     TCSA_METRIC_ADD(server_metrics().bytes_flushed, result.bytes_retired);
   }
+  // Would-block probes on their own meter: they are syscall overhead that
+  // moved no bytes, and folding them into writev_calls would skew the
+  // syscalls-per-flushed-byte ratio the egress benches gate on.
+  if (result.eagain_calls > 0)
+    TCSA_METRIC_ADD(server_metrics().flush_eagain, result.eagain_calls);
 #endif
   if (result.error != 0) {
     close_session(shard, fd, "send error");

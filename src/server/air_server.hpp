@@ -57,6 +57,7 @@
 #include "net/shared_buf.hpp"
 #include "net/slot_clock.hpp"
 #include "net/socket.hpp"
+#include "net/uring_flush.hpp"
 #include "obs/metrics.hpp"
 #include "obs/timeline.hpp"
 #include "obs/watchdog.hpp"
@@ -64,6 +65,14 @@
 #include "server/pull_plane.hpp"
 
 namespace tcsa {
+
+/// Slot-fanout flush backend selection (the runtime rung of the uring
+/// degradation ladder; the compile-time rung is TCSA_URING=OFF).
+enum class UringMode {
+  kAuto,  ///< use io_uring when the startup probe succeeds, else sendmsg
+  kOn,    ///< require io_uring; construction throws when unavailable
+  kOff,   ///< classic per-session sendmsg flush only
+};
 
 struct AirServerConfig {
   std::string bind_address = "127.0.0.1";
@@ -76,6 +85,7 @@ struct AirServerConfig {
   std::size_t max_session_buffer = 256 * 1024;  ///< eviction threshold
   int session_send_buffer = 0;  ///< SO_SNDBUF per session; 0 = default
   std::size_t loops = 1;        ///< per-core I/O loops (1 = classic single)
+  UringMode uring = UringMode::kAuto;  ///< slot-fanout flush backend
 
   // --- pull plane (hybrid push/pull) ---
   /// On-demand airings per slot on top of the broadcast program. 0 keeps
@@ -187,6 +197,35 @@ class AirServer {
   /// Live session count per loop shard (index = loop).
   std::vector<std::size_t> sessions_per_loop() const;
 
+  // --- egress-path introspection ---
+  /// Frame bodies encoded from scratch on the airing loop (page-frame
+  /// cache misses plus pull frames, which are never cached).
+  std::uint64_t frames_encoded() const noexcept {
+    return frames_encoded_.load(std::memory_order_relaxed);
+  }
+  /// Page frames served by patching the cached buffer's slot word instead
+  /// of re-encoding (all generations).
+  std::uint64_t frame_cache_hits() const noexcept {
+    return frame_cache_hits_.load(std::memory_order_relaxed);
+  }
+  /// Cache hits since the current generation went on air — resets to zero
+  /// at every hot-swap activation (the cache is invalidated wholesale).
+  std::uint64_t frame_cache_generation_hits() const noexcept {
+    return frame_cache_gen_hits_.load(std::memory_order_relaxed);
+  }
+  /// True when slot-fanout flushes ride io_uring (resolved at startup by
+  /// the config mode + compile/runtime probe ladder).
+  bool uring_active() const noexcept { return uring_active_; }
+  /// io_uring_enter syscalls issued for batched slot-fanout flushes.
+  std::uint64_t uring_enters() const noexcept {
+    return uring_enters_.load(std::memory_order_relaxed);
+  }
+  /// sendmsg SQEs submitted through those batches; minus uring_enters()
+  /// this is the syscalls the batching saved over the classic path.
+  std::uint64_t uring_sqes() const noexcept {
+    return uring_sqes_.load(std::memory_order_relaxed);
+  }
+
   // --- pull-plane introspection ---
   /// kPull airings served so far.
   std::uint64_t pull_airings() const noexcept {
@@ -246,9 +285,19 @@ class AirServer {
     // updated on tune/close instead of an O(sessions) scan every slot.
     std::array<std::uint32_t, 64> channel_subs{};
     bool running = false;         // worker poll-loop flag (worker-thread only)
+    /// Batched-flush ring (null = classic sendmsg flush). Built on the main
+    /// thread before workers start, then touched only by the owning loop.
+    std::unique_ptr<net::UringFlusher> uring;
     std::atomic<std::uint64_t> audience{0};      // union of session masks
     std::atomic<std::size_t> session_count{0};
     std::atomic<std::size_t> queued_bytes{0};    // after last slot flush
+    /// Epoch mark for the frame cache: slots [0, delivered_through) have
+    /// been fully fanned out by this worker AND every token reference it
+    /// held for them released (the release store happens after the
+    /// token.reset() in the posted delivery lambda; loop 0 acquire-reads
+    /// the minimum across workers as its patch floor). Worker shards only;
+    /// shard 0's references are the airing loop's own.
+    std::atomic<std::uint64_t> delivered_through{0};
   };
 
   /// Cross-loop session address: fd alone is unsafe (fds are reused), so
@@ -344,6 +393,29 @@ class AirServer {
   /// Fans one slot's frames into the shard's subscribed sessions, flushes,
   /// and publishes the shard's queue depth. Runs on the shard's thread.
   void deliver_slot(LoopShard& shard, const SlotFrames& frames);
+  /// Patch floor for the frame cache (exclusive): every worker loop has
+  /// delivered — and dropped its token references for — all slots below
+  /// it. UINT64_MAX at loops == 1 (no foreign loops; the classic path).
+  std::uint64_t delivered_floor() const noexcept;
+  /// Resets the frame cache for a newly activated generation.
+  void reset_frame_cache(std::uint32_t gen_id, SlotCount channel_count,
+                         SlotCount cycle);
+  /// The (channel, column) page frame stamped with next_slot_: a slot-word
+  /// patch of the cached buffer when epoch + sole ownership allow it, a
+  /// fresh encode otherwise. Returns a handle sharing the cache cell.
+  net::SharedBuf slot_frame(const Generation& gen, SlotCount ch,
+                            SlotCount column, SlotCount cycle, PageId page,
+                            std::uint64_t floor);
+  /// Flushes the slot fan-out for `fds` (possibly with duplicates) and
+  /// runs the per-session post-flush bookkeeping (eviction, EPOLLOUT
+  /// interest, request completion). Batches through the shard's io_uring
+  /// ring when it has one, else per-session flush_session.
+  void flush_fanout(LoopShard& shard, const std::vector<int>& fds);
+  void flush_fanout_uring(LoopShard& shard, std::vector<int> dirty);
+  /// Defensive eventfd-readiness harvest: flush_fanout_uring waits for its
+  /// whole batch inside the submitting enter, so this normally only drains
+  /// the eventfd counter; any CQE it does find is counted and discarded.
+  void harvest_uring(LoopShard& shard);
   /// Enqueues the announce to sessions not yet greeted under `gen_id`.
   void deliver_announce(LoopShard& shard, const net::SharedBuf& buf,
                         std::uint32_t gen_id);
@@ -398,18 +470,28 @@ class AirServer {
   std::uint64_t next_slot_ = 0;           // next global slot to air
   bool running_ = false;
 
-  // Per-cycle frame cache, single-loop mode only: the program is periodic
-  // with period cycle_length, so a (channel, column) page frame's bytes
-  // are invariant within a generation except the slot word — each cycle
-  // that word is patched in place when the cache holds the only reference,
-  // and the frame is re-encoded only on first airing or while a slow
-  // session still has last cycle's buffer queued. Indexed
-  // channel * cycle + column; rebuilt whenever a new generation goes on
-  // air. With loops > 1 the sole-owner check would race worker-loop
-  // refcount releases (a relaxed use_count()==1 observation does not
-  // synchronize with another thread's decrement), so multi-loop airing
-  // encodes each subscribed channel fresh — still O(channels) per slot.
+  // Per-cycle frame cache: the program is periodic with period
+  // cycle_length, so a (channel, column) page frame's bytes are invariant
+  // within a generation except the slot word — each cycle that word is
+  // patched in place when the cache holds the only reference, and the
+  // frame is re-encoded only on first airing or while a slow session
+  // still has last cycle's buffer queued. Indexed channel * cycle +
+  // column; rebuilt whenever a new generation goes on air.
+  //
+  // Multi-loop safety (the epoch handshake): a bare use_count()==1
+  // observation cannot be trusted while another loop might still hold a
+  // reference — so a cell is only patch-eligible when delivered_floor()
+  // has passed the slot it last aired at (every worker release-published
+  // its token drop for that slot; loop 0 acquire-reads the floor), and
+  // the refcount check then rules out the stragglers a floor cannot see:
+  // session egress queues on any loop still draining the buffer. Those
+  // queue references are byte-safe by construction — worker user space
+  // never reads frame bytes (sendmsg copies them in the kernel during the
+  // worker's own syscall), and SharedBuf::patch_u64 issues an acquire
+  // fence after observing sole ownership, so the patch cannot race the
+  // release that dropped the last foreign reference.
   std::vector<net::SharedBuf> frame_cache_;
+  std::vector<std::uint64_t> frame_cache_slot_;  // last slot each cell aired
   std::uint32_t frame_cache_generation_ = 0;
 
   // Hot-swap worker: one reschedule in flight at a time.
@@ -434,6 +516,12 @@ class AirServer {
 #endif
   std::uint64_t on_air_epoch_us_ = 0;  // clock_->now_us() when airing began
 
+  bool uring_active_ = false;  // resolved at construction, then read-only
+  std::atomic<std::uint64_t> frames_encoded_{0};
+  std::atomic<std::uint64_t> frame_cache_hits_{0};
+  std::atomic<std::uint64_t> frame_cache_gen_hits_{0};  // reset per swap
+  std::atomic<std::uint64_t> uring_enters_{0};
+  std::atomic<std::uint64_t> uring_sqes_{0};
   std::atomic<std::uint64_t> next_session_id_{0};
   std::atomic<std::uint64_t> pull_airings_{0};
   std::atomic<std::uint64_t> pull_waiters_served_{0};

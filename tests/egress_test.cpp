@@ -13,6 +13,7 @@
 
 #include <gtest/gtest.h>
 
+#include "net/framing.hpp"
 #include "net/out_queue.hpp"
 #include "net/shared_buf.hpp"
 #include "net/socket.hpp"
@@ -60,6 +61,24 @@ TEST(SharedBuf, PatchRewritesTheWordOnlyForTheSoleOwner) {
 
   queued = net::SharedBuf();  // queue drained: sole owner again
   EXPECT_TRUE(buf.patch_u64(0, 99));
+}
+
+// The frame-cache contract: reviving a cached kPage frame by patching its
+// slot word produces the same bytes a fresh encode would — to the byte.
+TEST(SharedBuf, PatchedPageFrameIsByteIdenticalToAFreshEncode) {
+  const auto encode = [](std::uint64_t slot) {
+    std::string payload;
+    wire_put_u64(payload, slot);
+    wire_put_u32(payload, 7);   // generation
+    wire_put_u32(payload, 2);   // channel
+    wire_put_u32(payload, 41);  // page
+    std::string frame;
+    net::append_frame(frame, net::FrameType::kPage, payload);
+    return frame;
+  };
+  net::SharedBuf cached = net::SharedBuf::wrap(encode(100));
+  ASSERT_TRUE(cached.patch_u64(net::kFrameHeaderSize, 4242));
+  EXPECT_EQ(cached.view(), encode(4242));
 }
 
 // -------------------------------------------------------------- OutQueue
@@ -170,6 +189,7 @@ TEST(FlushQueue, DrainsAWholeBacklogThroughBoundedIovecBatches) {
   // ceil(chunks / batch) syscalls, not one per chunk.
   EXPECT_LE(result.syscalls,
             (chunk_count + net::kFlushBatch - 1) / net::kFlushBatch);
+  EXPECT_EQ(result.eagain_calls, 0u) << "no probes on an unblocked drain";
   EXPECT_EQ(read_up_to(pair.reader.get(), expected.size()), expected);
 }
 
@@ -211,6 +231,31 @@ TEST(FlushQueue, PartialSendResumesInOrderAcrossATinySendBuffer) {
   EXPECT_EQ(received, expected);
 }
 
+// The split ledger: productive calls and would-block probes never land in
+// the same counter, so syscalls-per-flushed-byte stays honest for a
+// session that probes a full socket every slot.
+TEST(FlushQueue, LedgersWouldBlockProbesSeparatelyFromProductiveCalls) {
+  SocketPair pair = make_pair_with_sndbuf(4096);
+  net::OutQueue queue;
+  for (int i = 0; i < 64; ++i)
+    queue.push(net::SharedBuf::wrap(std::string(4096, 'x')));
+
+  // The flush that fills the socket: some productive calls, then exactly
+  // one refused probe ends the drain.
+  const net::FlushResult first = net::flush_queue(pair.writer.get(), queue);
+  ASSERT_TRUE(first.would_block) << "SO_SNDBUF too large to backpressure";
+  EXPECT_GT(first.syscalls, 0u);
+  EXPECT_EQ(first.eagain_calls, 1u);
+
+  // The socket is still full: re-flushing is pure probe overhead — zero
+  // productive calls, zero bytes, one EAGAIN.
+  const net::FlushResult probe = net::flush_queue(pair.writer.get(), queue);
+  EXPECT_TRUE(probe.would_block);
+  EXPECT_EQ(probe.bytes_sent, 0u);
+  EXPECT_EQ(probe.syscalls, 0u);
+  EXPECT_EQ(probe.eagain_calls, 1u);
+}
+
 TEST(FlushQueue, ReportsAFatalErrorAndLeavesTheQueueIntact) {
   SocketPair pair = make_pair_with_sndbuf(0);
   net::OutQueue queue;
@@ -220,6 +265,8 @@ TEST(FlushQueue, ReportsAFatalErrorAndLeavesTheQueueIntact) {
   const net::FlushResult result = net::flush_queue(pair.writer.get(), queue);
   EXPECT_EQ(result.error, EPIPE);
   EXPECT_EQ(result.bytes_sent, 0u);
+  EXPECT_EQ(result.syscalls, 1u) << "a fatal call is productive-path, not a probe";
+  EXPECT_EQ(result.eagain_calls, 0u);
   EXPECT_EQ(queue.bytes(), 6u) << "fatal error must not drop queued bytes";
 }
 

@@ -193,6 +193,105 @@ TEST(MultiLoop, FourLoopBroadcastReconstructsToAValidProgram) {
   EXPECT_EQ(recorder.summary().deadline_misses, 0u);
 }
 
+// The epoch-stamped frame cache works across loop shards: after the first
+// cycle seeds it, steady-state cycles serve page frames by patching the
+// cached buffer's slot word instead of re-encoding, and the wire output
+// stays correct (the recorder reconstructs a valid program elsewhere in
+// this suite from the same path).
+TEST(MultiLoop, FrameCacheRevivesSteadyStateCyclesAtFourLoops) {
+  AirServerConfig config;
+  config.slot_us = 400;
+  config.max_slots = 600;
+  config.loops = 4;
+  ServerHarness harness(paper_workload(), config);
+
+  TuneClient::Options options = harness.client_options(net::kAllChannels);
+  TuneClient recorder(options);
+  recorder.run(0);
+  EXPECT_EQ(recorder.summary().deadline_misses, 0u);
+
+  // 600 slots over a cycle of 8 is 75 cycles of the same occupied cells.
+  // The cache holds one frame per (channel, column) cell; everything past
+  // warm-up should be a patch hit. The bound is generous (25%) because a
+  // cell re-encodes whenever the worker-epoch floor has not yet passed its
+  // previous airing.
+  const std::uint64_t encoded = harness.server().frames_encoded();
+  const std::uint64_t hits = harness.server().frame_cache_hits();
+  EXPECT_GT(hits, 0u) << "cache never revived a frame at loops=4";
+  EXPECT_GE(hits + encoded, 1500u) << "server did not air the expected span";
+  EXPECT_LE(encoded, (hits + encoded) / 4)
+      << "steady-state cycles must patch, not re-encode";
+}
+
+// A hot swap invalidates the cache wholesale: no frame aired at or past the
+// activation slot carries the old generation, none before it carries the
+// new one, and the per-generation hit counter restarts from zero.
+TEST(MultiLoop, HotSwapInvalidatesTheFrameCacheWithoutStaleFrames) {
+  AirServerConfig config;
+  config.slot_us = 400;
+  config.max_slots = 2000;
+  config.loops = 4;
+  ServerHarness harness(paper_workload(), config);
+
+  TuneClient::Options options = harness.client_options(net::kAllChannels);
+  options.record_pages = true;
+  TuneClient recorder(options);
+  std::thread runner([&recorder] { recorder.run(0); });
+
+  // Let the generation-1 cache warm (a few full cycles) so the swap has
+  // revived frames to invalidate.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (harness.server().frame_cache_hits() == 0 &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  ASSERT_GT(harness.server().frame_cache_hits(), 0u);
+
+  TuneClient swapper(harness.client_options(0));
+  const SwapReply reply = swapper.request_swap(grown_workload());
+  ASSERT_TRUE(reply.accepted) << reply.error;
+  ASSERT_EQ(reply.generation, 2u);
+  runner.join();
+
+  // Stale-frame check: the generation stamp inside every received frame
+  // flips exactly at the activation boundary. A cached generation-1 frame
+  // leaking past the swap would fail here.
+  ASSERT_FALSE(recorder.pages().empty());
+  for (const ReceivedPage& page : recorder.pages()) {
+    if (page.slot >= reply.activation_slot)
+      EXPECT_EQ(page.generation, 2u)
+          << "stale generation-1 frame aired at slot " << page.slot;
+    else
+      EXPECT_EQ(page.generation, 1u)
+          << "generation-2 frame aired before activation at slot "
+          << page.slot;
+  }
+
+  // The per-generation hit counter reset at activation: it counts only
+  // generation-2 revivals, strictly fewer than the all-time total (which
+  // still includes the warm generation-1 cycles we waited for).
+  const std::uint64_t total_hits = harness.server().frame_cache_hits();
+  const std::uint64_t gen_hits = harness.server().frame_cache_generation_hits();
+  EXPECT_GT(gen_hits, 0u) << "generation 2 never revived a frame";
+  EXPECT_LT(gen_hits, total_hits)
+      << "counter did not reset at the swap boundary";
+
+  // Byte-level correctness of the revived generation-2 frames: a steady
+  // state cycle reconstructs to a program the model checker accepts for
+  // the new workload.
+  const SlotCount cycle = recorder.cycle_length();
+  const std::uint64_t first = reply.activation_slot + cycle;  // warm cycle
+  BroadcastProgram program(recorder.channels(), cycle);
+  for (const ReceivedPage& page : recorder.pages()) {
+    if (page.slot < first || page.slot >= first + cycle) continue;
+    program.place(static_cast<SlotCount>(page.channel),
+                  static_cast<SlotCount>(page.slot - first), page.page);
+  }
+  const ValidityReport report = validate_program(program, grown_workload());
+  EXPECT_TRUE(report.valid)
+      << (report.violations.empty() ? "" : report.violations.front());
+}
+
 // In-process loadgen smoke: every requested session connects, receives
 // pages, and survives to teardown against a 4-loop server.
 TEST(MultiLoop, LoadgenDrivesAndMeasuresAShardedServer) {
